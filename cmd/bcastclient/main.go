@@ -1,0 +1,79 @@
+// Command bcastclient tunes to a broadcast server channel and either
+// waits for a specific item (printing the measured waiting time — the
+// client-side analogue of the paper's Eq. (1)) or monitors the channel
+// for a number of transmissions.
+//
+// Examples:
+//
+//	bcastclient -addr 127.0.0.1:7070 -channel 0 -item 3
+//	bcastclient -addr 127.0.0.1:7070 -channel 2 -listen 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"diversecast/internal/netcast"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "bcastclient:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("bcastclient", flag.ContinueOnError)
+	fs.SetOutput(out)
+	addr := fs.String("addr", "127.0.0.1:7070", "server address")
+	channel := fs.Int("channel", 0, "broadcast channel to tune to")
+	item := fs.Int("item", 0, "item ID to wait for (0 = none)")
+	listen := fs.Int("listen", 0, "number of transmissions to monitor (0 = none)")
+	timeout := fs.Duration("timeout", time.Minute, "overall receive timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *item == 0 && *listen == 0 {
+		return fmt.Errorf("pass -item <id> and/or -listen <n>")
+	}
+
+	c, err := netcast.Tune(*addr, *channel, 10*time.Second)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	h := c.Hello()
+	fmt.Fprintf(out, "tuned to channel %d of %d (bandwidth %g, timescale %g)\n",
+		*channel, h.K, h.Bandwidth, h.TimeScale)
+
+	if *item != 0 {
+		rec, wait, err := c.WaitForItem(*item, *timeout)
+		if err != nil {
+			return err
+		}
+		if err := netcast.VerifyPayload(rec); err != nil {
+			return err
+		}
+		virtual := wait.Seconds()
+		if h.TimeScale > 0 {
+			virtual = wait.Seconds() / h.TimeScale
+		}
+		fmt.Fprintf(out, "item %d received: %d bytes, waited %v wall (%.3fs virtual), cycle %d\n",
+			rec.Begin.ItemID, len(rec.Payload), wait, virtual, rec.Begin.Cycle)
+	}
+
+	for i := 0; i < *listen; i++ {
+		rec, err := c.NextItem(time.Now().Add(*timeout))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "cycle %2d  item %3d  size %8.3f  %6d bytes  (%v on air)\n",
+			rec.Begin.Cycle, rec.Begin.ItemID, rec.Begin.Size,
+			len(rec.Payload), rec.EndAt.Sub(rec.BeginAt).Round(time.Microsecond))
+	}
+	return nil
+}

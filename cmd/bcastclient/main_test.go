@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"diversecast/internal/broadcast"
+	"diversecast/internal/core"
+	"diversecast/internal/netcast"
+)
+
+// testServer brings up an in-process broadcast server on the paper's
+// example database.
+func testServer(t *testing.T) *netcast.Server {
+	t.Helper()
+	db := core.PaperExampleDatabase()
+	a, err := core.NewDRPCDS().Allocate(db, core.PaperExampleK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := broadcast.Build(a, 10, broadcast.ByPosition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := netcast.Serve("127.0.0.1:0", netcast.ServerConfig{Program: p, TimeScale: 0.005})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func TestRunListen(t *testing.T) {
+	srv := testServer(t)
+	var out bytes.Buffer
+	err := run([]string{"-addr", srv.Addr().String(), "-channel", "0", "-listen", "3"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "tuned to channel 0") {
+		t.Errorf("missing tune line:\n%s", s)
+	}
+	if strings.Count(s, "bytes") < 3 {
+		t.Errorf("expected 3 transmissions:\n%s", s)
+	}
+}
+
+func TestRunWaitForItem(t *testing.T) {
+	srv := testServer(t)
+	// Item 9 lives on channel 0 of the DRP-CDS paper allocation.
+	db := core.PaperExampleDatabase()
+	a, err := core.NewDRPCDS().Allocate(db, core.PaperExampleK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := db.IndexByID()
+	itemID := 9
+	ch := a.ChannelOf(byID[itemID])
+
+	var out bytes.Buffer
+	err = run([]string{
+		"-addr", srv.Addr().String(),
+		"-channel", strconv.Itoa(ch),
+		"-item", strconv.Itoa(itemID),
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "item 9 received") {
+		t.Errorf("missing reception line:\n%s", out.String())
+	}
+}
+
+func TestRunRequiresAction(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-addr", "127.0.0.1:1"}, &out); err == nil {
+		t.Fatal("no -item/-listen should fail")
+	}
+}
+
+func TestRunDialError(t *testing.T) {
+	var out bytes.Buffer
+	// Reserved port with nothing listening.
+	if err := run([]string{"-addr", "127.0.0.1:1", "-listen", "1"}, &out); err == nil {
+		t.Fatal("dial to dead address should fail")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-zap"}, &out); err == nil {
+		t.Fatal("bad flag should fail")
+	}
+}

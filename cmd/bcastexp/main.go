@@ -1,0 +1,77 @@
+// Command bcastexp regenerates the paper's evaluation figures
+// (Figures 2–7) as ASCII tables or CSV.
+//
+// Examples:
+//
+//	bcastexp -fig fig4
+//	bcastexp -all -quick
+//	bcastexp -fig fig6 -csv > fig6.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"diversecast/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "bcastexp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("bcastexp", flag.ContinueOnError)
+	fs.SetOutput(out)
+	figID := fs.String("fig", "", "figure to regenerate ("+
+		strings.Join(append(experiments.FigureIDs(), experiments.AblationIDs()...), ", ")+")")
+	all := fs.Bool("all", false, "regenerate every paper figure")
+	ablations := fs.Bool("ablations", false, "also/only regenerate the ablation experiments")
+	quick := fs.Bool("quick", false, "reduced configuration (smaller N, fewer seeds, smaller GA budget)")
+	csv := fs.Bool("csv", false, "emit CSV instead of a table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := experiments.Default()
+	if *quick {
+		cfg = experiments.Quick()
+	}
+
+	var ids []string
+	switch {
+	case *all:
+		ids = experiments.FigureIDs()
+		if *ablations {
+			ids = append(ids, experiments.AblationIDs()...)
+		}
+	case *ablations:
+		ids = experiments.AblationIDs()
+	case *figID != "":
+		ids = []string{*figID}
+	default:
+		return fmt.Errorf("pass -fig <id>, -all or -ablations (ids: %s)",
+			strings.Join(append(experiments.FigureIDs(), experiments.AblationIDs()...), ", "))
+	}
+
+	for i, id := range ids {
+		fig, err := experiments.Run(id, cfg)
+		if err != nil {
+			return err
+		}
+		if *csv {
+			fmt.Fprint(out, fig.CSV())
+		} else {
+			if i > 0 {
+				fmt.Fprintln(out)
+			}
+			fmt.Fprint(out, fig.Table())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"diversecast/internal/broadcast"
+)
+
+func TestRunSummary(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-paper", "-k", "5", "-format", "summary"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"DRP-CDS", "15 over 5 channels", "grouping cost", "waiting time"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunTable(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-catalog", "news-ticker", "-k", "4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "bulletin-001") {
+		t.Errorf("table output missing catalog titles:\n%s", out.String())
+	}
+}
+
+func TestRunJSONIsLoadable(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-paper", "-k", "3", "-format", "json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	p, err := broadcast.ReadJSON(&out)
+	if err != nil {
+		t.Fatalf("emitted JSON does not load: %v", err)
+	}
+	if p.K != 3 {
+		t.Fatalf("loaded K = %d", p.K)
+	}
+}
+
+func TestRunSlotOrders(t *testing.T) {
+	for _, order := range []string{"position", "frequency", "size"} {
+		var out bytes.Buffer
+		if err := run([]string{"-paper", "-k", "2", "-order", order, "-format", "summary"}, &out); err != nil {
+			t.Fatalf("order %s: %v", order, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	tests := [][]string{
+		{"-paper", "-k", "0"},                         // bad K
+		{"-paper", "-k", "5", "-alg", "nonsense"},     // bad algorithm
+		{"-paper", "-k", "5", "-format", "yaml"},      // bad format
+		{"-paper", "-k", "5", "-order", "alphabetic"}, // bad slot order
+		{"-paper", "-k", "5", "-bandwidth", "0"},      // bad bandwidth
+		{"-catalog", "nope", "-k", "2"},               // bad catalog
+		{"-badflag"},                                  // flag error
+	}
+	for _, args := range tests {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v should fail", args)
+		}
+	}
+}
+
+func TestRunProfileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	profile := filepath.Join(dir, "p.json")
+	// Generate from the media-portal catalog and save a profile.
+	var out bytes.Buffer
+	err := run([]string{"-catalog", "media-portal", "-k", "4",
+		"-format", "summary", "-save-profile", profile}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reload the profile and allocate again: identical summary.
+	var out2 bytes.Buffer
+	if err := run([]string{"-profile", profile, "-k", "4", "-format", "summary"}, &out2); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != out2.String() {
+		t.Fatalf("profile round trip changed the allocation:\n%s\nvs\n%s", out.String(), out2.String())
+	}
+}
+
+func TestRunProfileMissing(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-profile", "/nonexistent/p.json", "-k", "2"}, &out); err == nil {
+		t.Fatal("missing profile should fail")
+	}
+}

@@ -1,0 +1,87 @@
+// Command bcastserver runs a TCP broadcast server: it generates a
+// broadcast program and plays it on the wire until interrupted.
+// Clients (cmd/bcastclient) tune to a channel and wait for items.
+//
+// Examples:
+//
+//	bcastserver -addr 127.0.0.1:7070 -catalog media-portal -k 6
+//	bcastserver -paper -k 5 -timescale 0.1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"diversecast/internal/broadcast"
+	"diversecast/internal/cli"
+	"diversecast/internal/core"
+	"diversecast/internal/netcast"
+)
+
+func main() {
+	srv, err := start(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bcastserver:", err)
+		os.Exit(1)
+	}
+	defer srv.Close()
+	fmt.Println("press Ctrl-C to stop")
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+}
+
+// start parses flags, builds the program and launches the server. It
+// is separated from main so tests can run a server in-process.
+func start(args []string, out io.Writer) (*netcast.Server, error) {
+	fs := flag.NewFlagSet("bcastserver", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var dbf cli.DBFlags
+	dbf.Register(fs)
+	addr := fs.String("addr", "127.0.0.1:7070", "listen address")
+	k := fs.Int("k", 6, "number of broadcast channels")
+	alg := fs.String("alg", "drp-cds", "allocation algorithm")
+	bandwidth := fs.Float64("bandwidth", 10, "channel bandwidth (size units per second)")
+	timescale := fs.Float64("timescale", 1.0, "real seconds per virtual second (use <1 to accelerate)")
+	bytesPerUnit := fs.Int("bytes-per-unit", 64, "payload bytes per size unit")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+
+	db, titles, err := dbf.Load()
+	if err != nil {
+		return nil, err
+	}
+	allocator, err := cli.NewAllocator(*alg, dbf.Seed)
+	if err != nil {
+		return nil, err
+	}
+	a, err := allocator.Allocate(db, *k)
+	if err != nil {
+		return nil, err
+	}
+	p, err := broadcast.Build(a, *bandwidth, broadcast.ByPosition)
+	if err != nil {
+		return nil, err
+	}
+
+	srv, err := netcast.Serve(*addr, netcast.ServerConfig{
+		Program:      p,
+		TimeScale:    *timescale,
+		BytesPerUnit: *bytesPerUnit,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	fmt.Fprintf(out, "broadcasting on %s (%s, W_b = %.4fs, timescale %g)\n",
+		srv.Addr(), allocator.Name(), core.WaitingTime(a, *bandwidth), *timescale)
+	fmt.Fprint(out, p.Render(titles))
+	return srv, nil
+}

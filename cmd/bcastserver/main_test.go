@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"diversecast/internal/netcast"
+)
+
+func TestStartAndTune(t *testing.T) {
+	var out bytes.Buffer
+	srv, err := start([]string{
+		"-addr", "127.0.0.1:0", "-paper", "-k", "5", "-timescale", "0.01",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	s := out.String()
+	for _, want := range []string{"broadcasting on", "DRP-CDS", "channel 0"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+
+	c, err := netcast.Tune(srv.Addr().String(), 0, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.NextItem(time.Now().Add(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStartErrors(t *testing.T) {
+	tests := [][]string{
+		{"-paper", "-k", "0"},
+		{"-alg", "bogus"},
+		{"-catalog", "bogus"},
+		{"-addr", "256.256.256.256:-1"},
+		{"-timescale", "-1", "-paper", "-k", "2", "-addr", "127.0.0.1:0"},
+		{"-wat"},
+	}
+	for _, args := range tests {
+		var out bytes.Buffer
+		if srv, err := start(args, &out); err == nil {
+			srv.Close()
+			t.Errorf("args %v should fail", args)
+		}
+	}
+}

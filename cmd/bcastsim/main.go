@@ -1,0 +1,257 @@
+// Command bcastsim runs a client-request simulation against a
+// broadcast program and compares the measured waiting time with the
+// analytical model of the paper's Eq. (2).
+//
+// Examples:
+//
+//	bcastsim -n 120 -k 6 -alg drp-cds -requests 50000
+//	bcastsim -catalog traffic-info -k 5 -alg vfk -hist
+//	bcastsim -paper -k 5 -event-driven
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"diversecast/internal/airsim"
+	"diversecast/internal/broadcast"
+	"diversecast/internal/cache"
+	"diversecast/internal/cli"
+	"diversecast/internal/core"
+	"diversecast/internal/hybrid"
+	"diversecast/internal/ondemand"
+	"diversecast/internal/stats"
+	"diversecast/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "bcastsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("bcastsim", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var dbf cli.DBFlags
+	dbf.Register(fs)
+	k := fs.Int("k", 6, "number of broadcast channels")
+	alg := fs.String("alg", "drp-cds", "allocation algorithm")
+	bandwidth := fs.Float64("bandwidth", 10, "channel bandwidth (size units per second)")
+	requests := fs.Int("requests", 20000, "number of simulated client requests")
+	rate := fs.Float64("rate", 50, "aggregate request arrival rate (requests/second)")
+	traceSeed := fs.Int64("trace-seed", 7, "request-trace random seed")
+	eventDriven := fs.Bool("event-driven", false, "use the discrete-event engine instead of the closed form")
+	hist := fs.Bool("hist", false, "print a waiting-time histogram")
+	mode := fs.String("mode", "push", "dissemination mode: push, pull or hybrid")
+	scheduler := fs.String("scheduler", "rxw", "pull scheduler: fcfs, mrf, rxw or rxws")
+	pushCount := fs.Int("push-count", 0, "hybrid: number of items pushed (0 = the hottest items covering 85% of demand)")
+	cachePolicy := fs.String("cache-policy", "", "client cache policy: lru, lfu, pix or cost (push mode only; empty = no cache)")
+	cacheCapacity := fs.Float64("cache-capacity", 0, "client cache capacity in size units (with -cache-policy)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	db, _, err := dbf.Load()
+	if err != nil {
+		return err
+	}
+	trace, err := workload.GenerateTrace(db, workload.TraceConfig{
+		Requests: *requests, Rate: *rate, Seed: *traceSeed,
+	})
+	if err != nil {
+		return err
+	}
+
+	switch *mode {
+	case "push":
+		// Fall through to the cyclic-program simulation below.
+	case "pull":
+		return runPull(out, db, trace, *scheduler, *bandwidth, float64(*k))
+	case "hybrid":
+		return runHybrid(out, db, trace, *scheduler, *bandwidth, *k, *pushCount)
+	default:
+		return fmt.Errorf("unknown mode %q (have push, pull, hybrid)", *mode)
+	}
+
+	allocator, err := cli.NewAllocator(*alg, dbf.Seed)
+	if err != nil {
+		return err
+	}
+	a, err := allocator.Allocate(db, *k)
+	if err != nil {
+		return err
+	}
+	p, err := broadcast.Build(a, *bandwidth, broadcast.ByPosition)
+	if err != nil {
+		return err
+	}
+	if *cachePolicy != "" {
+		return runCached(out, a, p, trace, *cachePolicy, *cacheCapacity, *bandwidth)
+	}
+
+	measure := airsim.Measure
+	simKind := "closed-form"
+	if *eventDriven {
+		measure = airsim.EventDriven
+		simKind = "event-driven"
+	}
+	res, err := measure(p, trace)
+	if err != nil {
+		return err
+	}
+
+	analytic := core.WaitingTime(a, *bandwidth)
+	fmt.Fprintf(out, "algorithm:        %s (%s simulation)\n", allocator.Name(), simKind)
+	fmt.Fprintf(out, "requests:         %d at %.3g req/s\n", res.Requests, *rate)
+	fmt.Fprintf(out, "analytical W_b:   %.4f s\n", analytic)
+	fmt.Fprintf(out, "measured wait:    %s\n", res.Wait)
+	fmt.Fprintf(out, "measured probe:   %s\n", res.Probe)
+	fmt.Fprintf(out, "measured download:%s\n", res.Download)
+	fmt.Fprintf(out, "relative error:   %.3f%%\n", 100*stats.RelativeError(res.Wait.Mean, analytic))
+	for c, s := range res.PerChannel {
+		fmt.Fprintf(out, "  channel %d: %s\n", c, s)
+	}
+
+	if *hist {
+		upper := res.Wait.Max * 1.05
+		if upper <= 0 {
+			upper = 1
+		}
+		h, err := stats.NewHistogram(0, upper, 20)
+		if err != nil {
+			return err
+		}
+		for _, req := range trace {
+			w, err := p.WaitFor(req.Pos, req.Time)
+			if err != nil {
+				return err
+			}
+			h.Add(w)
+		}
+		fmt.Fprintf(out, "waiting-time histogram (p50=%.3f, p95=%.3f):\n%s",
+			h.Quantile(0.5), h.Quantile(0.95), h.Render(40))
+	}
+
+	if math.Abs(stats.RelativeError(res.Wait.Mean, analytic)) > 0.05 {
+		fmt.Fprintln(out, "warning: measured mean deviates more than 5% from the analytical model; increase -requests")
+	}
+	return nil
+}
+
+// pullScheduler resolves the -scheduler flag.
+func pullScheduler(name string) (ondemand.Scheduler, error) {
+	switch name {
+	case "fcfs":
+		return ondemand.FCFS{}, nil
+	case "mrf":
+		return ondemand.MRF{}, nil
+	case "rxw":
+		return ondemand.RxW{}, nil
+	case "rxws":
+		return ondemand.RxWS{}, nil
+	default:
+		return nil, fmt.Errorf("unknown scheduler %q (have fcfs, mrf, rxw, rxws)", name)
+	}
+}
+
+// runPull simulates pure on-demand service: the K channels are pooled
+// into one pull channel of K× bandwidth.
+func runPull(out io.Writer, db *core.Database, trace []workload.Request, schedName string, bandwidth, k float64) error {
+	sched, err := pullScheduler(schedName)
+	if err != nil {
+		return err
+	}
+	res, err := ondemand.Run(db, trace, sched, bandwidth*k)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "mode:             pull (%s), pooled bandwidth %.3g\n", sched.Name(), bandwidth*k)
+	fmt.Fprintf(out, "requests:         %d in %d broadcasts (batch mean %.2f)\n",
+		res.Requests, res.Broadcasts, res.BatchMean)
+	fmt.Fprintf(out, "measured wait:    %s\n", res.Wait)
+	fmt.Fprintf(out, "measured stretch: %s\n", res.Stretch)
+	fmt.Fprintf(out, "uplink messages:  %d\n", res.Requests)
+	return nil
+}
+
+// runHybrid simulates K−1 push channels plus one pull channel.
+func runHybrid(out io.Writer, db *core.Database, trace []workload.Request, schedName string, bandwidth float64, k, pushCount int) error {
+	if k < 2 {
+		return fmt.Errorf("hybrid mode needs -k >= 2 (got %d): one channel is the pull channel", k)
+	}
+	sched, err := pullScheduler(schedName)
+	if err != nil {
+		return err
+	}
+	if pushCount == 0 {
+		var mass float64
+		for _, pos := range db.ByFreq() {
+			mass += db.Item(pos).Freq
+			pushCount++
+			if mass >= 0.85 {
+				break
+			}
+		}
+		if pushCount < k-1 {
+			pushCount = k - 1
+		}
+		if pushCount >= db.Len() {
+			pushCount = db.Len() - 1
+		}
+	}
+	plan, err := hybrid.Build(db, hybrid.Config{
+		PushChannels: k - 1,
+		Bandwidth:    bandwidth,
+		Scheduler:    sched,
+	}, pushCount)
+	if err != nil {
+		return err
+	}
+	res, err := plan.Evaluate(trace)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "mode:             hybrid (%d push + 1 pull channel, %s)\n", k-1, sched.Name())
+	fmt.Fprintf(out, "pushed items:     %d covering %.1f%% of demand\n", pushCount, 100*plan.PushMass)
+	fmt.Fprintf(out, "overall wait:     %s\n", res.Wait)
+	fmt.Fprintf(out, "push wait:        %s\n", res.Push)
+	fmt.Fprintf(out, "pull wait:        %s\n", res.Pull)
+	fmt.Fprintf(out, "uplink messages:  %d\n", res.UplinkMessages)
+	return nil
+}
+
+// runCached simulates a caching client against the cyclic program.
+func runCached(out io.Writer, a *core.Allocation, p *broadcast.Program, trace []workload.Request, policyName string, capacity, bandwidth float64) error {
+	var policy cache.Policy
+	switch policyName {
+	case "lru":
+		policy = cache.LRU{}
+	case "lfu":
+		policy = cache.LFU{}
+	case "pix":
+		policy = cache.PIX{}
+	case "cost":
+		policy = cache.Cost{}
+	default:
+		return fmt.Errorf("unknown cache policy %q (have lru, lfu, pix, cost)", policyName)
+	}
+	c, err := cache.New(policy, capacity)
+	if err != nil {
+		return err
+	}
+	res, err := cache.Simulate(a, p, c, trace)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "mode:             push with %s cache (%.3g size units)\n", policy.Name(), capacity)
+	fmt.Fprintf(out, "requests:         %d, hit ratio %.3f\n", res.Requests, res.HitRatio)
+	fmt.Fprintf(out, "overall wait:     %s\n", res.Wait)
+	fmt.Fprintf(out, "miss wait:        %s\n", res.MissWait)
+	fmt.Fprintf(out, "no-cache W_b:     %.4f s\n", core.WaitingTime(a, bandwidth))
+	return nil
+}

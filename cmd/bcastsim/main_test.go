@@ -1,0 +1,137 @@
+package main
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRunClosedForm(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-n", "40", "-k", "4", "-requests", "20000", "-trace-seed", "3"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"analytical W_b", "measured wait", "relative error", "channel 0"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+	// The measured mean should be close to the model: extract the
+	// relative error line and bound it.
+	for _, line := range strings.Split(s, "\n") {
+		if strings.HasPrefix(line, "relative error:") {
+			f := strings.Fields(line)
+			v, err := strconv.ParseFloat(strings.TrimSuffix(f[len(f)-1], "%"), 64)
+			if err != nil {
+				t.Fatalf("parsing %q: %v", line, err)
+			}
+			if v > 5 || v < -5 {
+				t.Errorf("relative error %v%% too large", v)
+			}
+		}
+	}
+}
+
+func TestRunEventDriven(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-n", "20", "-k", "3", "-requests", "500", "-event-driven"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "event-driven simulation") {
+		t.Errorf("mode line missing:\n%s", out.String())
+	}
+}
+
+func TestRunHistogram(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-paper", "-k", "5", "-requests", "3000", "-hist"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "waiting-time histogram") {
+		t.Errorf("histogram missing:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "p95=") {
+		t.Errorf("quantiles missing:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	tests := [][]string{
+		{"-n", "10", "-k", "11"}, // K > N
+		{"-alg", "nope"},         // unknown algorithm
+		{"-rate", "0"},           // bad trace rate
+		{"-requests", "-5"},      // bad request count
+		{"-bandwidth", "-1"},     // bad bandwidth
+		{"-nonsense"},            // flag error
+	}
+	for _, args := range tests {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v should fail", args)
+		}
+	}
+}
+
+func TestRunPullMode(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-n", "30", "-k", "3", "-mode", "pull", "-requests", "500", "-rate", "3"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"mode:             pull", "batch mean", "uplink messages"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("pull output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunHybridMode(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-n", "40", "-k", "4", "-mode", "hybrid", "-requests", "1000", "-rate", "4"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"hybrid (3 push + 1 pull", "pushed items", "pull wait"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("hybrid output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunCachedMode(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-n", "30", "-k", "3", "-cache-policy", "cost", "-cache-capacity", "50", "-requests", "2000"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"COST cache", "hit ratio", "miss wait"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("cached output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunModeErrors(t *testing.T) {
+	tests := [][]string{
+		{"-mode", "teleport"},
+		{"-mode", "pull", "-scheduler", "lifo"},
+		{"-mode", "hybrid", "-k", "1"},
+		{"-cache-policy", "belady", "-cache-capacity", "10"},
+		{"-cache-policy", "lru", "-cache-capacity", "0"},
+	}
+	for _, args := range tests {
+		var out bytes.Buffer
+		full := append([]string{"-n", "20", "-k", "2", "-requests", "50"}, args...)
+		if err := run(full, &out); err == nil {
+			t.Errorf("args %v should fail", args)
+		}
+	}
+}

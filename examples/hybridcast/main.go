@@ -1,0 +1,75 @@
+// Hybridcast combines push and pull: the hottest items ride the
+// DRP-CDS cyclic channels, the cold tail is served on demand by an
+// RxW/S scheduler on a dedicated channel. The sweep over the push-set
+// size shows the trade: push too little and the pull channel drowns,
+// push everything and rarely wanted items bloat every broadcast cycle.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"diversecast/internal/airsim"
+	"diversecast/internal/broadcast"
+	"diversecast/internal/core"
+	"diversecast/internal/hybrid"
+	"diversecast/internal/workload"
+)
+
+func main() {
+	db := workload.Config{N: 100, Theta: 1.1, Phi: 2, Seed: 9}.MustGenerate()
+	trace, err := workload.GenerateTrace(db, workload.TraceConfig{
+		Requests: 20000, Rate: 8, Seed: 10,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const totalChannels = 4
+	const bandwidth = workload.PaperBandwidth
+
+	// Baseline: pure push over all channels.
+	alloc, err := core.NewDRPCDS().Allocate(db, totalChannels)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := broadcast.Build(alloc, bandwidth, broadcast.ByPosition)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pure, err := airsim.Measure(prog, trace)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pure push, %d channels:        mean wait %7.3f s, no uplink\n",
+		totalChannels, pure.Wait.Mean)
+
+	// Hybrid: 3 push channels + 1 pull channel, sweeping the cut.
+	cfg := hybrid.Config{PushChannels: totalChannels - 1, Bandwidth: bandwidth}
+	cuts := []int{5, 10, 20, 40, 60, 80, 95}
+	points, best, err := hybrid.SweepCut(db, cfg, trace, cuts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hybrid, %d push + 1 pull channel:\n", totalChannels-1)
+	fmt.Println("  pushed   mean wait (s)   uplink msgs")
+	for i, pt := range points {
+		marker := " "
+		if i == best {
+			marker = "*"
+		}
+		fmt.Printf("  %s%5d   %12.3f   %11d\n", marker, pt.PushCount, pt.MeanWait, pt.Uplink)
+	}
+
+	plan, err := hybrid.Build(db, cfg, points[best].PushCount)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := plan.Evaluate(trace)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("best cut pushes %d items (%.1f%% of demand): push wait %.3f s on %d requests, pull wait %.3f s on %d requests\n",
+		points[best].PushCount, 100*plan.PushMass,
+		res.Push.Mean, res.Push.N, res.Pull.Mean, res.Pull.N)
+}

@@ -1,0 +1,3 @@
+module diversecast
+
+go 1.24

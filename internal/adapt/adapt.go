@@ -1,0 +1,164 @@
+// Package adapt closes the loop of the paper's Figure 1 architecture:
+// the broadcast server "generates a broadcast program by collecting
+// the access patterns of mobile users". It provides a streaming
+// access-frequency estimator (Tracker) and incremental re-allocation
+// (Replan) that adapts an existing channel allocation to a drifted
+// profile by CDS local search instead of re-partitioning from scratch
+// — preserving most item placements (low churn) at near-rebuild
+// quality.
+package adapt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"diversecast/internal/core"
+)
+
+// Tracker estimates per-item access frequencies from an observed
+// request stream using exponentially decaying counts: an observation
+// made Δt seconds ago weighs 2^(−Δt/HalfLife). It is the server-side
+// statistics collector of the paper's architecture.
+type Tracker struct {
+	halfLife float64
+	counts   []float64
+	lastSeen []float64
+}
+
+// NewTracker builds a tracker over n items with the given half-life in
+// seconds.
+func NewTracker(n int, halfLife float64) (*Tracker, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("adapt: tracker needs n >= 1, got %d", n)
+	}
+	if !(halfLife > 0) || math.IsInf(halfLife, 0) {
+		return nil, fmt.Errorf("adapt: half-life must be positive and finite, got %v", halfLife)
+	}
+	return &Tracker{
+		halfLife: halfLife,
+		counts:   make([]float64, n),
+		lastSeen: make([]float64, n),
+	}, nil
+}
+
+// Len reports the number of tracked items.
+func (t *Tracker) Len() int { return len(t.counts) }
+
+// Observe records one request for the item at position pos at time at
+// (seconds; must be non-decreasing per item).
+func (t *Tracker) Observe(pos int, at float64) error {
+	if pos < 0 || pos >= len(t.counts) {
+		return fmt.Errorf("adapt: position %d outside [0,%d)", pos, len(t.counts))
+	}
+	if at < t.lastSeen[pos] {
+		return fmt.Errorf("adapt: observation at %v precedes item %d's last at %v", at, pos, t.lastSeen[pos])
+	}
+	t.counts[pos] = t.counts[pos]*math.Exp2(-(at-t.lastSeen[pos])/t.halfLife) + 1
+	t.lastSeen[pos] = at
+	return nil
+}
+
+// Frequencies returns the normalized frequency estimate as of time
+// now. Items never observed receive a small floor (one decayed
+// pseudo-count split across them) so the result is a valid broadcast
+// profile.
+func (t *Tracker) Frequencies(now float64) []float64 {
+	n := len(t.counts)
+	out := make([]float64, n)
+	var total float64
+	for i := range out {
+		c := t.counts[i]
+		if c > 0 {
+			dt := now - t.lastSeen[i]
+			if dt > 0 {
+				c *= math.Exp2(-dt / t.halfLife)
+			}
+		}
+		out[i] = c
+		total += c
+	}
+	// Floor: guarantee strictly positive frequencies.
+	floor := total / float64(n) * 1e-6
+	if total == 0 {
+		floor = 1
+	}
+	total = 0
+	for i := range out {
+		out[i] += floor
+		total += out[i]
+	}
+	for i := range out {
+		out[i] /= total
+	}
+	return out
+}
+
+// ApplyTo returns a database with db's items re-weighted by the
+// tracker's estimate as of time now (sizes and IDs unchanged).
+func (t *Tracker) ApplyTo(db *core.Database, now float64) (*core.Database, error) {
+	if db.Len() != len(t.counts) {
+		return nil, fmt.Errorf("adapt: tracker covers %d items, database has %d", len(t.counts), db.Len())
+	}
+	freqs := t.Frequencies(now)
+	items := db.Items()
+	for i := range items {
+		items[i].Freq = freqs[i]
+	}
+	return core.NewDatabase(items)
+}
+
+// Churn quantifies how much a re-allocation disturbed the running
+// broadcast.
+type Churn struct {
+	// Moved is the number of items whose channel changed.
+	Moved int
+	// MovedMass is the summed access frequency of moved items (under
+	// the new profile).
+	MovedMass float64
+}
+
+// ErrShapeMismatch is returned when the new database does not have the
+// same item count as the previous allocation's.
+var ErrShapeMismatch = errors.New("adapt: new database shape differs from previous allocation")
+
+// Replan adapts a previous allocation to an updated database (same
+// items at the same positions, new frequencies — e.g. a Tracker
+// estimate or a workload.Drift epoch): the old assignment is carried
+// over and refined to a CDS local optimum on the new profile. It
+// returns the new allocation and the churn relative to prev.
+//
+// Compared to rebuilding with DRP-CDS, Replan touches far fewer items
+// (clients keep their cached channel locations for everything that
+// did not move) and costs one CDS descent instead of a full
+// partitioning; the adapt tests and BenchmarkReplan quantify the
+// quality/churn trade.
+func Replan(prev *core.Allocation, db *core.Database) (*core.Allocation, Churn, error) {
+	if db.Len() != prev.Database().Len() {
+		return nil, Churn{}, fmt.Errorf("%w: %d vs %d", ErrShapeMismatch, db.Len(), prev.Database().Len())
+	}
+	carried, err := core.NewAllocation(db, prev.K(), prev.Assignment())
+	if err != nil {
+		return nil, Churn{}, fmt.Errorf("adapt: carrying assignment: %w", err)
+	}
+	next, err := core.NewCDS().Refine(carried)
+	if err != nil {
+		return nil, Churn{}, fmt.Errorf("adapt: refining: %w", err)
+	}
+	return next, ChurnBetween(prev, next), nil
+}
+
+// ChurnBetween measures the placement difference between two
+// allocations over databases of the same length. Frequencies are taken
+// from b's database (the current profile).
+func ChurnBetween(a, b *core.Allocation) Churn {
+	var ch Churn
+	db := b.Database()
+	for pos := 0; pos < db.Len(); pos++ {
+		if a.ChannelOf(pos) != b.ChannelOf(pos) {
+			ch.Moved++
+			ch.MovedMass += db.Item(pos).Freq
+		}
+	}
+	return ch
+}

@@ -1,0 +1,322 @@
+package adapt
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"diversecast/internal/core"
+	"diversecast/internal/workload"
+)
+
+func TestNewTrackerValidation(t *testing.T) {
+	if _, err := NewTracker(0, 10); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := NewTracker(5, 0); err == nil {
+		t.Error("zero half-life should fail")
+	}
+	if _, err := NewTracker(5, math.Inf(1)); err == nil {
+		t.Error("infinite half-life should fail")
+	}
+}
+
+func TestTrackerObserveValidation(t *testing.T) {
+	tr, err := NewTracker(3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Observe(-1, 0); err == nil {
+		t.Error("negative position should fail")
+	}
+	if err := tr.Observe(3, 0); err == nil {
+		t.Error("out-of-range position should fail")
+	}
+	if err := tr.Observe(1, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Observe(1, 4); err == nil {
+		t.Error("time going backwards for an item should fail")
+	}
+}
+
+func TestTrackerUnobservedIsUniform(t *testing.T) {
+	tr, err := NewTracker(4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := tr.Frequencies(0)
+	for i, v := range f {
+		if math.Abs(v-0.25) > 1e-9 {
+			t.Fatalf("f[%d] = %v, want 0.25 with no observations", i, v)
+		}
+	}
+}
+
+func TestTrackerConvergesToTrueFrequencies(t *testing.T) {
+	db := workload.Config{N: 30, Theta: 1.0, Phi: 1, Seed: 1}.MustGenerate()
+	trace, err := workload.GenerateTrace(db, workload.TraceConfig{Requests: 60000, Rate: 200, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Long half-life relative to the trace: effectively plain counts.
+	tr, err := NewTracker(db.Len(), 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last float64
+	for _, req := range trace {
+		if err := tr.Observe(req.Pos, req.Time); err != nil {
+			t.Fatal(err)
+		}
+		last = req.Time
+	}
+	est := tr.Frequencies(last)
+	for i := 0; i < 10; i++ { // popular head has tight estimates
+		want := db.Item(i).Freq
+		if math.Abs(est[i]-want) > 0.01+0.15*want {
+			t.Errorf("item %d: estimate %v, true %v", i, est[i], want)
+		}
+	}
+}
+
+func TestTrackerDecayFollowsShift(t *testing.T) {
+	// Item 0 is hot early, item 1 hot late; with a short half-life the
+	// estimate at the end must rank item 1 far above item 0.
+	tr, err := NewTracker(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if err := tr.Observe(0, float64(i)*0.1); err != nil { // t in [0,20)
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		if err := tr.Observe(1, 100+float64(i)*0.1); err != nil { // t in [100,120)
+			t.Fatal(err)
+		}
+	}
+	f := tr.Frequencies(120)
+	if f[1] < 0.9 {
+		t.Fatalf("late-hot item estimated at %v, want > 0.9 after decay", f[1])
+	}
+}
+
+func TestTrackerApplyTo(t *testing.T) {
+	db := workload.Config{N: 10, Theta: 0.8, Phi: 1, Seed: 3}.MustGenerate()
+	tr, err := NewTracker(db.Len(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := tr.Observe(3, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db2, err := tr.ApplyTo(db, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db2.Len() != db.Len() {
+		t.Fatal("ApplyTo changed item count")
+	}
+	for i := 0; i < db.Len(); i++ {
+		if db2.Item(i).Size != db.Item(i).Size || db2.Item(i).ID != db.Item(i).ID {
+			t.Fatal("ApplyTo changed sizes or IDs")
+		}
+	}
+	if db2.Item(3).Freq < 0.9 {
+		t.Fatalf("observed item frequency %v, want ≈ 1", db2.Item(3).Freq)
+	}
+	short, err := NewTracker(3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := short.ApplyTo(db, 0); err == nil {
+		t.Error("shape mismatch should fail")
+	}
+}
+
+func TestDriftProducesValidProfiles(t *testing.T) {
+	db := workload.Config{N: 50, Theta: 0.8, Phi: 2, Seed: 4}.MustGenerate()
+	check := func(rawSigma uint8, seed int64) bool {
+		sigma := float64(rawSigma) / 128 // 0..2
+		d, err := workload.Drift(db, sigma, seed)
+		if err != nil {
+			return false
+		}
+		return d.Len() == db.Len() && math.Abs(d.TotalFreq()-1) < 1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := workload.Drift(db, -1, 1); err == nil {
+		t.Error("negative sigma should fail")
+	}
+	same, err := workload.Drift(db, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < db.Len(); i++ {
+		if math.Abs(same.Item(i).Freq-db.Item(i).Freq) > 1e-12 {
+			t.Fatal("sigma=0 should preserve the profile")
+		}
+	}
+}
+
+func TestSwapHotspots(t *testing.T) {
+	db := workload.Config{N: 40, Theta: 1.2, Phi: 2, Seed: 5}.MustGenerate()
+	swapped, err := workload.SwapHotspots(db, 10, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(swapped.TotalFreq()-1) > 1e-9 {
+		t.Fatal("swap changed total mass")
+	}
+	changed := 0
+	for i := 0; i < db.Len(); i++ {
+		if swapped.Item(i).Freq != db.Item(i).Freq {
+			changed++
+		}
+		if swapped.Item(i).Size != db.Item(i).Size {
+			t.Fatal("swap changed a size")
+		}
+	}
+	if changed == 0 {
+		t.Fatal("no frequencies changed")
+	}
+	if _, err := workload.SwapHotspots(db, -1, 1); err == nil {
+		t.Error("negative pair count should fail")
+	}
+}
+
+func TestReplanShapeMismatch(t *testing.T) {
+	db := workload.Config{N: 20, Theta: 0.8, Phi: 2, Seed: 7}.MustGenerate()
+	prev, err := core.NewDRPCDS().Allocate(db, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := workload.Config{N: 21, Theta: 0.8, Phi: 2, Seed: 7}.MustGenerate()
+	if _, _, err := Replan(prev, other); err == nil {
+		t.Fatal("shape mismatch should fail")
+	}
+}
+
+func TestReplanImprovesOnStaleAllocation(t *testing.T) {
+	db := workload.Config{N: 80, Theta: 0.9, Phi: 2, Seed: 8}.MustGenerate()
+	prev, err := core.NewDRPCDS().Allocate(db, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drifted, err := workload.SwapHotspots(db, 20, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stale cost: keep the old assignment under the new profile.
+	stale, err := core.NewAllocation(drifted, prev.K(), prev.Assignment())
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, churn, err := Replan(prev, drifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := next.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if core.Cost(next) > core.Cost(stale)+1e-9 {
+		t.Fatalf("replan (%v) worse than stale (%v)", core.Cost(next), core.Cost(stale))
+	}
+	if churn.Moved == 0 {
+		t.Fatal("hotspot swap should force some moves")
+	}
+	if churn.MovedMass <= 0 || churn.MovedMass > 1 {
+		t.Fatalf("moved mass %v outside (0,1]", churn.MovedMass)
+	}
+}
+
+func TestReplanNearRebuildQualityWithLowerChurn(t *testing.T) {
+	db := workload.Config{N: 100, Theta: 0.8, Phi: 2, Seed: 10}.MustGenerate()
+	prev, err := core.NewDRPCDS().Allocate(db, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var worstGap float64
+	for epoch := int64(0); epoch < 5; epoch++ {
+		drifted, err := workload.Drift(db, 0.25, 100+epoch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		next, churn, err := Replan(prev, drifted)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rebuilt, err := core.NewDRPCDS().Allocate(drifted, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rebuildChurn := ChurnBetween(prev, rebuilt)
+
+		gap := core.Cost(next)/core.Cost(rebuilt) - 1
+		if gap > worstGap {
+			worstGap = gap
+		}
+		// The whole point: far fewer items move than a rebuild moves.
+		if churn.Moved >= rebuildChurn.Moved {
+			t.Fatalf("epoch %d: replan moved %d items, rebuild moved %d",
+				epoch, churn.Moved, rebuildChurn.Moved)
+		}
+	}
+	// Quality stays within a few percent of a full rebuild.
+	if worstGap > 0.06 {
+		t.Fatalf("replan quality gap %.1f%% exceeds 6%%", worstGap*100)
+	}
+}
+
+func TestReplanNoChangeIsStable(t *testing.T) {
+	db := workload.Config{N: 50, Theta: 0.8, Phi: 2, Seed: 11}.MustGenerate()
+	prev, err := core.NewDRPCDS().Allocate(db, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, churn, err := Replan(prev, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// prev is already a CDS local optimum, so nothing should move.
+	if churn.Moved != 0 {
+		t.Fatalf("replan on an unchanged profile moved %d items", churn.Moved)
+	}
+	for pos := 0; pos < db.Len(); pos++ {
+		if next.ChannelOf(pos) != prev.ChannelOf(pos) {
+			t.Fatal("assignment changed despite zero churn")
+		}
+	}
+}
+
+func BenchmarkReplanVsRebuild(b *testing.B) {
+	db := workload.Config{N: 120, Theta: 0.8, Phi: 2, Seed: 12}.MustGenerate()
+	prev, err := core.NewDRPCDS().Allocate(db, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	drifted, err := workload.Drift(db, 0.25, 13)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("replan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := Replan(prev, drifted); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("rebuild", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.NewDRPCDS().Allocate(drifted, 6); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,294 @@
+// Package airindex adds (1, m) air indexing to broadcast programs,
+// after Imielinski, Viswanathan and Badrinath, "Data on Air:
+// Organization and Access" (TKDE 1997) — reference [11] of the
+// reproduced paper, whose introduction motivates broadcasting with
+// power conservation. Without an index a client must listen
+// continuously until its item arrives (tuning time = access latency);
+// with the channel's index broadcast m times per cycle the client
+// reads one index, dozes to the item's slot, and wakes only to
+// download. The classic trade: larger m shortens the wait for an
+// index but lengthens the cycle with repeated index segments.
+//
+// The model: each channel's data cycle is cut into m segments of
+// near-equal air time, each preceded by a full channel index of
+// duration N_i·EntrySize/bandwidth. Clients tune in, listen for one
+// frame header to learn the next index offset, doze to the index,
+// read it, doze to the item, and download.
+package airindex
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"diversecast/internal/broadcast"
+	"diversecast/internal/stats"
+	"diversecast/internal/workload"
+)
+
+// Config parameterizes the indexing scheme.
+type Config struct {
+	// M is the number of index repetitions per cycle (m ≥ 1).
+	M int
+	// EntrySize is the index size contribution per data item in size
+	// units (an index over N items occupies N·EntrySize units of
+	// air time). Default 0.05.
+	EntrySize float64
+	// HeaderSize is the cost, in size units, of the initial listen a
+	// client pays after tuning in to learn the offset of the next
+	// index segment. Default 0.01.
+	HeaderSize float64
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.M < 1 {
+		return c, fmt.Errorf("airindex: m must be >= 1, got %d", c.M)
+	}
+	if c.EntrySize == 0 {
+		c.EntrySize = 0.05
+	}
+	if c.EntrySize < 0 || math.IsInf(c.EntrySize, 0) || math.IsNaN(c.EntrySize) {
+		return c, fmt.Errorf("airindex: entry size %v", c.EntrySize)
+	}
+	if c.HeaderSize == 0 {
+		c.HeaderSize = 0.01
+	}
+	if c.HeaderSize < 0 || math.IsInf(c.HeaderSize, 0) || math.IsNaN(c.HeaderSize) {
+		return c, fmt.Errorf("airindex: header size %v", c.HeaderSize)
+	}
+	return c, nil
+}
+
+// Occurrence locates one item transmission inside an indexed cycle.
+type Occurrence struct {
+	Pos      int
+	ItemID   int
+	Start    float64 // absolute offset within the indexed cycle
+	Duration float64
+}
+
+// Channel is one channel's indexed cycle layout.
+type Channel struct {
+	Index int
+	// IndexStarts are the absolute offsets of the m index segments.
+	IndexStarts []float64
+	// IndexDuration is each index segment's air time.
+	IndexDuration float64
+	// Data holds every item occurrence in cycle order.
+	Data []Occurrence
+	// CycleLength includes data and all index segments.
+	CycleLength float64
+}
+
+// Program is an indexed broadcast program.
+type Program struct {
+	Bandwidth float64
+	Header    float64 // header listen duration in seconds
+	Channels  []Channel
+
+	locate map[int][2]int // pos -> channel, occurrence
+}
+
+// ErrNilProgram is returned when building from a nil base program.
+var ErrNilProgram = errors.New("airindex: nil base program")
+
+// Build lays out the (1, m) indexed cycle for every channel of a base
+// program. Channels with fewer data slots than m get one index per
+// slot (m is clamped per channel).
+func Build(base *broadcast.Program, cfg Config) (*Program, error) {
+	if base == nil {
+		return nil, ErrNilProgram
+	}
+	if err := base.Validate(); err != nil {
+		return nil, fmt.Errorf("airindex: %w", err)
+	}
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+
+	p := &Program{
+		Bandwidth: base.Bandwidth,
+		Header:    cfg.HeaderSize / base.Bandwidth,
+		Channels:  make([]Channel, len(base.Channels)),
+	}
+	for ci, bch := range base.Channels {
+		ch := Channel{Index: ci}
+		n := len(bch.Slots)
+		if n == 0 {
+			p.Channels[ci] = ch
+			continue
+		}
+		m := cfg.M
+		if m > n {
+			m = n
+		}
+		ch.IndexDuration = float64(n) * cfg.EntrySize / base.Bandwidth
+
+		// Partition data slots into exactly m non-empty runs of
+		// near-equal air time: close a run when it reaches the target
+		// duration, or early when exactly one slot per remaining run
+		// is left.
+		target := bch.CycleLength / float64(m)
+		var segments [][]broadcast.Slot
+		var cur []broadcast.Slot
+		var acc float64
+		for i, slot := range bch.Slots {
+			cur = append(cur, slot)
+			acc += slot.Duration
+			runsAfterCur := m - len(segments) - 1
+			slotsLeft := n - i - 1
+			if len(segments) < m-1 && (acc >= target || slotsLeft <= runsAfterCur) {
+				segments = append(segments, cur)
+				cur = nil
+				acc = 0
+			}
+		}
+		if len(cur) > 0 {
+			segments = append(segments, cur)
+		}
+
+		// Absolute layout: [index][run][index][run]…
+		var at float64
+		for _, run := range segments {
+			ch.IndexStarts = append(ch.IndexStarts, at)
+			at += ch.IndexDuration
+			for _, slot := range run {
+				ch.Data = append(ch.Data, Occurrence{
+					Pos: slot.Pos, ItemID: slot.ItemID, Start: at, Duration: slot.Duration,
+				})
+				at += slot.Duration
+			}
+		}
+		ch.CycleLength = at
+		p.Channels[ci] = ch
+	}
+	p.buildLocate()
+	return p, nil
+}
+
+func (p *Program) buildLocate() {
+	p.locate = make(map[int][2]int)
+	for c, ch := range p.Channels {
+		for i, occ := range ch.Data {
+			p.locate[occ.Pos] = [2]int{c, i}
+		}
+	}
+}
+
+// Access is one client access under the doze protocol.
+type Access struct {
+	// Latency is the full waiting time: tune-in to download end.
+	Latency float64
+	// Tuning is the time spent actively listening: the initial
+	// header, one index segment, and the download.
+	Tuning float64
+}
+
+// AccessAt runs the doze protocol for a request at absolute time t
+// for the item at database position pos:
+//
+//	listen header → doze to next index → read index → doze to the
+//	item's next occurrence after the index → download.
+func (p *Program) AccessAt(pos int, t float64) (Access, error) {
+	loc, ok := p.locate[pos]
+	if !ok {
+		return Access{}, fmt.Errorf("airindex: item position %d not scheduled", pos)
+	}
+	ch := p.Channels[loc[0]]
+	occ := ch.Data[loc[1]]
+	if ch.CycleLength <= 0 {
+		return Access{}, fmt.Errorf("airindex: channel %d empty", loc[0])
+	}
+
+	// Header listen: the client learns the next index offset.
+	headerEnd := t + p.Header
+
+	// Next index segment starting at or after the header read.
+	idxStart := p.nextOffset(ch.IndexStarts, ch.CycleLength, headerEnd)
+	idxEnd := idxStart + ch.IndexDuration
+
+	// The item's next occurrence beginning at or after the index end.
+	itemStart := nextOccurrence(occ.Start, ch.CycleLength, idxEnd)
+	end := itemStart + occ.Duration
+
+	return Access{
+		Latency: end - t,
+		Tuning:  p.Header + ch.IndexDuration + occ.Duration,
+	}, nil
+}
+
+// nextOffset returns the smallest absolute time ≥ t congruent (mod
+// cycle) to one of the given cycle offsets.
+func (p *Program) nextOffset(offsets []float64, cycle, t float64) float64 {
+	best := math.Inf(1)
+	for _, off := range offsets {
+		if s := nextOccurrence(off, cycle, t); s < best {
+			best = s
+		}
+	}
+	return best
+}
+
+// nextOccurrence returns the smallest s ≥ t with s ≡ offset (mod
+// cycle).
+func nextOccurrence(offset, cycle, t float64) float64 {
+	k := math.Floor((t - offset) / cycle)
+	s := offset + k*cycle
+	for s < t {
+		s += cycle
+	}
+	return s
+}
+
+// Result summarizes an indexed-access simulation.
+type Result struct {
+	Requests int
+	Latency  stats.Summary
+	Tuning   stats.Summary
+}
+
+// Measure replays a request trace under the doze protocol.
+func Measure(p *Program, trace []workload.Request) (*Result, error) {
+	if p == nil {
+		return nil, ErrNilProgram
+	}
+	if len(trace) == 0 {
+		return nil, errors.New("airindex: empty request trace")
+	}
+	var lat, tun stats.Accumulator
+	for _, req := range trace {
+		a, err := p.AccessAt(req.Pos, req.Time)
+		if err != nil {
+			return nil, err
+		}
+		lat.Add(a.Latency)
+		tun.Add(a.Tuning)
+	}
+	return &Result{Requests: len(trace), Latency: lat.Summarize(), Tuning: tun.Summarize()}, nil
+}
+
+// MeanAccess integrates the doze protocol over one cycle of uniform
+// tune-in times for the item at pos (numerically, with the given
+// sample count), returning the expected latency and tuning time.
+func (p *Program) MeanAccess(pos, samples int) (Access, error) {
+	loc, ok := p.locate[pos]
+	if !ok {
+		return Access{}, fmt.Errorf("airindex: item position %d not scheduled", pos)
+	}
+	cycle := p.Channels[loc[0]].CycleLength
+	if samples < 1 {
+		return Access{}, fmt.Errorf("airindex: need samples >= 1, got %d", samples)
+	}
+	var sum Access
+	for i := 0; i < samples; i++ {
+		t := cycle * float64(i) / float64(samples)
+		a, err := p.AccessAt(pos, t)
+		if err != nil {
+			return Access{}, err
+		}
+		sum.Latency += a.Latency
+		sum.Tuning += a.Tuning
+	}
+	return Access{Latency: sum.Latency / float64(samples), Tuning: sum.Tuning / float64(samples)}, nil
+}

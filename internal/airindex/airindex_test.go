@@ -1,0 +1,272 @@
+package airindex
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"diversecast/internal/broadcast"
+	"diversecast/internal/core"
+	"diversecast/internal/workload"
+)
+
+func baseProgram(t testing.TB, n, k int, seed int64) (*core.Allocation, *broadcast.Program) {
+	t.Helper()
+	db := workload.Config{N: n, Theta: 0.8, Phi: 1.5, Seed: seed}.MustGenerate()
+	a, err := core.NewDRPCDS().Allocate(db, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := broadcast.Build(a, workload.PaperBandwidth, broadcast.ByPosition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, p
+}
+
+func TestBuildValidation(t *testing.T) {
+	_, p := baseProgram(t, 10, 2, 1)
+	if _, err := Build(nil, Config{M: 1}); err == nil {
+		t.Error("nil base should fail")
+	}
+	if _, err := Build(p, Config{M: 0}); err == nil {
+		t.Error("m=0 should fail")
+	}
+	if _, err := Build(p, Config{M: 2, EntrySize: -1}); err == nil {
+		t.Error("negative entry size should fail")
+	}
+	if _, err := Build(p, Config{M: 2, HeaderSize: math.NaN()}); err == nil {
+		t.Error("NaN header should fail")
+	}
+}
+
+func TestLayoutInvariants(t *testing.T) {
+	_, base := baseProgram(t, 30, 4, 2)
+	for _, m := range []int{1, 2, 4, 8} {
+		ip, err := Build(base, Config{M: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c, ch := range ip.Channels {
+			nData := len(base.Channels[c].Slots)
+			if len(ch.Data) != nData {
+				t.Fatalf("m=%d channel %d: %d occurrences for %d slots", m, c, len(ch.Data), nData)
+			}
+			wantIdx := m
+			if wantIdx > nData {
+				wantIdx = nData
+			}
+			if nData > 0 && len(ch.IndexStarts) != wantIdx {
+				t.Fatalf("m=%d channel %d: %d index segments, want %d", m, c, len(ch.IndexStarts), wantIdx)
+			}
+			// Cycle = data cycle + index segments.
+			wantCycle := base.Channels[c].CycleLength + float64(len(ch.IndexStarts))*ch.IndexDuration
+			if math.Abs(ch.CycleLength-wantCycle) > 1e-9 {
+				t.Fatalf("m=%d channel %d: cycle %v, want %v", m, c, ch.CycleLength, wantCycle)
+			}
+			// No overlaps: replay the layout and check monotone
+			// non-overlapping intervals.
+			type span struct{ start, end float64 }
+			var spans []span
+			for _, s := range ch.IndexStarts {
+				spans = append(spans, span{s, s + ch.IndexDuration})
+			}
+			for _, occ := range ch.Data {
+				spans = append(spans, span{occ.Start, occ.Start + occ.Duration})
+			}
+			for i := range spans {
+				for j := i + 1; j < len(spans); j++ {
+					a, b := spans[i], spans[j]
+					if a.start < b.end-1e-9 && b.start < a.end-1e-9 {
+						t.Fatalf("m=%d channel %d: spans overlap: %+v and %+v", m, c, a, b)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTuningFarBelowLatency(t *testing.T) {
+	a, base := baseProgram(t, 40, 4, 3)
+	ip, err := Build(base, Config{M: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := workload.GenerateTrace(a.Database(), workload.TraceConfig{
+		Requests: 5000, Rate: 50, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Measure(ip, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tuning.Mean >= res.Latency.Mean/3 {
+		t.Fatalf("tuning %v not far below latency %v", res.Tuning.Mean, res.Latency.Mean)
+	}
+	if res.Tuning.Min <= 0 || res.Latency.Min <= 0 {
+		t.Fatal("non-positive measurements")
+	}
+}
+
+func TestIndexCostsLatency(t *testing.T) {
+	// Indexing lengthens cycles, so indexed access latency must be at
+	// least the unindexed waiting time on average.
+	a, base := baseProgram(t, 30, 3, 5)
+	ip, err := Build(base, Config{M: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := workload.GenerateTrace(a.Database(), workload.TraceConfig{
+		Requests: 8000, Rate: 50, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	indexed, err := Measure(ip, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := core.WaitingTime(a, workload.PaperBandwidth)
+	if indexed.Latency.Mean < plain {
+		t.Fatalf("indexed latency %v below unindexed %v — index air time is not free", indexed.Latency.Mean, plain)
+	}
+}
+
+func TestTuningDropsAsMGrows(t *testing.T) {
+	// Larger m: clients reach an index sooner but pay more index air
+	// time; tuning time itself is m-independent (one header, one
+	// index, one download), while latency shows the classic overhead
+	// growth for large m.
+	a, base := baseProgram(t, 40, 2, 7)
+	trace, err := workload.GenerateTrace(a.Database(), workload.TraceConfig{
+		Requests: 6000, Rate: 50, Seed: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var latencies []float64
+	for _, m := range []int{1, 2, 4, 8, 16} {
+		// A deliberately heavy index (1 unit per entry) so the
+		// overhead side of the (1,m) trade appears within this m
+		// range: the optimum m* ≈ sqrt(dataCycle/indexDuration) is
+		// small here, and m=16 must overshoot it.
+		ip, err := Build(base, Config{M: m, EntrySize: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Measure(ip, trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		latencies = append(latencies, res.Latency.Mean)
+	}
+	// With many index repetitions the repeated index air time must
+	// eventually dominate: m=16 is worse than the best m.
+	best := math.Inf(1)
+	for _, l := range latencies {
+		if l < best {
+			best = l
+		}
+	}
+	if !(latencies[len(latencies)-1] > best) {
+		t.Fatalf("latency not eventually increasing in m: %v", latencies)
+	}
+}
+
+func TestAccessAtMatchesDozeProtocol(t *testing.T) {
+	// Hand-check on a deterministic two-item channel:
+	// bandwidth 10, items of size 10 and 20 (durations 1s and 2s),
+	// m=1, entry 0.05×2 items = 0.1 units → 0.01s index,
+	// header 0.01 units → 0.001s.
+	db := core.MustNewDatabase([]core.Item{
+		{ID: 1, Freq: 0.5, Size: 10},
+		{ID: 2, Freq: 0.5, Size: 20},
+	})
+	a, err := core.NewAllocation(db, 1, []int{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := broadcast.Build(a, 10, broadcast.ByPosition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip, err := Build(base, Config{M: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := ip.Channels[0]
+	if math.Abs(ch.IndexDuration-0.01) > 1e-12 {
+		t.Fatalf("index duration %v, want 0.01", ch.IndexDuration)
+	}
+	if math.Abs(ch.CycleLength-3.01) > 1e-9 {
+		t.Fatalf("cycle %v, want 3.01", ch.CycleLength)
+	}
+	// Request item 1 (first data occurrence, start 0.01, duration 1)
+	// at t=2.0: header ends 2.001, next index at 3.01 (wrap), index
+	// ends 3.02, item 1 next starts at 3.02 (immediately after the
+	// index), ends 4.02. Latency 2.02; tuning 0.001+0.01+1.
+	acc, err := ip.AccessAt(0, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(acc.Latency-2.02) > 1e-9 {
+		t.Fatalf("latency %v, want 2.02", acc.Latency)
+	}
+	if math.Abs(acc.Tuning-1.011) > 1e-9 {
+		t.Fatalf("tuning %v, want 1.011", acc.Tuning)
+	}
+	if _, err := ip.AccessAt(99, 0); err == nil {
+		t.Fatal("unknown position should fail")
+	}
+}
+
+func TestMeanAccess(t *testing.T) {
+	_, base := baseProgram(t, 20, 2, 9)
+	ip, err := Build(base, Config{M: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := ip.MeanAccess(0, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.Latency <= 0 || acc.Tuning <= 0 || acc.Tuning > acc.Latency {
+		t.Fatalf("mean access %+v implausible", acc)
+	}
+	if _, err := ip.MeanAccess(0, 0); err == nil {
+		t.Error("samples=0 should fail")
+	}
+	if _, err := ip.MeanAccess(999, 10); err == nil {
+		t.Error("unknown position should fail")
+	}
+}
+
+func BenchmarkIndexedAccessOverM(b *testing.B) {
+	a, base := baseProgram(b, 60, 4, 10)
+	trace, err := workload.GenerateTrace(a.Database(), workload.TraceConfig{
+		Requests: 2000, Rate: 50, Seed: 11,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, m := range []int{1, 2, 4, 8} {
+		ip, err := Build(base, Config{M: m})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			var lat, tun float64
+			for i := 0; i < b.N; i++ {
+				res, err := Measure(ip, trace)
+				if err != nil {
+					b.Fatal(err)
+				}
+				lat, tun = res.Latency.Mean, res.Tuning.Mean
+			}
+			b.ReportMetric(lat, "latency_s")
+			b.ReportMetric(tun, "tuning_s")
+		})
+	}
+}

@@ -1,0 +1,264 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"diversecast/internal/core"
+	"diversecast/internal/workload"
+)
+
+func allAllocators() []core.Allocator {
+	return []core.Allocator{NewVFK(), NewFlat(), NewGreedy(), NewContigDP()}
+}
+
+func smallDB(tb testing.TB, seed int64, n int) *core.Database {
+	tb.Helper()
+	return workload.Config{N: n, Theta: 0.8, Phi: 2, Seed: seed}.MustGenerate()
+}
+
+func TestAllocatorsProduceValidPartitions(t *testing.T) {
+	db := smallDB(t, 1, 40)
+	for _, alg := range allAllocators() {
+		t.Run(alg.Name(), func(t *testing.T) {
+			for _, k := range []int{1, 2, 5, 13, 40} {
+				a, err := alg.Allocate(db, k)
+				if err != nil {
+					t.Fatalf("K=%d: %v", k, err)
+				}
+				if err := a.Validate(); err != nil {
+					t.Fatalf("K=%d: %v", k, err)
+				}
+				if a.K() != k {
+					t.Fatalf("K=%d: allocation reports K=%d", k, a.K())
+				}
+			}
+		})
+	}
+}
+
+func TestAllocatorsRejectBadK(t *testing.T) {
+	db := smallDB(t, 2, 10)
+	for _, alg := range append(allAllocators(), NewExhaustive()) {
+		for _, k := range []int{0, -3, 11} {
+			if _, err := alg.Allocate(db, k); err == nil {
+				t.Errorf("%s: K=%d should fail", alg.Name(), k)
+			}
+		}
+	}
+}
+
+func TestFlatBalancesCardinality(t *testing.T) {
+	db := smallDB(t, 3, 20)
+	a, err := NewFlat().Allocate(db, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, g := range a.Groups() {
+		if len(g) < 3 || len(g) > 4 {
+			t.Fatalf("channel %d has %d items, want 3 or 4", c, len(g))
+		}
+	}
+}
+
+func TestVFKIgnoresSizes(t *testing.T) {
+	// Two databases identical in frequencies but with very different
+	// sizes must receive the same VF^K assignment.
+	itemsA := []core.Item{
+		{ID: 1, Freq: 0.4, Size: 1}, {ID: 2, Freq: 0.3, Size: 1},
+		{ID: 3, Freq: 0.2, Size: 1}, {ID: 4, Freq: 0.1, Size: 1},
+	}
+	itemsB := []core.Item{
+		{ID: 1, Freq: 0.4, Size: 900}, {ID: 2, Freq: 0.3, Size: 2},
+		{ID: 3, Freq: 0.2, Size: 55}, {ID: 4, Freq: 0.1, Size: 0.5},
+	}
+	dbA := core.MustNewDatabase(itemsA)
+	dbB := core.MustNewDatabase(itemsB)
+	aA, err := NewVFK().Allocate(dbA, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aB, err := NewVFK().Allocate(dbB, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pos := 0; pos < 4; pos++ {
+		if aA.ChannelOf(pos) != aB.ChannelOf(pos) {
+			t.Fatalf("VFK assignment depends on sizes: pos %d differs", pos)
+		}
+	}
+}
+
+func TestVFKSegmentsFrequencyOrder(t *testing.T) {
+	// VFK groups must be contiguous in frequency order (the
+	// channel-allocation tree splits the sorted sequence).
+	db := smallDB(t, 5, 50)
+	a, err := NewVFK().Allocate(db, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := db.ByFreq()
+	visited := make(map[int]bool)
+	prev := -1
+	for _, pos := range order {
+		c := a.ChannelOf(pos)
+		if c != prev {
+			if visited[c] {
+				t.Fatal("VFK group not contiguous in frequency order")
+			}
+			visited[c] = true
+			prev = c
+		}
+	}
+}
+
+func TestContigDPBeatsOrMatchesDRP(t *testing.T) {
+	// CONTIG-DP is exact over DRP's own search space, so it can never
+	// lose to DRP.
+	check := func(seed uint16, rawN, rawK uint8) bool {
+		n := int(rawN)%60 + 2
+		k := int(rawK)%n + 1
+		db := smallDB(t, int64(seed), n)
+		dp, err := NewContigDP().Allocate(db, k)
+		if err != nil {
+			return false
+		}
+		drp, err := core.NewDRP().Allocate(db, k)
+		if err != nil {
+			return false
+		}
+		return core.Cost(dp) <= core.Cost(drp)+1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContigDPUsesExactlyKGroups(t *testing.T) {
+	db := smallDB(t, 8, 25)
+	for _, k := range []int{1, 3, 7, 25} {
+		a, err := NewContigDP().Allocate(db, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nonEmpty := 0
+		for _, g := range a.Groups() {
+			if len(g) > 0 {
+				nonEmpty++
+			}
+		}
+		if nonEmpty != k {
+			t.Fatalf("K=%d: %d non-empty groups", k, nonEmpty)
+		}
+	}
+}
+
+func TestExhaustiveRejectsLargeN(t *testing.T) {
+	db := smallDB(t, 9, ExhaustiveMaxN+1)
+	if _, err := NewExhaustive().Allocate(db, 3); err == nil {
+		t.Fatal("exhaustive should reject N > ExhaustiveMaxN")
+	}
+}
+
+func TestExhaustiveMatchesBruteForceTinyCase(t *testing.T) {
+	// N=4, K=2: 7 set partitions into exactly 2 groups; verify by
+	// direct enumeration of all 2^4 labelings.
+	db := core.MustNewDatabase([]core.Item{
+		{ID: 1, Freq: 0.4, Size: 3},
+		{ID: 2, Freq: 0.3, Size: 10},
+		{ID: 3, Freq: 0.2, Size: 1},
+		{ID: 4, Freq: 0.1, Size: 7},
+	})
+	want := math.Inf(1)
+	for mask := 0; mask < 1<<4; mask++ {
+		channel := make([]int, 4)
+		ones := 0
+		for i := 0; i < 4; i++ {
+			if mask&(1<<i) != 0 {
+				channel[i] = 1
+				ones++
+			}
+		}
+		if ones == 0 || ones == 4 {
+			continue // needs both groups non-empty
+		}
+		a, err := core.NewAllocation(db, 2, channel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c := core.Cost(a); c < want {
+			want = c
+		}
+	}
+	a, err := NewExhaustive().Allocate(db, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := core.Cost(a); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("exhaustive cost %v, want %v", got, want)
+	}
+}
+
+// The calibration property underpinning the whole evaluation: the
+// exact optimum lower-bounds every heuristic, and DRP-CDS lands within
+// a few percent of it.
+func TestHeuristicsAgainstExhaustiveOptimum(t *testing.T) {
+	algs := append(allAllocators(), core.NewDRP(), core.NewDRPCDS())
+	for seed := int64(0); seed < 6; seed++ {
+		db := smallDB(t, seed+100, 11)
+		for _, k := range []int{2, 3, 4} {
+			opt, err := NewExhaustive().Allocate(db, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			optCost := core.Cost(opt)
+			for _, alg := range algs {
+				a, err := alg.Allocate(db, k)
+				if err != nil {
+					t.Fatalf("%s: %v", alg.Name(), err)
+				}
+				if c := core.Cost(a); c < optCost-1e-9 {
+					t.Fatalf("%s beat the exhaustive optimum: %v < %v (seed %d, K=%d)",
+						alg.Name(), c, optCost, seed, k)
+				}
+			}
+			// DRP-CDS specifically should be near-optimal (the paper
+			// reports ~3%; allow slack for tiny adversarial instances).
+			dc, err := core.NewDRPCDS().Allocate(db, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := core.Cost(dc); got > optCost*1.15+1e-9 {
+				t.Errorf("DRP-CDS %.4f vs optimum %.4f: gap %.1f%% (seed %d, K=%d)",
+					got, optCost, 100*(got/optCost-1), seed, k)
+			}
+		}
+	}
+}
+
+func TestExhaustiveOnPaperExample(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive on N=15 is slow in -short mode")
+	}
+	db := core.PaperExampleDatabase()
+	opt, err := NewExhaustive().Allocate(db, core.PaperExampleK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optCost := core.Cost(opt)
+	// The paper's local optimum is 22.29; the global optimum can be no
+	// larger, and DRP-CDS should be within a few percent of it.
+	if optCost > 22.29+0.015 {
+		t.Fatalf("global optimum %v exceeds the paper's local optimum", optCost)
+	}
+	dc, err := core.NewDRPCDS().Allocate(db, core.PaperExampleK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gap := core.Cost(dc)/optCost - 1
+	if gap > 0.10 {
+		t.Errorf("DRP-CDS gap to optimum %.1f%% on paper example", 100*gap)
+	}
+	t.Logf("paper example: optimum %.4f, DRP-CDS %.4f (gap %.2f%%)", optCost, core.Cost(dc), 100*gap)
+}

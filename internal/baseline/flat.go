@@ -1,0 +1,33 @@
+package baseline
+
+import (
+	"fmt"
+
+	"diversecast/internal/core"
+)
+
+// Flat is the strawman of the paper's introduction: a flat broadcast
+// program that ignores both frequency and size, dealing items to
+// channels round-robin in database order so every channel carries an
+// (almost) equal number of items.
+type Flat struct{}
+
+var _ core.Allocator = (*Flat)(nil)
+
+// NewFlat returns a flat allocator.
+func NewFlat() *Flat { return &Flat{} }
+
+// Name implements core.Allocator.
+func (*Flat) Name() string { return "FLAT" }
+
+// Allocate implements core.Allocator.
+func (*Flat) Allocate(db *core.Database, k int) (*core.Allocation, error) {
+	if k < 1 || k > db.Len() {
+		return nil, fmt.Errorf("baseline: %w: K=%d, N=%d", core.ErrBadChannelCount, k, db.Len())
+	}
+	channel := make([]int, db.Len())
+	for i := range channel {
+		channel[i] = i % k
+	}
+	return core.NewAllocation(db, k, channel)
+}

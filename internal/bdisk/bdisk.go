@@ -1,0 +1,189 @@
+// Package bdisk implements Broadcast Disks (Acharya, Alonso, Franklin
+// and Zdonik, SIGMOD 1995 — the reproduced paper's reference [1]):
+// multi-frequency scheduling on a single channel. Items are grouped
+// onto D "disks" spinning at different relative speeds; the generated
+// cycle interleaves disk chunks so a disk-d item airs RelFreq[d] times
+// per major cycle, cutting the probe time of hot items at the expense
+// of cold ones.
+//
+// This is the orthogonal axis to the reproduced paper's contribution:
+// DRP-CDS differentiates service by partitioning items ACROSS
+// channels, broadcast disks differentiate WITHIN one channel by
+// repetition. The tests compare both under equal total bandwidth.
+package bdisk
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"diversecast/internal/broadcast"
+	"diversecast/internal/core"
+)
+
+// Config describes a broadcast-disk layout.
+type Config struct {
+	// RelFreq is the relative broadcast frequency of each disk,
+	// hottest first (e.g. {4, 2, 1}); it must be non-increasing and
+	// positive. len(RelFreq) is the number of disks D.
+	RelFreq []int
+	// DiskSizes optionally fixes how many items each disk holds
+	// (hottest items go to disk 0). Empty means near-equal counts.
+	DiskSizes []int
+	// Bandwidth is the channel bandwidth in size units per second.
+	Bandwidth float64
+}
+
+// Validation errors.
+var (
+	ErrNoDisks     = errors.New("bdisk: need at least one disk")
+	ErrBadRelFreq  = errors.New("bdisk: relative frequencies must be positive and non-increasing")
+	ErrBadSizes    = errors.New("bdisk: disk sizes must be positive and sum to N")
+	ErrBadBandwith = errors.New("bdisk: bandwidth must be positive")
+)
+
+func (c Config) validate(n int) error {
+	if len(c.RelFreq) == 0 {
+		return ErrNoDisks
+	}
+	for i, r := range c.RelFreq {
+		if r < 1 {
+			return fmt.Errorf("%w: disk %d has %d", ErrBadRelFreq, i, r)
+		}
+		if i > 0 && r > c.RelFreq[i-1] {
+			return fmt.Errorf("%w: disk %d faster than disk %d", ErrBadRelFreq, i, i-1)
+		}
+	}
+	if len(c.RelFreq) > n {
+		return fmt.Errorf("%w: %d disks for %d items", ErrBadSizes, len(c.RelFreq), n)
+	}
+	if len(c.DiskSizes) != 0 {
+		if len(c.DiskSizes) != len(c.RelFreq) {
+			return fmt.Errorf("%w: %d sizes for %d disks", ErrBadSizes, len(c.DiskSizes), len(c.RelFreq))
+		}
+		total := 0
+		for i, s := range c.DiskSizes {
+			if s < 1 {
+				return fmt.Errorf("%w: disk %d holds %d items", ErrBadSizes, i, s)
+			}
+			total += s
+		}
+		if total != n {
+			return fmt.Errorf("%w: sizes sum to %d, N=%d", ErrBadSizes, total, n)
+		}
+	}
+	if !(c.Bandwidth > 0) {
+		return ErrBadBandwith
+	}
+	return nil
+}
+
+// Layout records which disk each item landed on.
+type Layout struct {
+	// Disks[d] lists database positions on disk d, hottest disk
+	// first.
+	Disks [][]int
+	// MajorCycles is the number of minor cycles per major cycle
+	// (= max relative frequency after normalization to chunks).
+	MajorCycles int
+}
+
+// Build generates the broadcast-disk program for db on one channel.
+// Items are ranked by access frequency; the hottest go to the fastest
+// disk. The classic algorithm splits disk d into
+// maxChunks/RelFreq[d] chunks and emits, for minor cycle i, chunk
+// (i mod numChunks_d) of every disk in disk order.
+func Build(db *core.Database, cfg Config) (*broadcast.Program, *Layout, error) {
+	n := db.Len()
+	if err := cfg.validate(n); err != nil {
+		return nil, nil, err
+	}
+	d := len(cfg.RelFreq)
+
+	// Assign items to disks by frequency rank.
+	sizes := cfg.DiskSizes
+	if len(sizes) == 0 {
+		sizes = make([]int, d)
+		base, rem := n/d, n%d
+		for i := range sizes {
+			sizes[i] = base
+			if i < rem {
+				sizes[i]++
+			}
+		}
+		for i := range sizes {
+			if sizes[i] == 0 {
+				return nil, nil, fmt.Errorf("%w: %d disks for %d items", ErrBadSizes, d, n)
+			}
+		}
+	}
+	byFreq := db.ByFreq()
+	layout := &Layout{Disks: make([][]int, d)}
+	idx := 0
+	for disk := 0; disk < d; disk++ {
+		layout.Disks[disk] = append([]int(nil), byFreq[idx:idx+sizes[disk]]...)
+		sort.Ints(layout.Disks[disk])
+		idx += sizes[disk]
+	}
+
+	// Chunk counts: maxChunks = lcm(relative frequencies) so chunk
+	// counts are integral; disk d has maxChunks/RelFreq[d] chunks.
+	maxChunks := 1
+	for _, r := range cfg.RelFreq {
+		maxChunks = lcm(maxChunks, r)
+	}
+	layout.MajorCycles = maxChunks
+
+	type chunk []int // database positions
+	chunksOf := make([][]chunk, d)
+	for disk := 0; disk < d; disk++ {
+		numChunks := maxChunks / cfg.RelFreq[disk]
+		items := layout.Disks[disk]
+		cs := make([]chunk, numChunks)
+		for i, pos := range items {
+			ci := i * numChunks / len(items)
+			cs[ci] = append(cs[ci], pos)
+		}
+		chunksOf[disk] = cs
+	}
+
+	// Emit the major cycle.
+	var slots []broadcast.Slot
+	var at float64
+	for minor := 0; minor < maxChunks; minor++ {
+		for disk := 0; disk < d; disk++ {
+			cs := chunksOf[disk]
+			for _, pos := range cs[minor%len(cs)] {
+				it := db.Item(pos)
+				dur := it.Size / cfg.Bandwidth
+				slots = append(slots, broadcast.Slot{
+					Pos: pos, ItemID: it.ID, Size: it.Size, Start: at, Duration: dur,
+				})
+				at += dur
+			}
+		}
+	}
+
+	p := &broadcast.Program{
+		K:         1,
+		Bandwidth: cfg.Bandwidth,
+		Channels: []broadcast.Channel{{
+			Index:       0,
+			Slots:       slots,
+			CycleLength: at,
+		}},
+	}
+	if err := p.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("bdisk: generated program invalid: %w", err)
+	}
+	return p, layout, nil
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func lcm(a, b int) int { return a / gcd(a, b) * b }

@@ -1,0 +1,223 @@
+package bdisk
+
+import (
+	"testing"
+
+	"diversecast/internal/airsim"
+	"diversecast/internal/broadcast"
+	"diversecast/internal/core"
+	"diversecast/internal/workload"
+)
+
+func testDB(tb testing.TB, n int, theta float64, seed int64) *core.Database {
+	tb.Helper()
+	return workload.Config{N: n, Theta: theta, Phi: 0.5, Seed: seed}.MustGenerate()
+}
+
+func TestConfigValidation(t *testing.T) {
+	db := testDB(t, 12, 1, 1)
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"no disks", Config{Bandwidth: 10}},
+		{"zero rel freq", Config{RelFreq: []int{4, 0}, Bandwidth: 10}},
+		{"increasing rel freq", Config{RelFreq: []int{1, 2}, Bandwidth: 10}},
+		{"more disks than items", Config{RelFreq: []int{5, 4, 3, 2, 1, 1, 1, 1, 1, 1, 1, 1, 1}, Bandwidth: 10}},
+		{"bad sizes count", Config{RelFreq: []int{2, 1}, DiskSizes: []int{12}, Bandwidth: 10}},
+		{"sizes sum mismatch", Config{RelFreq: []int{2, 1}, DiskSizes: []int{4, 4}, Bandwidth: 10}},
+		{"zero size disk", Config{RelFreq: []int{2, 1}, DiskSizes: []int{0, 12}, Bandwidth: 10}},
+		{"zero bandwidth", Config{RelFreq: []int{2, 1}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, _, err := Build(db, tc.cfg); err == nil {
+				t.Fatal("should fail")
+			}
+		})
+	}
+}
+
+func TestSingleDiskIsFlatCycle(t *testing.T) {
+	db := testDB(t, 10, 1, 2)
+	p, layout, err := Build(db, Config{RelFreq: []int{1}, Bandwidth: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if layout.MajorCycles != 1 {
+		t.Fatalf("major cycles %d, want 1", layout.MajorCycles)
+	}
+	if len(p.Channels[0].Slots) != db.Len() {
+		t.Fatalf("%d slots for %d items", len(p.Channels[0].Slots), db.Len())
+	}
+	// Cycle = total size / bandwidth, same as a flat program.
+	if got, want := p.Channels[0].CycleLength, db.TotalSize()/10; got != want {
+		t.Fatalf("cycle %v, want %v", got, want)
+	}
+}
+
+func TestOccurrenceCountsMatchRelFreq(t *testing.T) {
+	db := testDB(t, 24, 1.2, 3)
+	cfg := Config{RelFreq: []int{4, 2, 1}, Bandwidth: 10}
+	p, layout, err := Build(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for disk, positions := range layout.Disks {
+		for _, pos := range positions {
+			occ := len(p.Occurrences(pos))
+			if occ != cfg.RelFreq[disk] {
+				t.Fatalf("disk %d item at %d occurs %d times, want %d",
+					disk, pos, occ, cfg.RelFreq[disk])
+			}
+		}
+	}
+}
+
+func TestHotterItemsOnFasterDisks(t *testing.T) {
+	db := testDB(t, 30, 1.2, 4)
+	_, layout, err := Build(db, Config{RelFreq: []int{3, 1}, DiskSizes: []int{6, 24}, Bandwidth: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	minHot := 2.0
+	for _, pos := range layout.Disks[0] {
+		if f := db.Item(pos).Freq; f < minHot {
+			minHot = f
+		}
+	}
+	for _, pos := range layout.Disks[1] {
+		if db.Item(pos).Freq > minHot+1e-12 {
+			t.Fatal("a cold-disk item is hotter than a hot-disk item")
+		}
+	}
+}
+
+// Hot items wait far less than cold items under the measured schedule.
+func TestHotItemsWaitLess(t *testing.T) {
+	db := testDB(t, 24, 1.2, 5)
+	p, layout, err := Build(db, Config{RelFreq: []int{4, 1}, DiskSizes: []int{4, 20}, Bandwidth: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycle := p.Channels[0].CycleLength
+	meanWait := func(pos int) float64 {
+		const samples = 500
+		var sum float64
+		for i := 0; i < samples; i++ {
+			w, err := p.WaitFor(pos, cycle*float64(i)/samples)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += w
+		}
+		return sum / samples
+	}
+	hot := meanWait(layout.Disks[0][0])
+	cold := meanWait(layout.Disks[1][len(layout.Disks[1])-1])
+	if hot*2 > cold {
+		t.Fatalf("hot item wait %v not clearly below cold item wait %v", hot, cold)
+	}
+}
+
+// The headline comparison: under skewed access on ONE channel, the
+// multi-frequency disk layout beats the flat cycle, because hot items
+// no longer wait half the full rotation.
+func TestDisksBeatFlatCycleOnSkewedAccess(t *testing.T) {
+	db := testDB(t, 40, 1.3, 6)
+	trace, err := workload.GenerateTrace(db, workload.TraceConfig{Requests: 30000, Rate: 40, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	flatAlloc, err := core.NewAllocation(db, 1, make([]int, db.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := broadcast.Build(flatAlloc, 10, broadcast.ByPosition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flatRes, err := airsim.Measure(flat, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	disks, _, err := Build(db, Config{RelFreq: []int{4, 2, 1}, DiskSizes: []int{5, 10, 25}, Bandwidth: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diskRes, err := airsim.Measure(disks, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if diskRes.Wait.Mean >= flatRes.Wait.Mean {
+		t.Fatalf("broadcast disks (%v) did not beat the flat cycle (%v)",
+			diskRes.Wait.Mean, flatRes.Wait.Mean)
+	}
+}
+
+// Cross-paradigm sanity: K-channel DRP-CDS and a 1-channel disk layout
+// both differentiate service; with equal total bandwidth both must
+// beat the undifferentiated flat single channel.
+func TestBothParadigmsBeatFlat(t *testing.T) {
+	db := testDB(t, 40, 1.3, 8)
+	trace, err := workload.GenerateTrace(db, workload.TraceConfig{Requests: 20000, Rate: 40, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	measure := func(p *broadcast.Program) float64 {
+		res, err := airsim.Measure(p, trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Wait.Mean
+	}
+
+	flatAlloc, err := core.NewAllocation(db, 1, make([]int, db.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := broadcast.Build(flatAlloc, 40, broadcast.ByPosition) // 4× bandwidth, one channel
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	drpAlloc, err := core.NewDRPCDS().Allocate(db, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drp, err := broadcast.Build(drpAlloc, 10, broadcast.ByPosition) // 4 channels × 10
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	disks, _, err := Build(db, Config{RelFreq: []int{4, 2, 1}, DiskSizes: []int{5, 10, 25}, Bandwidth: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	flatWait, drpWait, diskWait := measure(flat), measure(drp), measure(disks)
+	if drpWait >= flatWait {
+		t.Fatalf("DRP-CDS channels (%v) did not beat flat (%v)", drpWait, flatWait)
+	}
+	if diskWait >= flatWait {
+		t.Fatalf("broadcast disks (%v) did not beat flat (%v)", diskWait, flatWait)
+	}
+	t.Logf("flat %0.3f, broadcast disks %0.3f, DRP-CDS multichannel %0.3f", flatWait, diskWait, drpWait)
+}
+
+func BenchmarkBuild(b *testing.B) {
+	db := testDB(b, 120, 1.0, 10)
+	cfg := Config{RelFreq: []int{4, 2, 1}, Bandwidth: 10}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Build(db, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package broadcast
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// programJSON is the on-disk schema; it matches Program's exported
+// fields so the format is stable and human-inspectable.
+type programJSON struct {
+	K         int       `json:"k"`
+	Bandwidth float64   `json:"bandwidth"`
+	Channels  []Channel `json:"channels"`
+}
+
+// WriteJSON serializes the program, indented for inspection.
+func (p *Program) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(programJSON{K: p.K, Bandwidth: p.Bandwidth, Channels: p.Channels}); err != nil {
+		return fmt.Errorf("broadcast: encoding program: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON deserializes a program written by WriteJSON and validates
+// it before returning.
+func ReadJSON(r io.Reader) (*Program, error) {
+	var pj programJSON
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&pj); err != nil {
+		return nil, fmt.Errorf("broadcast: decoding program: %w", err)
+	}
+	p := &Program{K: pj.K, Bandwidth: pj.Bandwidth, Channels: pj.Channels}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("broadcast: loaded program invalid: %w", err)
+	}
+	p.buildIndex()
+	return p, nil
+}

@@ -1,0 +1,203 @@
+// Package cache models client-side caching for broadcast
+// environments, after Acharya, Alonso, Franklin and Zdonik,
+// "Broadcast Disks" (SIGMOD 1995) — the reproduced paper's reference
+// [1]. A mobile client caches downloaded items; a hit answers a
+// request instantly, a miss waits for the item's next transmission.
+//
+// The key insight of that line of work is that cache policies should
+// be cost-based in a broadcast setting: an item that reappears on air
+// soon is cheap to refetch and a poor use of cache space. PIX
+// (probability inverse broadcast-frequency) evicts the entry with the
+// smallest p/x; the size-aware Cost policy extends it to diverse item
+// sizes by scoring p·refetch/size, a GreedyDual-Size-style rule that
+// matches this paper's variable-size world.
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Entry is the metadata a policy sees for one cached item.
+type Entry struct {
+	// Pos is the item's database position.
+	Pos int
+	// Size is the item's size in size units.
+	Size float64
+	// Prob is the item's access probability.
+	Prob float64
+	// RefetchWait is the expected waiting time to re-acquire the
+	// item from the broadcast (half its channel cycle plus its
+	// download time).
+	RefetchWait float64
+	// LastUsed is the virtual time of the last access.
+	LastUsed float64
+	// Uses counts accesses since insertion.
+	Uses int
+}
+
+// Policy ranks cache victims. Score returns an eviction priority: the
+// entry with the LOWEST score is evicted first.
+type Policy interface {
+	Name() string
+	Score(e Entry, now float64) float64
+}
+
+// LRU evicts the least recently used entry.
+type LRU struct{}
+
+// Name implements Policy.
+func (LRU) Name() string { return "LRU" }
+
+// Score implements Policy.
+func (LRU) Score(e Entry, _ float64) float64 { return e.LastUsed }
+
+// LFU evicts the least frequently used entry.
+type LFU struct{}
+
+// Name implements Policy.
+func (LFU) Name() string { return "LFU" }
+
+// Score implements Policy.
+func (LFU) Score(e Entry, _ float64) float64 { return float64(e.Uses) }
+
+// PIX evicts the entry with the smallest probability-to-broadcast-
+// frequency ratio p/x (Broadcast Disks). With x = 1/RefetchPeriod the
+// score is proportional to p·RefetchWait.
+type PIX struct{}
+
+// Name implements Policy.
+func (PIX) Name() string { return "PIX" }
+
+// Score implements Policy.
+func (PIX) Score(e Entry, _ float64) float64 { return e.Prob * e.RefetchWait }
+
+// Cost is the size-aware PIX: probability times refetch wait per size
+// unit occupied, so a big item must save proportionally more waiting
+// time to hold its cache space.
+type Cost struct{}
+
+// Name implements Policy.
+func (Cost) Name() string { return "COST" }
+
+// Score implements Policy.
+func (Cost) Score(e Entry, _ float64) float64 { return e.Prob * e.RefetchWait / e.Size }
+
+// Policies returns one instance of every built-in policy.
+func Policies() []Policy { return []Policy{LRU{}, LFU{}, PIX{}, Cost{}} }
+
+// Cache is a client cache with a size-unit capacity. The zero value
+// is unusable; construct with New.
+type Cache struct {
+	policy   Policy
+	capacity float64
+	used     float64
+	entries  map[int]*Entry
+
+	hits, misses int
+}
+
+// Construction errors.
+var (
+	ErrBadCapacity = errors.New("cache: capacity must be positive and finite")
+	ErrNilPolicy   = errors.New("cache: nil policy")
+)
+
+// New builds an empty cache with the given capacity in size units.
+func New(policy Policy, capacity float64) (*Cache, error) {
+	if policy == nil {
+		return nil, ErrNilPolicy
+	}
+	if !(capacity > 0) || math.IsInf(capacity, 0) {
+		return nil, fmt.Errorf("%w: %v", ErrBadCapacity, capacity)
+	}
+	return &Cache{policy: policy, capacity: capacity, entries: make(map[int]*Entry)}, nil
+}
+
+// Policy returns the eviction policy.
+func (c *Cache) Policy() Policy { return c.policy }
+
+// Len reports the number of cached items; Used the occupied size
+// units.
+func (c *Cache) Len() int { return len(c.entries) }
+
+// Used reports the occupied capacity in size units.
+func (c *Cache) Used() float64 { return c.used }
+
+// Hits and Misses report the access counters.
+func (c *Cache) Hits() int { return c.hits }
+
+// Misses reports the number of accesses that missed.
+func (c *Cache) Misses() int { return c.misses }
+
+// HitRatio returns hits/(hits+misses), 0 before any access.
+func (c *Cache) HitRatio() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}
+
+// Access looks up the item at pos at virtual time now, updating
+// recency/frequency metadata. It reports whether the access hit.
+func (c *Cache) Access(pos int, now float64) bool {
+	if e, ok := c.entries[pos]; ok {
+		e.LastUsed = now
+		e.Uses++
+		c.hits++
+		return true
+	}
+	c.misses++
+	return false
+}
+
+// Admit inserts a downloaded item, evicting victims by policy score
+// until it fits. Items larger than the whole cache are not admitted
+// (standard for size-aware caches). It reports whether the item was
+// admitted.
+func (c *Cache) Admit(e Entry, now float64) bool {
+	if e.Size > c.capacity {
+		return false
+	}
+	if _, ok := c.entries[e.Pos]; ok {
+		return true // already cached
+	}
+	for c.used+e.Size > c.capacity {
+		victim := c.victim(now)
+		if victim == nil {
+			return false // unreachable: entries exist while used > 0
+		}
+		c.used -= victim.Size
+		delete(c.entries, victim.Pos)
+	}
+	stored := e
+	stored.LastUsed = now
+	if stored.Uses == 0 {
+		stored.Uses = 1
+	}
+	c.entries[stored.Pos] = &stored
+	c.used += stored.Size
+	return true
+}
+
+// victim returns the entry with the lowest policy score (ties: lowest
+// position, for determinism).
+func (c *Cache) victim(now float64) *Entry {
+	var best *Entry
+	bestScore := math.Inf(1)
+	for _, e := range c.entries {
+		s := c.policy.Score(*e, now)
+		if s < bestScore || (s == bestScore && best != nil && e.Pos < best.Pos) {
+			best, bestScore = e, s
+		}
+	}
+	return best
+}
+
+// Contains reports whether pos is cached (without touching metadata).
+func (c *Cache) Contains(pos int) bool {
+	_, ok := c.entries[pos]
+	return ok
+}

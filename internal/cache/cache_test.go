@@ -1,0 +1,296 @@
+package cache
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"diversecast/internal/broadcast"
+	"diversecast/internal/core"
+	"diversecast/internal/workload"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, 10); err != ErrNilPolicy {
+		t.Errorf("nil policy: %v", err)
+	}
+	if _, err := New(LRU{}, 0); err == nil {
+		t.Error("zero capacity should fail")
+	}
+	if _, err := New(LRU{}, math.Inf(1)); err == nil {
+		t.Error("infinite capacity should fail")
+	}
+}
+
+func TestBasicHitMiss(t *testing.T) {
+	c, err := New(LRU{}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Access(1, 0) {
+		t.Fatal("empty cache hit")
+	}
+	if !c.Admit(Entry{Pos: 1, Size: 4, Prob: 0.5, RefetchWait: 2}, 0) {
+		t.Fatal("admit failed")
+	}
+	if !c.Access(1, 1) {
+		t.Fatal("cached item missed")
+	}
+	if c.Hits() != 1 || c.Misses() != 1 {
+		t.Fatalf("hits/misses = %d/%d", c.Hits(), c.Misses())
+	}
+	if c.HitRatio() != 0.5 {
+		t.Fatalf("hit ratio %v", c.HitRatio())
+	}
+	if c.Len() != 1 || c.Used() != 4 {
+		t.Fatalf("len/used = %d/%v", c.Len(), c.Used())
+	}
+}
+
+func TestCapacityNeverExceeded(t *testing.T) {
+	for _, pol := range Policies() {
+		c, err := New(pol, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 50; i++ {
+			size := float64(i%4) + 1
+			c.Admit(Entry{Pos: i, Size: size, Prob: 0.01, RefetchWait: 1}, float64(i))
+			if c.Used() > 10+1e-12 {
+				t.Fatalf("%s: used %v exceeds capacity", pol.Name(), c.Used())
+			}
+		}
+	}
+}
+
+func TestOversizedItemRejected(t *testing.T) {
+	c, err := New(LRU{}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Admit(Entry{Pos: 1, Size: 11, Prob: 1, RefetchWait: 1}, 0) {
+		t.Fatal("oversized item admitted")
+	}
+	if c.Len() != 0 {
+		t.Fatal("cache not empty after rejection")
+	}
+}
+
+func TestReadmitIsNoOp(t *testing.T) {
+	c, err := New(LRU{}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := Entry{Pos: 1, Size: 4, Prob: 0.5, RefetchWait: 2}
+	if !c.Admit(e, 0) || !c.Admit(e, 1) {
+		t.Fatal("admit failed")
+	}
+	if c.Len() != 1 || c.Used() != 4 {
+		t.Fatalf("double admit corrupted state: len %d used %v", c.Len(), c.Used())
+	}
+}
+
+func TestLRUEvictsOldest(t *testing.T) {
+	c, err := New(LRU{}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Admit(Entry{Pos: 1, Size: 5, Prob: 0.1, RefetchWait: 1}, 0)
+	c.Admit(Entry{Pos: 2, Size: 5, Prob: 0.1, RefetchWait: 1}, 1)
+	c.Access(1, 2) // touch 1 so 2 is oldest
+	c.Admit(Entry{Pos: 3, Size: 5, Prob: 0.1, RefetchWait: 1}, 3)
+	if !c.Contains(1) || c.Contains(2) || !c.Contains(3) {
+		t.Fatalf("LRU evicted wrong entry: 1=%v 2=%v 3=%v",
+			c.Contains(1), c.Contains(2), c.Contains(3))
+	}
+}
+
+func TestPIXEvictsCheapToRefetch(t *testing.T) {
+	c, err := New(PIX{}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same probability: the item that reappears on air quickly
+	// (small refetch wait) should go first.
+	c.Admit(Entry{Pos: 1, Size: 5, Prob: 0.2, RefetchWait: 0.5}, 0)
+	c.Admit(Entry{Pos: 2, Size: 5, Prob: 0.2, RefetchWait: 50}, 1)
+	c.Admit(Entry{Pos: 3, Size: 5, Prob: 0.2, RefetchWait: 10}, 2)
+	if c.Contains(1) {
+		t.Fatal("PIX kept the cheap-to-refetch entry")
+	}
+	if !c.Contains(2) {
+		t.Fatal("PIX evicted the expensive-to-refetch entry")
+	}
+}
+
+func TestCostEvictsBigLowValue(t *testing.T) {
+	c, err := New(Cost{}, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Equal p·refetch: the bigger item has the lower per-unit value.
+	c.Admit(Entry{Pos: 1, Size: 8, Prob: 0.2, RefetchWait: 10}, 0)
+	c.Admit(Entry{Pos: 2, Size: 2, Prob: 0.2, RefetchWait: 10}, 1)
+	c.Admit(Entry{Pos: 3, Size: 6, Prob: 0.2, RefetchWait: 10}, 2)
+	if c.Contains(1) {
+		t.Fatal("COST kept the big low-density entry")
+	}
+	if !c.Contains(2) {
+		t.Fatal("COST evicted the small high-density entry")
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	want := map[string]bool{"LRU": true, "LFU": true, "PIX": true, "COST": true}
+	for _, p := range Policies() {
+		if !want[p.Name()] {
+			t.Errorf("unexpected policy %q", p.Name())
+		}
+	}
+}
+
+// --- simulation tests ---
+
+func simFixture(tb testing.TB, n int, seed int64) (*core.Allocation, *broadcast.Program, []workload.Request) {
+	tb.Helper()
+	db := workload.Config{N: n, Theta: 1.0, Phi: 1.5, Seed: seed}.MustGenerate()
+	a, err := core.NewDRPCDS().Allocate(db, 4)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	p, err := broadcast.Build(a, workload.PaperBandwidth, broadcast.ByPosition)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	trace, err := workload.GenerateTrace(db, workload.TraceConfig{Requests: 20000, Rate: 40, Seed: seed + 1})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return a, p, trace
+}
+
+func TestSimulateValidation(t *testing.T) {
+	a, p, trace := simFixture(t, 20, 1)
+	c, err := New(LRU{}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Simulate(nil, p, c, trace); err == nil {
+		t.Error("nil allocation should fail")
+	}
+	if _, err := Simulate(a, p, c, nil); err == nil {
+		t.Error("empty trace should fail")
+	}
+}
+
+func TestSimulateAccounting(t *testing.T) {
+	a, p, trace := simFixture(t, 30, 2)
+	c, err := New(LRU{}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(a, p, c, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != len(trace) {
+		t.Fatalf("requests %d", res.Requests)
+	}
+	if res.HitRatio <= 0 || res.HitRatio >= 1 {
+		t.Fatalf("hit ratio %v should be strictly between 0 and 1 here", res.HitRatio)
+	}
+	// Overall mean = miss mean × miss fraction (hits wait zero).
+	want := res.MissWait.Mean * (1 - res.HitRatio)
+	if math.Abs(res.Wait.Mean-want) > 1e-9*(1+want) {
+		t.Fatalf("wait mean %v, want %v", res.Wait.Mean, want)
+	}
+}
+
+// Any cache lowers the mean wait versus no cache, and a bigger cache
+// helps at least as much on the same trace.
+func TestCacheReducesWaitMonotonically(t *testing.T) {
+	a, p, trace := simFixture(t, 30, 3)
+
+	noCacheMean := func() float64 {
+		var sum float64
+		for _, r := range trace {
+			w, err := p.WaitFor(r.Pos, r.Time)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += w
+		}
+		return sum / float64(len(trace))
+	}()
+
+	prev := noCacheMean
+	for _, capacity := range []float64{10, 40, 160} {
+		c, err := New(PIX{}, capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Simulate(a, p, c, trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Wait.Mean >= prev {
+			t.Fatalf("capacity %v: mean %v did not improve on %v", capacity, res.Wait.Mean, prev)
+		}
+		prev = res.Wait.Mean
+	}
+}
+
+// The broadcast-disk result: cost-based policies (PIX/COST) beat LRU
+// in a broadcast environment because refetch costs differ per item.
+func TestCostBasedPoliciesBeatLRU(t *testing.T) {
+	a, p, trace := simFixture(t, 40, 4)
+	meanFor := func(pol Policy) float64 {
+		c, err := New(pol, 60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Simulate(a, p, c, trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Wait.Mean
+	}
+	lru := meanFor(LRU{})
+	pix := meanFor(PIX{})
+	cost := meanFor(Cost{})
+	if pix >= lru {
+		t.Errorf("PIX (%v) did not beat LRU (%v)", pix, lru)
+	}
+	if cost >= lru {
+		t.Errorf("COST (%v) did not beat LRU (%v)", cost, lru)
+	}
+}
+
+func BenchmarkSimulatePolicies(b *testing.B) {
+	a, p, trace := simFixture(b, 40, 5)
+	for _, pol := range Policies() {
+		b.Run(pol.Name(), func(b *testing.B) {
+			var mean float64
+			for i := 0; i < b.N; i++ {
+				c, err := New(pol, 60)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := Simulate(a, p, c, trace)
+				if err != nil {
+					b.Fatal(err)
+				}
+				mean = res.Wait.Mean
+			}
+			b.ReportMetric(mean, "wait_s")
+		})
+	}
+}
+
+func ExampleCache() {
+	c, _ := New(PIX{}, 10)
+	c.Admit(Entry{Pos: 1, Size: 6, Prob: 0.6, RefetchWait: 12}, 0)
+	c.Admit(Entry{Pos: 2, Size: 6, Prob: 0.1, RefetchWait: 1}, 1) // evicts nothing it needs? capacity forces a choice
+	fmt.Println(c.Contains(1), c.Contains(2))
+	// Output: false true
+}

@@ -1,0 +1,65 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+
+	"diversecast/internal/broadcast"
+	"diversecast/internal/core"
+	"diversecast/internal/stats"
+	"diversecast/internal/workload"
+)
+
+// SimResult summarizes a cache-aware client simulation.
+type SimResult struct {
+	Requests int
+	// Wait is the per-request waiting time (zero on hits).
+	Wait stats.Summary
+	// MissWait is the waiting time over misses only.
+	MissWait stats.Summary
+	// HitRatio is the fraction of requests answered from cache.
+	HitRatio float64
+}
+
+// Simulate replays a request trace for one client with a cache in
+// front of the broadcast: hits cost nothing, misses wait for the
+// item's next transmission (closed form on the cyclic program) and
+// then admit the item.
+func Simulate(a *core.Allocation, p *broadcast.Program, cch *Cache, trace []workload.Request) (*SimResult, error) {
+	if a == nil || p == nil || cch == nil {
+		return nil, errors.New("cache: nil allocation, program or cache")
+	}
+	if len(trace) == 0 {
+		return nil, errors.New("cache: empty request trace")
+	}
+	db := a.Database()
+	bandwidth := p.Bandwidth
+
+	var wait, missWait stats.Accumulator
+	for _, req := range trace {
+		if cch.Access(req.Pos, req.Time) {
+			wait.Add(0)
+			continue
+		}
+		w, err := p.WaitFor(req.Pos, req.Time)
+		if err != nil {
+			return nil, fmt.Errorf("cache: miss wait: %w", err)
+		}
+		wait.Add(w)
+		missWait.Add(w)
+
+		it := db.Item(req.Pos)
+		cch.Admit(Entry{
+			Pos:         req.Pos,
+			Size:        it.Size,
+			Prob:        it.Freq,
+			RefetchWait: core.ItemWaitingTime(a, req.Pos, bandwidth),
+		}, req.Time+w)
+	}
+	return &SimResult{
+		Requests: len(trace),
+		Wait:     wait.Summarize(),
+		MissWait: missWait.Summarize(),
+		HitRatio: cch.HitRatio(),
+	}, nil
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Allocation assigns every item of a database to one of K broadcast
+// channels. It is the output of every allocator in this module and the
+// input to CDS, to the broadcast-program builder, and to the analytic
+// and simulated evaluations.
+type Allocation struct {
+	db      *Database
+	k       int
+	channel []int // channel[pos] = channel index in [0,K)
+}
+
+// Errors returned by allocation constructors and validators.
+var (
+	ErrBadChannelCount = errors.New("core: channel count must satisfy 1 <= K <= N")
+	ErrChannelRange    = errors.New("core: item assigned to channel outside [0,K)")
+	ErrWrongLength     = errors.New("core: assignment length differs from database size")
+)
+
+// NewAllocation builds an allocation over db with k channels from an
+// explicit assignment: channel[i] is the channel of the item at
+// database position i. The slice is copied. Empty channels are legal
+// (they contribute zero cost), matching the paper's CDS, which may
+// drain a group entirely.
+func NewAllocation(db *Database, k int, channel []int) (*Allocation, error) {
+	if k < 1 || k > db.Len() {
+		return nil, fmt.Errorf("%w: K=%d, N=%d", ErrBadChannelCount, k, db.Len())
+	}
+	if len(channel) != db.Len() {
+		return nil, fmt.Errorf("%w: len=%d, N=%d", ErrWrongLength, len(channel), db.Len())
+	}
+	a := &Allocation{db: db, k: k, channel: make([]int, len(channel))}
+	copy(a.channel, channel)
+	for pos, c := range a.channel {
+		if c < 0 || c >= k {
+			return nil, fmt.Errorf("%w: item at %d on channel %d, K=%d", ErrChannelRange, pos, c, k)
+		}
+	}
+	return a, nil
+}
+
+// Database returns the database this allocation partitions.
+func (a *Allocation) Database() *Database { return a.db }
+
+// K reports the number of channels.
+func (a *Allocation) K() int { return a.k }
+
+// ChannelOf returns the channel of the item at database position pos.
+func (a *Allocation) ChannelOf(pos int) int { return a.channel[pos] }
+
+// Assignment returns a copy of the raw channel vector.
+func (a *Allocation) Assignment() []int {
+	out := make([]int, len(a.channel))
+	copy(out, a.channel)
+	return out
+}
+
+// Groups returns, per channel, the database positions assigned to it,
+// in ascending position order.
+func (a *Allocation) Groups() [][]int {
+	groups := make([][]int, a.k)
+	for pos, c := range a.channel {
+		groups[c] = append(groups[c], pos)
+	}
+	return groups
+}
+
+// GroupItems returns, per channel, the items assigned to it.
+func (a *Allocation) GroupItems() [][]Item {
+	groups := a.Groups()
+	out := make([][]Item, a.k)
+	for c, g := range groups {
+		out[c] = make([]Item, len(g))
+		for i, pos := range g {
+			out[c][i] = a.db.Item(pos)
+		}
+	}
+	return out
+}
+
+// GroupAgg is the per-channel aggregate state used throughout the
+// paper: F is the aggregate frequency Σf, Z the aggregate size Σz, and
+// N the item count of the channel.
+type GroupAgg struct {
+	F float64
+	Z float64
+	N int
+}
+
+// Cost is the channel's contribution F·Z to the grouping cost.
+func (g GroupAgg) Cost() float64 { return g.F * g.Z }
+
+// Aggregates computes F_i, Z_i and N_i for every channel.
+func (a *Allocation) Aggregates() []GroupAgg {
+	agg := make([]GroupAgg, a.k)
+	for pos, c := range a.channel {
+		it := a.db.Item(pos)
+		agg[c].F += it.Freq
+		agg[c].Z += it.Size
+		agg[c].N++
+	}
+	return agg
+}
+
+// Clone returns a deep copy that can be mutated independently (the
+// database is shared; it is immutable).
+func (a *Allocation) Clone() *Allocation {
+	channel := make([]int, len(a.channel))
+	copy(channel, a.channel)
+	return &Allocation{db: a.db, k: a.k, channel: channel}
+}
+
+// move reassigns the item at database position pos to channel dest.
+// It is unexported: external mutation goes through CDS or explicit
+// reconstruction, keeping Allocation effectively immutable to callers.
+func (a *Allocation) move(pos, dest int) { a.channel[pos] = dest }
+
+// Validate re-checks the structural invariants. It is cheap and used by
+// property tests after every transformation.
+func (a *Allocation) Validate() error {
+	if a.k < 1 || a.k > a.db.Len() {
+		return fmt.Errorf("%w: K=%d, N=%d", ErrBadChannelCount, a.k, a.db.Len())
+	}
+	if len(a.channel) != a.db.Len() {
+		return fmt.Errorf("%w: len=%d, N=%d", ErrWrongLength, len(a.channel), a.db.Len())
+	}
+	for pos, c := range a.channel {
+		if c < 0 || c >= a.k {
+			return fmt.Errorf("%w: item at %d on channel %d, K=%d", ErrChannelRange, pos, c, a.k)
+		}
+	}
+	return nil
+}
+
+// Equal reports whether two allocations assign every item identically
+// and share the same database and K.
+func (a *Allocation) Equal(b *Allocation) bool {
+	if a.db != b.db || a.k != b.k || len(a.channel) != len(b.channel) {
+		return false
+	}
+	for i := range a.channel {
+		if a.channel[i] != b.channel[i] {
+			return false
+		}
+	}
+	return true
+}

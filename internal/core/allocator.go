@@ -1,0 +1,51 @@
+package core
+
+// Allocator produces a channel allocation for a database. All
+// allocators in this module (DRP, DRP-CDS, and the baselines in
+// internal/baseline and internal/gopt) implement it, so experiment
+// harnesses can treat them uniformly.
+type Allocator interface {
+	// Name identifies the algorithm in experiment output (for
+	// example "DRP-CDS", "VFK", "GOPT").
+	Name() string
+	// Allocate partitions db across k channels. Implementations must
+	// not mutate db and must return an allocation that passes
+	// (*Allocation).Validate.
+	Allocate(db *Database, k int) (*Allocation, error)
+}
+
+// Refiner improves an existing allocation in place of producing one
+// from scratch. CDS is the canonical implementation.
+type Refiner interface {
+	Name() string
+	// Refine returns an allocation whose cost is no greater than
+	// the input's. The input is not mutated.
+	Refine(a *Allocation) (*Allocation, error)
+}
+
+// Refined composes an Allocator with a Refiner, e.g. DRP-CDS. It
+// implements Allocator.
+type Refined struct {
+	Base    Allocator
+	Refiner Refiner
+}
+
+var _ Allocator = (*Refined)(nil)
+
+// Name combines the component names, e.g. "DRP-CDS".
+func (r *Refined) Name() string { return r.Base.Name() + "-" + r.Refiner.Name() }
+
+// Allocate runs the base allocator and refines its result.
+func (r *Refined) Allocate(db *Database, k int) (*Allocation, error) {
+	a, err := r.Base.Allocate(db, k)
+	if err != nil {
+		return nil, err
+	}
+	return r.Refiner.Refine(a)
+}
+
+// NewDRPCDS returns the paper's complete two-step scheme: DRP rough
+// allocation refined by CDS to a local optimum.
+func NewDRPCDS() Allocator {
+	return &Refined{Base: NewDRP(), Refiner: NewCDS()}
+}

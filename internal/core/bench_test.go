@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Micro-benchmarks for the paper's algorithms: Lemma 1 claims DRP is
+// K·(O(K log K) + O(N)); CDS is O(K·N) move evaluations per applied
+// move. The N and K sweeps below make both scalings visible.
+
+func benchDB(b *testing.B, n int) *Database {
+	b.Helper()
+	return randomDatabase(b, 1, n)
+}
+
+func BenchmarkDRP(b *testing.B) {
+	for _, n := range []int{60, 120, 240, 480, 960} {
+		db := benchDB(b, n)
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := NewDRP().Allocate(db, 8); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDRPOverK(b *testing.B) {
+	db := benchDB(b, 240)
+	for _, k := range []int{2, 4, 8, 16, 32} {
+		b.Run(fmt.Sprintf("K=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := NewDRP().Allocate(db, k); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkCDSRefine(b *testing.B) {
+	for _, n := range []int{60, 120, 240} {
+		db := benchDB(b, n)
+		drp, err := NewDRP().Allocate(db, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("from-DRP/N=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := NewCDS().Refine(drp); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		random := randomAllocation(b, db, 8, 2)
+		b.Run(fmt.Sprintf("from-random/N=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := NewCDS().Refine(random); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkMoveReduction(b *testing.B) {
+	db := benchDB(b, 100)
+	a := randomAllocation(b, db, 8, 3)
+	agg := a.Aggregates()
+	it := db.Item(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = MoveReduction(it, agg[0], agg[1])
+	}
+}
+
+func BenchmarkCost(b *testing.B) {
+	db := benchDB(b, 480)
+	a := randomAllocation(b, db, 8, 4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Cost(a)
+	}
+}
+
+func BenchmarkByBenefitRatio(b *testing.B) {
+	db := benchDB(b, 960)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = db.ByBenefitRatio()
+	}
+}

@@ -1,0 +1,129 @@
+package core
+
+import "fmt"
+
+// CDS is the paper's Cost-Diminishing Selection mechanism (Section
+// 3.2): a steepest-descent local search over single-item moves.
+//
+// Each iteration evaluates, for every item d_x currently in group D_p
+// and every destination group D_q ≠ D_p, the closed-form cost reduction
+// of Eq. (4),
+//
+//	Δc = f_x(Z_p − Z_q) + z_x(F_p − F_q) − 2 f_x z_x,
+//
+// applies the move with the maximum strictly positive Δc, and repeats
+// until no move reduces the cost — the local optimum. A single
+// iteration is O(K·N) move evaluations (within the paper's stated
+// O(K²N) bound).
+type CDS struct {
+	// MaxMoves bounds the number of applied moves; 0 means no bound
+	// beyond Epsilon-driven termination. Cost strictly decreases by
+	// more than Epsilon per move and is bounded below by zero, so
+	// termination is guaranteed either way.
+	MaxMoves int
+	// Epsilon is the minimum Δc for a move to be applied, guarding
+	// against floating-point non-termination. Zero selects a default
+	// scaled to the problem (1e-12 × initial cost, floored at 1e-300).
+	Epsilon float64
+}
+
+var _ Refiner = (*CDS)(nil)
+
+// NewCDS returns a CDS refiner with default settings.
+func NewCDS() *CDS { return &CDS{} }
+
+// Name implements Refiner.
+func (*CDS) Name() string { return "CDS" }
+
+// Move records one applied CDS move for tracing (the paper's Table 4).
+type Move struct {
+	Pos        int     // database position of the moved item
+	From, To   int     // channel indices
+	Reduction  float64 // the Δc of Eq. (4)
+	CostBefore float64
+	CostAfter  float64
+}
+
+// Refine implements Refiner. The input allocation is not mutated.
+func (c *CDS) Refine(a *Allocation) (*Allocation, error) {
+	out, _, err := c.refine(a, false)
+	return out, err
+}
+
+// RefineWithTrace is Refine but also returns every applied move in
+// order, used by the paper-table reproduction and by tests.
+func (c *CDS) RefineWithTrace(a *Allocation) (*Allocation, []Move, error) {
+	return c.refine(a, true)
+}
+
+func (c *CDS) refine(a *Allocation, wantTrace bool) (*Allocation, []Move, error) {
+	if err := a.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("core: CDS input: %w", err)
+	}
+	cur := a.Clone()
+	db := cur.Database()
+	k := cur.K()
+	agg := cur.Aggregates()
+
+	eps := c.Epsilon
+	if eps == 0 {
+		if init := Cost(cur); init > 0 {
+			eps = 1e-12 * init
+		} else {
+			eps = 1e-300
+		}
+	}
+
+	var moves []Move
+	cost := Cost(cur)
+	for {
+		if c.MaxMoves > 0 && len(moves) >= c.MaxMoves {
+			break
+		}
+
+		// Scan all (item, destination) pairs in the paper's order —
+		// groups by channel index, items by database position within
+		// the group, destinations by channel index — keeping only a
+		// strictly larger Δc, so the selected move is deterministic.
+		best := Move{Reduction: 0}
+		found := false
+		for p := 0; p < k; p++ {
+			for pos := 0; pos < db.Len(); pos++ {
+				if cur.ChannelOf(pos) != p {
+					continue
+				}
+				it := db.Item(pos)
+				for q := 0; q < k; q++ {
+					if q == p {
+						continue
+					}
+					dc := MoveReduction(it, agg[p], agg[q])
+					if dc > best.Reduction {
+						best = Move{Pos: pos, From: p, To: q, Reduction: dc}
+						found = true
+					}
+				}
+			}
+		}
+		if !found || best.Reduction <= eps {
+			break
+		}
+
+		it := db.Item(best.Pos)
+		agg[best.From].F -= it.Freq
+		agg[best.From].Z -= it.Size
+		agg[best.From].N--
+		agg[best.To].F += it.Freq
+		agg[best.To].Z += it.Size
+		agg[best.To].N++
+		cur.move(best.Pos, best.To)
+
+		if wantTrace {
+			best.CostBefore = cost
+			best.CostAfter = cost - best.Reduction
+			moves = append(moves, best)
+		}
+		cost -= best.Reduction
+	}
+	return cur, moves, nil
+}

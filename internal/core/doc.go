@@ -1,0 +1,21 @@
+// Package core implements the diverse-data-broadcasting channel
+// allocation model and the paper's primary contribution: algorithm DRP
+// (Dimension Reduction Partitioning) and mechanism CDS
+// (Cost-Diminishing Selection).
+//
+// The model follows Hung and Chen, "On Exploring Channel Allocation in
+// the Diverse Data Broadcasting Environment", ICDCS 2005. A database of
+// N items, each with an access frequency f and a size z, must be
+// partitioned across K broadcast channels of bandwidth b. Every channel
+// cyclically broadcasts its item set, so the expected waiting time of a
+// client is
+//
+//	W_b = cost/(2b) + downloadMass/b
+//
+// where cost = Σ_i F_i·Z_i sums, per channel, the product of the
+// channel's aggregate frequency F_i and aggregate size Z_i, and
+// downloadMass = Σ f_j·z_j is allocation-independent. Minimizing W_b is
+// therefore the grouping problem of minimizing cost, which this package
+// solves heuristically (DRP), refines to a local optimum (CDS), and
+// evaluates exactly (Cost, WaitingTime).
+package core

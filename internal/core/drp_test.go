@@ -1,0 +1,216 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDRPChannelCountValidation(t *testing.T) {
+	db := PaperExampleDatabase()
+	for _, k := range []int{0, -1, db.Len() + 1} {
+		if _, err := NewDRP().Allocate(db, k); !errors.Is(err, ErrBadChannelCount) {
+			t.Errorf("K=%d: error = %v, want ErrBadChannelCount", k, err)
+		}
+	}
+}
+
+func TestDRPKEqualsOne(t *testing.T) {
+	db := PaperExampleDatabase()
+	a, err := NewDRP().Allocate(db, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pos := 0; pos < db.Len(); pos++ {
+		if a.ChannelOf(pos) != 0 {
+			t.Fatalf("K=1 allocation put item %d on channel %d", pos, a.ChannelOf(pos))
+		}
+	}
+	if got := Cost(a); math.Abs(got-db.TotalFreq()*db.TotalSize()) > 1e-9 {
+		t.Fatalf("K=1 cost = %v, want F·Z = %v", got, db.TotalFreq()*db.TotalSize())
+	}
+}
+
+func TestDRPKEqualsN(t *testing.T) {
+	db := PaperExampleDatabase()
+	a, err := NewDRP().Allocate(db, db.Len())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]bool)
+	for pos := 0; pos < db.Len(); pos++ {
+		c := a.ChannelOf(pos)
+		if seen[c] {
+			t.Fatalf("K=N allocation put two items on channel %d", c)
+		}
+		seen[c] = true
+	}
+	// With every item alone, cost = Σ f_j z_j = downloadMass.
+	if got := Cost(a); math.Abs(got-db.DownloadMass()) > 1e-9 {
+		t.Fatalf("K=N cost = %v, want downloadMass = %v", got, db.DownloadMass())
+	}
+}
+
+func TestDRPDeterministic(t *testing.T) {
+	db := randomDatabase(t, 123, 60)
+	for _, d := range []*DRP{NewDRP(), NewDRPExampleConsistent()} {
+		a, err := d.Allocate(db, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := d.Allocate(db, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !a.Equal(b) {
+			t.Fatalf("policy %v: repeated runs differ", d.Policy)
+		}
+	}
+}
+
+// Property: DRP groups are contiguous runs of the br-sorted order —
+// the defining structural property of dimension reduction.
+func TestDRPGroupsAreContiguousInBenefitOrder(t *testing.T) {
+	check := func(seed uint16, rawN uint8, rawK uint8, exampleConsistent bool) bool {
+		n := int(rawN)%40 + 1
+		k := int(rawK)%n + 1
+		db := randomDatabase(t, int(seed), n)
+		d := NewDRP()
+		if exampleConsistent {
+			d = NewDRPExampleConsistent()
+		}
+		a, err := d.Allocate(db, k)
+		if err != nil || a.Validate() != nil {
+			return false
+		}
+		order := db.ByBenefitRatio()
+		// Walking the sorted order, the channel id may change but must
+		// never revisit an earlier channel.
+		visited := make(map[int]bool)
+		prev := -1
+		for _, pos := range order {
+			c := a.ChannelOf(pos)
+			if c != prev {
+				if visited[c] {
+					return false
+				}
+				visited[c] = true
+				prev = c
+			}
+		}
+		return len(visited) == k
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every DRP split is locally optimal — recombining any two
+// adjacent result groups and re-splitting at the recorded cut never
+// beats the cut DRP chose within that popped group.
+func TestDRPSplitIsOptimalCut(t *testing.T) {
+	db := randomDatabase(t, 7, 50)
+	_, tr, err := NewDRP().AllocateWithTrace(db, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recompute prefix sums independently.
+	n := db.Len()
+	pf := make([]float64, n+1)
+	pz := make([]float64, n+1)
+	for i, pos := range tr.Order {
+		it := db.Item(pos)
+		pf[i+1] = pf[i] + it.Freq
+		pz[i+1] = pz[i] + it.Size
+	}
+	cost := func(lo, hi int) float64 { return (pf[hi] - pf[lo]) * (pz[hi] - pz[lo]) }
+
+	for i, s := range tr.Steps {
+		chosen := s.Left.Cost + s.Right.Cost
+		for p := s.Popped.Lo + 1; p < s.Popped.Hi; p++ {
+			if alt := cost(s.Popped.Lo, p) + cost(p, s.Popped.Hi); alt < chosen-1e-9 {
+				t.Fatalf("step %d: cut at %d gives %v, beats chosen %v", i, p, alt, chosen)
+			}
+		}
+		if math.Abs(s.Popped.Cost-cost(s.Popped.Lo, s.Popped.Hi)) > 1e-9 {
+			t.Fatalf("step %d: recorded popped cost mismatch", i)
+		}
+	}
+}
+
+// Property: DRP with the max-cost policy always pops the current
+// maximum-cost group (checked via the trace).
+func TestDRPMaxCostPolicyPopsMaximum(t *testing.T) {
+	db := randomDatabase(t, 99, 40)
+	_, tr, err := NewDRP().AllocateWithTrace(db, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replay the queue contents alongside the trace.
+	live := map[GroupRange]bool{tr.Init: true}
+	for i, s := range tr.Steps {
+		for g := range live {
+			splittable := g.Hi-g.Lo >= 2
+			if splittable && g.Cost > s.Popped.Cost+1e-9 {
+				t.Fatalf("step %d popped cost %v while %v was queued", i, s.Popped.Cost, g.Cost)
+			}
+		}
+		delete(live, s.Popped)
+		live[s.Left] = true
+		live[s.Right] = true
+	}
+}
+
+// Property: each split strictly reduces (or preserves) total cost, so
+// DRP's final cost is monotone non-increasing in K.
+func TestDRPCostMonotoneInK(t *testing.T) {
+	db := randomDatabase(t, 5, 80)
+	prev := math.Inf(1)
+	for k := 1; k <= 16; k++ {
+		a, err := NewDRP().Allocate(db, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := Cost(a)
+		if c > prev+1e-9 {
+			t.Fatalf("K=%d cost %v exceeds K=%d cost %v", k, c, k-1, prev)
+		}
+		prev = c
+	}
+}
+
+func TestDRPHandlesUniformItems(t *testing.T) {
+	// All items identical (Φ=0 with flat frequencies): DRP must still
+	// produce K valid groups.
+	items := make([]Item, 12)
+	for i := range items {
+		items[i] = Item{ID: i, Freq: 1.0 / 12, Size: 1}
+	}
+	db := MustNewDatabase(items)
+	for k := 1; k <= 12; k++ {
+		a, err := NewDRP().Allocate(db, k)
+		if err != nil {
+			t.Fatalf("K=%d: %v", k, err)
+		}
+		groups := a.Groups()
+		nonEmpty := 0
+		for _, g := range groups {
+			if len(g) > 0 {
+				nonEmpty++
+			}
+		}
+		if nonEmpty != k {
+			t.Fatalf("K=%d: %d non-empty groups", k, nonEmpty)
+		}
+	}
+}
+
+func TestSplitPolicyString(t *testing.T) {
+	if PolicyMaxCost.String() != "max-cost" || PolicyMaxReduction.String() != "max-reduction" {
+		t.Error("SplitPolicy.String mismatch")
+	}
+	if SplitPolicy(99).String() != "unknown" {
+		t.Error("unknown policy should stringify as unknown")
+	}
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// These golden tests reproduce the paper's worked example (Tables 2-4)
+// to the two decimal places the paper reports.
+
+const paperTol = 0.015 // paper values are rounded to 2 decimals (and Table 2 itself is rounded)
+
+// ids maps a group of database positions to paper item IDs.
+func ids(t *testing.T, db *Database, positions []int) []int {
+	t.Helper()
+	out := make([]int, len(positions))
+	for i, pos := range positions {
+		out[i] = db.Item(pos).ID
+	}
+	return out
+}
+
+func sameIDSet(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	seen := make(map[int]int, len(a))
+	for _, v := range a {
+		seen[v]++
+	}
+	for _, v := range b {
+		seen[v]--
+		if seen[v] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPaperTable3SortOrder(t *testing.T) {
+	db := PaperExampleDatabase()
+	order := db.ByBenefitRatio()
+	want := []int{9, 2, 3, 6, 5, 15, 1, 12, 10, 13, 4, 8, 14, 7, 11}
+	for i, pos := range order {
+		if got := db.Item(pos).ID; got != want[i] {
+			t.Fatalf("br-sorted position %d: got d%d, want d%d", i, got, want[i])
+		}
+	}
+}
+
+func TestPaperTable3InitialCost(t *testing.T) {
+	db := PaperExampleDatabase()
+	a, err := NewAllocation(db, 1, make([]int, db.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Cost(a); math.Abs(got-135.60) > paperTol {
+		t.Fatalf("cost(D) = %.4f, want 135.60", got)
+	}
+}
+
+func TestPaperTable3DRPTrace(t *testing.T) {
+	db := PaperExampleDatabase()
+	_, tr, err := NewDRPExampleConsistent().AllocateWithTrace(db, PaperExampleK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Steps) != PaperExampleK-1 {
+		t.Fatalf("DRP performed %d splits, want %d", len(tr.Steps), PaperExampleK-1)
+	}
+
+	// Table 3(b): the first split cuts D into costs 29.04 and 28.62,
+	// with the boundary between d12 and d10.
+	first := tr.Steps[0]
+	if math.Abs(first.Popped.Cost-135.60) > paperTol {
+		t.Errorf("first popped cost %.4f, want 135.60", first.Popped.Cost)
+	}
+	if math.Abs(first.Left.Cost-29.04) > paperTol || math.Abs(first.Right.Cost-28.62) > paperTol {
+		t.Errorf("first split costs (%.4f, %.4f), want (29.04, 28.62)", first.Left.Cost, first.Right.Cost)
+	}
+	if gotLeft := ids(t, db, positionsOf(tr.Order, first.Left)); !sameIDSet(gotLeft, []int{9, 2, 3, 6, 5, 15, 1, 12}) {
+		t.Errorf("first split left group = d%v, want Table 3(b) group 1", gotLeft)
+	}
+
+	// Table 3(c): the second split pops the 29.04 group and yields
+	// costs 7.02 and 6.82.
+	second := tr.Steps[1]
+	if math.Abs(second.Popped.Cost-29.04) > paperTol {
+		t.Errorf("second popped cost %.4f, want 29.04", second.Popped.Cost)
+	}
+	if math.Abs(second.Left.Cost-7.02) > paperTol || math.Abs(second.Right.Cost-6.82) > paperTol {
+		t.Errorf("second split costs (%.4f, %.4f), want (7.02, 6.82)", second.Left.Cost, second.Right.Cost)
+	}
+}
+
+func positionsOf(order []int, g GroupRange) []int {
+	out := make([]int, 0, g.Hi-g.Lo)
+	for i := g.Lo; i < g.Hi; i++ {
+		out = append(out, order[i])
+	}
+	return out
+}
+
+func TestPaperTable3DFinalGrouping(t *testing.T) {
+	db := PaperExampleDatabase()
+	a, err := NewDRPExampleConsistent().Allocate(db, PaperExampleK)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wantGroups := [][]int{
+		{9, 2, 3},
+		{6, 5, 15},
+		{1, 12},
+		{10, 13, 4, 8},
+		{14, 7, 11},
+	}
+	wantCosts := []float64{2.59, 1.07, 6.82, 7.26, 6.35}
+
+	groups := a.Groups()
+	costs := GroupCosts(a)
+	for c := range wantGroups {
+		if got := ids(t, db, groups[c]); !sameIDSet(got, wantGroups[c]) {
+			t.Errorf("group %d = d%v, want d%v", c+1, got, wantGroups[c])
+		}
+		if math.Abs(costs[c]-wantCosts[c]) > paperTol {
+			t.Errorf("group %d cost %.4f, want %.2f", c+1, costs[c], wantCosts[c])
+		}
+	}
+	if got := Cost(a); math.Abs(got-24.09) > paperTol {
+		t.Errorf("DRP total cost %.4f, want 24.09 (Table 4(a))", got)
+	}
+}
+
+func TestPaperTable4CDSTrace(t *testing.T) {
+	db := PaperExampleDatabase()
+	a, err := NewDRPExampleConsistent().Allocate(db, PaperExampleK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refined, moves, err := NewCDS().RefineWithTrace(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moves) < 2 {
+		t.Fatalf("CDS applied %d moves, want at least the two shown in Table 4", len(moves))
+	}
+
+	byID := db.IndexByID()
+
+	// Table 4(b): first move is d10 from group 4 to group 2 with
+	// Δc_max = 0.95 (24.09 → 23.13).
+	m1 := moves[0]
+	if m1.Pos != byID[10] || m1.From != 3 || m1.To != 1 {
+		t.Errorf("move 1 = d%d ch%d→ch%d, want d10 ch4→ch2", db.Item(m1.Pos).ID, m1.From+1, m1.To+1)
+	}
+	if math.Abs(m1.Reduction-0.95) > paperTol {
+		t.Errorf("move 1 Δc = %.4f, want 0.95", m1.Reduction)
+	}
+	if math.Abs(m1.CostBefore-24.09) > paperTol || math.Abs(m1.CostAfter-23.13) > paperTol {
+		t.Errorf("move 1 cost %.4f→%.4f, want 24.09→23.13", m1.CostBefore, m1.CostAfter)
+	}
+
+	// Table 4(c): second move is d12 from group 3 to group 2 with
+	// Δc_max = 0.45 (23.13 → 22.68).
+	m2 := moves[1]
+	if m2.Pos != byID[12] || m2.From != 2 || m2.To != 1 {
+		t.Errorf("move 2 = d%d ch%d→ch%d, want d12 ch3→ch2", db.Item(m2.Pos).ID, m2.From+1, m2.To+1)
+	}
+	if math.Abs(m2.Reduction-0.45) > paperTol {
+		t.Errorf("move 2 Δc = %.4f, want 0.45", m2.Reduction)
+	}
+	if math.Abs(m2.CostAfter-22.68) > paperTol {
+		t.Errorf("move 2 cost after = %.4f, want 22.68", m2.CostAfter)
+	}
+
+	// Table 4(d): the local optimum has cost 22.29 and the grouping
+	// {d9 d2 d3 d6}, {d5 d15 d10 d12 d14}, {d1}, {d13 d4 d8}, {d7 d11}.
+	if got := Cost(refined); math.Abs(got-22.29) > paperTol {
+		t.Errorf("local-optimal cost %.4f, want 22.29", got)
+	}
+	wantGroups := [][]int{
+		{9, 2, 3, 6},
+		{5, 15, 10, 12, 14},
+		{1},
+		{13, 4, 8},
+		{7, 11},
+	}
+	groups := refined.Groups()
+	for c := range wantGroups {
+		if got := ids(t, db, groups[c]); !sameIDSet(got, wantGroups[c]) {
+			t.Errorf("final group %d = d%v, want d%v", c+1, got, wantGroups[c])
+		}
+	}
+}

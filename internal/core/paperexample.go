@@ -1,0 +1,34 @@
+package core
+
+// PaperExampleItems returns the 15-item broadcast profile of the
+// paper's Table 2 (Examples 1 and 2). IDs are the paper's subscripts:
+// item d_i has ID i. The profile is used by the golden tests that
+// reproduce Tables 3 and 4 and by examples/papertables.
+func PaperExampleItems() []Item {
+	return []Item{
+		{ID: 1, Freq: 0.2374, Size: 21.18},
+		{ID: 2, Freq: 0.1363, Size: 4.77},
+		{ID: 3, Freq: 0.0986, Size: 3.59},
+		{ID: 4, Freq: 0.0783, Size: 15.34},
+		{ID: 5, Freq: 0.0655, Size: 2.91},
+		{ID: 6, Freq: 0.0566, Size: 2.49},
+		{ID: 7, Freq: 0.0500, Size: 17.51},
+		{ID: 8, Freq: 0.0450, Size: 10.86},
+		{ID: 9, Freq: 0.0409, Size: 1.02},
+		{ID: 10, Freq: 0.0376, Size: 6.41},
+		{ID: 11, Freq: 0.0349, Size: 30.62},
+		{ID: 12, Freq: 0.0325, Size: 4.09},
+		{ID: 13, Freq: 0.0305, Size: 5.33},
+		{ID: 14, Freq: 0.0287, Size: 7.74},
+		{ID: 15, Freq: 0.0272, Size: 1.74},
+	}
+}
+
+// PaperExampleDatabase returns Table 2 as a Database.
+func PaperExampleDatabase() *Database {
+	return MustNewDatabase(PaperExampleItems())
+}
+
+// PaperExampleK is the channel count used by the paper's worked
+// example (N=15, K=5).
+const PaperExampleK = 5

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomDatabase builds a deterministic pseudo-random database of n
+// items with Zipf-ish frequencies and log-uniform sizes, the same shape
+// the paper's simulation uses.
+func randomDatabase(tb testing.TB, seed, n int) *Database {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(int64(seed)))
+	items := make([]Item, n)
+	var totalFreq float64
+	for i := range items {
+		f := math.Pow(1/float64(i+1), 0.8)
+		z := math.Pow(10, rng.Float64()*2) // sizes in [1, 100)
+		items[i] = Item{ID: i + 1, Freq: f, Size: z}
+		totalFreq += f
+	}
+	for i := range items {
+		items[i].Freq /= totalFreq
+	}
+	return MustNewDatabase(items)
+}
+
+// randomAllocation assigns each item of db to a uniformly random
+// channel among k.
+func randomAllocation(tb testing.TB, db *Database, k, seed int) *Allocation {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(int64(seed)))
+	channel := make([]int, db.Len())
+	for i := range channel {
+		channel[i] = rng.Intn(k)
+	}
+	a, err := NewAllocation(db, k, channel)
+	if err != nil {
+		tb.Fatalf("randomAllocation: %v", err)
+	}
+	return a
+}
+
+// bruteForceCost recomputes the grouping cost from first principles
+// (per-channel sums done independently of Aggregates) for
+// cross-checking the incremental paths.
+func bruteForceCost(a *Allocation) float64 {
+	db := a.Database()
+	f := make([]float64, a.K())
+	z := make([]float64, a.K())
+	for pos := 0; pos < db.Len(); pos++ {
+		c := a.ChannelOf(pos)
+		f[c] += db.Item(pos).Freq
+		z[c] += db.Item(pos).Size
+	}
+	var total float64
+	for c := 0; c < a.K(); c++ {
+		total += f[c] * z[c]
+	}
+	return total
+}

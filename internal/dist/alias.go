@@ -1,0 +1,86 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Alias samples from a fixed discrete distribution in O(1) per draw
+// using Walker–Vose alias tables. The broadcast simulators draw one
+// item per client request, so request generation stays linear in the
+// trace length regardless of database size.
+type Alias struct {
+	prob  []float64
+	alias []int
+}
+
+// NewAlias builds an alias table for the given non-negative weights,
+// which need not be normalized but must have a positive finite sum.
+func NewAlias(weights []float64) (*Alias, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, fmt.Errorf("dist: alias table needs at least one weight")
+	}
+	var sum float64
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("dist: weight %d is %v; weights must be finite and non-negative", i, w)
+		}
+		sum += w
+	}
+	if !(sum > 0) {
+		return nil, fmt.Errorf("dist: weights sum to %v; need a positive total", sum)
+	}
+
+	a := &Alias{prob: make([]float64, n), alias: make([]int, n)}
+	// Scaled probabilities; the classic two-worklist construction.
+	scaled := make([]float64, n)
+	small := make([]int, 0, n)
+	large := make([]int, 0, n)
+	for i, w := range weights {
+		scaled[i] = w / sum * float64(n)
+		if scaled[i] < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+
+		a.prob[s] = scaled[s]
+		a.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	// Whatever remains is 1 up to rounding.
+	for _, i := range large {
+		a.prob[i] = 1
+		a.alias[i] = i
+	}
+	for _, i := range small {
+		a.prob[i] = 1
+		a.alias[i] = i
+	}
+	return a, nil
+}
+
+// Len reports the number of outcomes.
+func (a *Alias) Len() int { return len(a.prob) }
+
+// Sample draws one outcome index using rng.
+func (a *Alias) Sample(rng *rand.Rand) int {
+	i := rng.Intn(len(a.prob))
+	if rng.Float64() < a.prob[i] {
+		return i
+	}
+	return a.alias[i]
+}

@@ -1,0 +1,256 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestZipfValidation(t *testing.T) {
+	if _, err := Zipf(0, 1); err == nil {
+		t.Error("Zipf(0, 1) should fail")
+	}
+	if _, err := Zipf(10, -0.5); err == nil {
+		t.Error("negative skew should fail")
+	}
+	if _, err := Zipf(10, math.NaN()); err == nil {
+		t.Error("NaN skew should fail")
+	}
+	if _, err := Zipf(10, math.Inf(1)); err == nil {
+		t.Error("infinite skew should fail")
+	}
+}
+
+func TestZipfSumsToOne(t *testing.T) {
+	for _, theta := range []float64{0, 0.4, 0.8, 1.2, 1.6, 3} {
+		for _, n := range []int{1, 2, 60, 180, 1000} {
+			f := MustZipf(n, theta)
+			var sum float64
+			for _, v := range f {
+				sum += v
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Errorf("n=%d θ=%v: sum = %v", n, theta, sum)
+			}
+		}
+	}
+}
+
+func TestZipfMonotoneDecreasing(t *testing.T) {
+	f := MustZipf(100, 0.8)
+	for i := 1; i < len(f); i++ {
+		if f[i] > f[i-1] {
+			t.Fatalf("f[%d]=%v > f[%d]=%v", i, f[i], i-1, f[i-1])
+		}
+	}
+}
+
+func TestZipfFlatAtZeroTheta(t *testing.T) {
+	f := MustZipf(50, 0)
+	for i, v := range f {
+		if math.Abs(v-1.0/50) > 1e-12 {
+			t.Fatalf("θ=0: f[%d] = %v, want %v", i, v, 1.0/50)
+		}
+	}
+}
+
+func TestZipfMatchesClosedForm(t *testing.T) {
+	// Spot-check the paper's formula directly.
+	const n, theta = 5, 1.0
+	f := MustZipf(n, theta)
+	h := 1 + 1.0/2 + 1.0/3 + 1.0/4 + 1.0/5
+	for i := 0; i < n; i++ {
+		want := (1 / float64(i+1)) / h
+		if math.Abs(f[i]-want) > 1e-12 {
+			t.Fatalf("f[%d] = %v, want %v", i, f[i], want)
+		}
+	}
+}
+
+func TestLogUniformSizesRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, phi := range []float64{0, 0.5, 1, 2, 3} {
+		z, err := LogUniformSizes(rng, 2000, phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		maxAllowed := math.Pow(10, phi)
+		for i, v := range z {
+			if v < 1 || v >= maxAllowed*(1+1e-12) {
+				t.Fatalf("Φ=%v: z[%d] = %v outside [1, 10^Φ)", phi, i, v)
+			}
+		}
+	}
+}
+
+func TestLogUniformSizesDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	z, err := LogUniformSizes(rng, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range z {
+		if v != 1 {
+			t.Fatalf("Φ=0 must yield unit sizes, got %v", v)
+		}
+	}
+	if _, err := LogUniformSizes(rng, 0, 1); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := LogUniformSizes(rng, 5, -1); err == nil {
+		t.Error("negative Φ should fail")
+	}
+}
+
+func TestLogUniformMedianGrowsWithPhi(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	mean := func(phi float64) float64 {
+		z, err := LogUniformSizes(rng, 5000, phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var s float64
+		for _, v := range z {
+			s += v
+		}
+		return s / float64(len(z))
+	}
+	if !(mean(0) < mean(1) && mean(1) < mean(2) && mean(2) < mean(3)) {
+		t.Fatal("mean size should grow with diversity Φ")
+	}
+}
+
+func TestUniformSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	z, err := UniformSizes(rng, 1000, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range z {
+		if v < 2 || v >= 8 {
+			t.Fatalf("size %v outside [2, 8)", v)
+		}
+	}
+	if _, err := UniformSizes(rng, 10, 5, 5); err == nil {
+		t.Error("lo == hi should fail")
+	}
+	if _, err := UniformSizes(rng, 10, 0, 5); err == nil {
+		t.Error("lo == 0 should fail")
+	}
+}
+
+func TestExponentialInterarrivals(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const rate = 4.0
+	gaps, err := ExponentialInterarrivals(rng, 20000, rate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, g := range gaps {
+		if g < 0 {
+			t.Fatal("negative interarrival gap")
+		}
+		sum += g
+	}
+	mean := sum / float64(len(gaps))
+	if math.Abs(mean-1/rate) > 0.02 {
+		t.Fatalf("mean gap %v, want ≈ %v", mean, 1/rate)
+	}
+	if _, err := ExponentialInterarrivals(rng, 5, 0); err == nil {
+		t.Error("zero rate should fail")
+	}
+}
+
+func TestAliasValidation(t *testing.T) {
+	if _, err := NewAlias(nil); err == nil {
+		t.Error("empty weights should fail")
+	}
+	if _, err := NewAlias([]float64{0, 0}); err == nil {
+		t.Error("all-zero weights should fail")
+	}
+	if _, err := NewAlias([]float64{1, -2}); err == nil {
+		t.Error("negative weight should fail")
+	}
+	if _, err := NewAlias([]float64{1, math.NaN()}); err == nil {
+		t.Error("NaN weight should fail")
+	}
+}
+
+func TestAliasMatchesWeights(t *testing.T) {
+	weights := []float64{5, 1, 3, 0, 1}
+	a, err := NewAlias(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != len(weights) {
+		t.Fatalf("Len = %d, want %d", a.Len(), len(weights))
+	}
+	rng := rand.New(rand.NewSource(11))
+	const draws = 200000
+	counts := make([]int, len(weights))
+	for i := 0; i < draws; i++ {
+		counts[a.Sample(rng)]++
+	}
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	for i, w := range weights {
+		got := float64(counts[i]) / draws
+		want := w / total
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("outcome %d: frequency %v, want %v", i, got, want)
+		}
+	}
+	if counts[3] != 0 {
+		t.Errorf("zero-weight outcome drawn %d times", counts[3])
+	}
+}
+
+// Property: alias tables never return an out-of-range index and handle
+// arbitrary positive weight vectors.
+func TestAliasIndexRange(t *testing.T) {
+	check := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		weights := make([]float64, len(raw))
+		var sum float64
+		for i, v := range raw {
+			weights[i] = float64(v)
+			sum += weights[i]
+		}
+		if sum == 0 {
+			return true
+		}
+		a, err := NewAlias(weights)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < 200; i++ {
+			idx := a.Sample(rng)
+			if idx < 0 || idx >= len(weights) || weights[idx] == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAliasSample(b *testing.B) {
+	a, err := NewAlias(MustZipf(1000, 0.8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Sample(rng)
+	}
+}

@@ -1,0 +1,61 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// LogUniformSizes returns n item sizes drawn as z = 10^φ with
+// φ ~ Uniform[0, phi], the paper's diversity model (Section 4.1). The
+// diversity parameter phi (the paper's Φ) controls the exponent range:
+// phi = 0 makes every item exactly 1 size unit (the conventional
+// equal-size environment); phi = 3 spreads sizes over [1, 1000).
+func LogUniformSizes(rng *rand.Rand, n int, phi float64) ([]float64, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("dist: LogUniformSizes needs n >= 1, got %d", n)
+	}
+	if phi < 0 || math.IsNaN(phi) || math.IsInf(phi, 0) {
+		return nil, fmt.Errorf("dist: diversity parameter must be a finite non-negative number, got %v", phi)
+	}
+	z := make([]float64, n)
+	for i := range z {
+		z[i] = math.Pow(10, rng.Float64()*phi)
+	}
+	return z, nil
+}
+
+// UniformSizes returns n sizes drawn uniformly from [lo, hi). It is
+// used by scenario workloads that model a known size band (for
+// example thumbnails around a few KB) rather than the paper's
+// exponent-range model.
+func UniformSizes(rng *rand.Rand, n int, lo, hi float64) ([]float64, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("dist: UniformSizes needs n >= 1, got %d", n)
+	}
+	if !(lo > 0) || !(hi > lo) || math.IsInf(hi, 0) {
+		return nil, fmt.Errorf("dist: need 0 < lo < hi, got [%v, %v)", lo, hi)
+	}
+	z := make([]float64, n)
+	for i := range z {
+		z[i] = lo + rng.Float64()*(hi-lo)
+	}
+	return z, nil
+}
+
+// ExponentialInterarrivals returns n interarrival gaps of a Poisson
+// process with the given rate (requests per second). It drives the
+// client request traces in the broadcast simulations.
+func ExponentialInterarrivals(rng *rand.Rand, n int, rate float64) ([]float64, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("dist: negative count %d", n)
+	}
+	if !(rate > 0) || math.IsInf(rate, 0) {
+		return nil, fmt.Errorf("dist: rate must be positive and finite, got %v", rate)
+	}
+	gaps := make([]float64, n)
+	for i := range gaps {
+		gaps[i] = rng.ExpFloat64() / rate
+	}
+	return gaps, nil
+}

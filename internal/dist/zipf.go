@@ -1,0 +1,46 @@
+// Package dist provides the probability distributions the paper's
+// simulation environment is built from: Zipf access frequencies,
+// log-uniform ("diverse") item sizes, and an O(1) alias-method sampler
+// used to draw client requests from an access-frequency vector.
+package dist
+
+import (
+	"fmt"
+	"math"
+)
+
+// Zipf returns the paper's access-frequency vector (Section 4.1):
+//
+//	f_i = (1/i)^θ / Σ_{j=1..n} (1/j)^θ
+//
+// for i = 1..n. θ = 0 yields a flat distribution; larger θ skews the
+// mass toward low indices. The result sums to 1 (within floating-point
+// error) and is strictly decreasing for θ > 0.
+func Zipf(n int, theta float64) ([]float64, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("dist: Zipf needs n >= 1, got %d", n)
+	}
+	if theta < 0 || math.IsNaN(theta) || math.IsInf(theta, 0) {
+		return nil, fmt.Errorf("dist: Zipf skewness must be a finite non-negative number, got %v", theta)
+	}
+	f := make([]float64, n)
+	var sum float64
+	for i := range f {
+		f[i] = math.Pow(1/float64(i+1), theta)
+		sum += f[i]
+	}
+	for i := range f {
+		f[i] /= sum
+	}
+	return f, nil
+}
+
+// MustZipf is Zipf but panics on invalid arguments; for hard-coded
+// experiment configurations.
+func MustZipf(n int, theta float64) []float64 {
+	f, err := Zipf(n, theta)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}

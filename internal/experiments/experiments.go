@@ -1,0 +1,295 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (Section 4): waiting-time sweeps over channel
+// count, database size, diversity and skewness (Figures 2–5), and
+// execution-time sweeps (Figures 6–7), plus the worked example
+// (Tables 2–4). Results are returned as Figure values that render to
+// ASCII tables or CSV.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"diversecast/internal/baseline"
+	"diversecast/internal/core"
+	"diversecast/internal/gopt"
+	"diversecast/internal/stats"
+	"diversecast/internal/workload"
+)
+
+// Config fixes the non-swept simulation parameters. The paper's Table
+// 5 gives ranges; the fixed values used when a figure sweeps one
+// parameter are this repository's choice (recorded in EXPERIMENTS.md).
+type Config struct {
+	// BaseN, BaseK, BasePhi, BaseTheta are the defaults used when a
+	// figure does not sweep that parameter.
+	BaseN     int
+	BaseK     int
+	BasePhi   float64
+	BaseTheta float64
+	// Bandwidth is the channel bandwidth (Table 5: 10 units/s).
+	Bandwidth float64
+	// Seeds are the replication seeds; reported values are means
+	// across them.
+	Seeds []int64
+	// GOPT search budget (see internal/gopt).
+	GOPTPopulation  int
+	GOPTGenerations int
+	GOPTStagnation  int
+	GOPTPolish      bool
+}
+
+// Default returns the full-scale configuration used to regenerate the
+// paper's figures.
+func Default() Config {
+	return Config{
+		BaseN:     120,
+		BaseK:     6,
+		BasePhi:   2.0,
+		BaseTheta: 0.8,
+		Bandwidth: workload.PaperBandwidth,
+		Seeds:     []int64{11, 23, 37, 41, 53},
+		// Generous GA budget so GOPT plays its optimum-reference role.
+		GOPTPopulation:  120,
+		GOPTGenerations: 600,
+		GOPTStagnation:  80,
+		GOPTPolish:      true,
+	}
+}
+
+// Quick returns a reduced configuration for tests and smoke runs.
+func Quick() Config {
+	return Config{
+		BaseN:           60,
+		BaseK:           5,
+		BasePhi:         2.0,
+		BaseTheta:       0.8,
+		Bandwidth:       workload.PaperBandwidth,
+		Seeds:           []int64{11, 23},
+		GOPTPopulation:  40,
+		GOPTGenerations: 150,
+		GOPTStagnation:  40,
+		GOPTPolish:      true,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.BaseN < 1 || c.BaseK < 1 || c.BaseK > c.BaseN {
+		return fmt.Errorf("experiments: bad base N=%d K=%d", c.BaseN, c.BaseK)
+	}
+	if !(c.Bandwidth > 0) {
+		return fmt.Errorf("experiments: bad bandwidth %v", c.Bandwidth)
+	}
+	if len(c.Seeds) == 0 {
+		return fmt.Errorf("experiments: need at least one seed")
+	}
+	return nil
+}
+
+// AlgorithmNames is the fixed comparison set of the paper's figures,
+// in presentation order.
+var AlgorithmNames = []string{"VFK", "DRP", "DRP-CDS", "GOPT"}
+
+// allocators builds one instance of each comparison algorithm; GOPT's
+// randomness is derived from the replication seed.
+func (c Config) allocators(seed int64) map[string]core.Allocator {
+	return map[string]core.Allocator{
+		"VFK":     baseline.NewVFK(),
+		"DRP":     core.NewDRP(),
+		"DRP-CDS": core.NewDRPCDS(),
+		"GOPT": &gopt.GOPT{
+			PopulationSize: c.GOPTPopulation,
+			Generations:    c.GOPTGenerations,
+			Stagnation:     c.GOPTStagnation,
+			Polish:         c.GOPTPolish,
+			Seed:           seed,
+		},
+	}
+}
+
+// Row is one swept point: X is the swept parameter value and Values
+// maps algorithm name to the measured mean (W_b seconds for Figures
+// 2–5, milliseconds for Figures 6–7).
+type Row struct {
+	X      float64
+	Values map[string]float64
+}
+
+// Figure is one regenerated evaluation figure.
+type Figure struct {
+	ID         string
+	Title      string
+	XLabel     string
+	YLabel     string
+	Algorithms []string
+	Rows       []Row
+}
+
+// sweepWait runs the four algorithms over the given per-point
+// workload configurations and records mean analytical waiting time
+// (Eq. 2) across seeds.
+func (c Config) sweepWait(id, title, xlabel string, xs []float64, mk func(x float64, seed int64) (workload.Config, int)) (*Figure, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID: id, Title: title, XLabel: xlabel,
+		YLabel:     "average waiting time (s)",
+		Algorithms: AlgorithmNames,
+	}
+	for _, x := range xs {
+		accs := make(map[string]*stats.Accumulator, len(AlgorithmNames))
+		for _, name := range AlgorithmNames {
+			accs[name] = &stats.Accumulator{}
+		}
+		for _, seed := range c.Seeds {
+			wcfg, k := mk(x, seed)
+			db, err := wcfg.Generate()
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s at %v: %w", id, x, err)
+			}
+			for name, alg := range c.allocators(seed) {
+				a, err := alg.Allocate(db, k)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: %s at %v: %s: %w", id, x, name, err)
+				}
+				accs[name].Add(core.WaitingTime(a, c.Bandwidth))
+			}
+		}
+		row := Row{X: x, Values: make(map[string]float64, len(accs))}
+		for name, acc := range accs {
+			row.Values[name] = acc.Mean()
+		}
+		fig.Rows = append(fig.Rows, row)
+	}
+	return fig, nil
+}
+
+// Figure2 sweeps the channel count K from 4 to 10 (paper Figure 2).
+func Figure2(c Config) (*Figure, error) {
+	xs := []float64{4, 5, 6, 7, 8, 9, 10}
+	return c.sweepWait("fig2", "channel number vs. average waiting time", "K", xs,
+		func(x float64, seed int64) (workload.Config, int) {
+			return workload.Config{N: c.BaseN, Theta: c.BaseTheta, Phi: c.BasePhi, Seed: seed}, int(x)
+		})
+}
+
+// Figure3 sweeps the database size N from 60 to 180 (paper Figure 3).
+func Figure3(c Config) (*Figure, error) {
+	xs := []float64{60, 90, 120, 150, 180}
+	return c.sweepWait("fig3", "number of broadcast items vs. average waiting time", "N", xs,
+		func(x float64, seed int64) (workload.Config, int) {
+			return workload.Config{N: int(x), Theta: c.BaseTheta, Phi: c.BasePhi, Seed: seed}, c.BaseK
+		})
+}
+
+// Figure4 sweeps the diversity parameter Φ from 0 to 3 (paper
+// Figure 4).
+func Figure4(c Config) (*Figure, error) {
+	xs := []float64{0, 0.5, 1, 1.5, 2, 2.5, 3}
+	return c.sweepWait("fig4", "diversity vs. average waiting time", "Phi", xs,
+		func(x float64, seed int64) (workload.Config, int) {
+			return workload.Config{N: c.BaseN, Theta: c.BaseTheta, Phi: x, Seed: seed}, c.BaseK
+		})
+}
+
+// Figure5 sweeps the skewness parameter θ from 0.4 to 1.6 (paper
+// Figure 5).
+func Figure5(c Config) (*Figure, error) {
+	xs := []float64{0.4, 0.6, 0.8, 1.0, 1.2, 1.4, 1.6}
+	return c.sweepWait("fig5", "skewness vs. average waiting time", "Theta", xs,
+		func(x float64, seed int64) (workload.Config, int) {
+			return workload.Config{N: c.BaseN, Theta: x, Phi: c.BasePhi, Seed: seed}, c.BaseK
+		})
+}
+
+// TimedAlgorithms is the comparison set of the complexity experiments
+// (the paper's Figures 6–7 plot DRP-CDS against GOPT).
+var TimedAlgorithms = []string{"DRP-CDS", "GOPT"}
+
+// sweepTime measures mean wall-clock allocation time in milliseconds.
+func (c Config) sweepTime(id, title, xlabel string, xs []float64, mk func(x float64, seed int64) (workload.Config, int)) (*Figure, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID: id, Title: title, XLabel: xlabel,
+		YLabel:     "execution time (ms)",
+		Algorithms: TimedAlgorithms,
+	}
+	for _, x := range xs {
+		accs := make(map[string]*stats.Accumulator, len(TimedAlgorithms))
+		for _, name := range TimedAlgorithms {
+			accs[name] = &stats.Accumulator{}
+		}
+		for _, seed := range c.Seeds {
+			wcfg, k := mk(x, seed)
+			db, err := wcfg.Generate()
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s at %v: %w", id, x, err)
+			}
+			algs := c.allocators(seed)
+			for _, name := range TimedAlgorithms {
+				start := time.Now()
+				if _, err := algs[name].Allocate(db, k); err != nil {
+					return nil, fmt.Errorf("experiments: %s at %v: %s: %w", id, x, name, err)
+				}
+				accs[name].Add(float64(time.Since(start)) / float64(time.Millisecond))
+			}
+		}
+		row := Row{X: x, Values: make(map[string]float64, len(accs))}
+		for name, acc := range accs {
+			row.Values[name] = acc.Mean()
+		}
+		fig.Rows = append(fig.Rows, row)
+	}
+	return fig, nil
+}
+
+// Figure6 sweeps K and reports execution time (paper Figure 6).
+func Figure6(c Config) (*Figure, error) {
+	xs := []float64{4, 5, 6, 7, 8, 9, 10}
+	return c.sweepTime("fig6", "channel number vs. execution time", "K", xs,
+		func(x float64, seed int64) (workload.Config, int) {
+			return workload.Config{N: c.BaseN, Theta: c.BaseTheta, Phi: c.BasePhi, Seed: seed}, int(x)
+		})
+}
+
+// Figure7 sweeps N and reports execution time (paper Figure 7).
+func Figure7(c Config) (*Figure, error) {
+	xs := []float64{60, 90, 120, 150, 180}
+	return c.sweepTime("fig7", "number of broadcast items vs. execution time", "N", xs,
+		func(x float64, seed int64) (workload.Config, int) {
+			return workload.Config{N: int(x), Theta: c.BaseTheta, Phi: c.BasePhi, Seed: seed}, c.BaseK
+		})
+}
+
+// Run regenerates one figure by id ("fig2".."fig7").
+func Run(id string, c Config) (*Figure, error) {
+	switch id {
+	case "fig2":
+		return Figure2(c)
+	case "fig3":
+		return Figure3(c)
+	case "fig4":
+		return Figure4(c)
+	case "fig5":
+		return Figure5(c)
+	case "fig6":
+		return Figure6(c)
+	case "fig7":
+		return Figure7(c)
+	case "abl1":
+		return Ablation1(c)
+	case "abl2":
+		return Ablation2(c)
+	case "abl3":
+		return Ablation3(c)
+	default:
+		return nil, fmt.Errorf("experiments: unknown figure %q (have fig2..fig7, abl1..abl3)", id)
+	}
+}
+
+// FigureIDs lists the regenerable figures in paper order.
+func FigureIDs() []string { return []string{"fig2", "fig3", "fig4", "fig5", "fig6", "fig7"} }

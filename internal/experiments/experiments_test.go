@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The tests in this file assert the qualitative shapes the paper
+// reports, on the Quick configuration: who wins, in which direction
+// curves move, and where the gaps open. Absolute values differ from
+// the paper (different hardware and random instances); shapes must
+// hold.
+
+func quickFig(t *testing.T, id string) *Figure {
+	t.Helper()
+	fig, err := Run(id, Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Rows) == 0 {
+		t.Fatal("empty figure")
+	}
+	return fig
+}
+
+func first(f *Figure, alg string) float64 { return f.Rows[0].Values[alg] }
+func last(f *Figure, alg string) float64  { return f.Rows[len(f.Rows)-1].Values[alg] }
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := Run("fig99", Quick()); err == nil {
+		t.Fatal("unknown figure should fail")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := Quick()
+	bad.Seeds = nil
+	if _, err := Figure2(bad); err == nil {
+		t.Fatal("no seeds should fail")
+	}
+	bad = Quick()
+	bad.BaseK = 0
+	if _, err := Figure3(bad); err == nil {
+		t.Fatal("K=0 should fail")
+	}
+	bad = Quick()
+	bad.Bandwidth = 0
+	if _, err := Figure4(bad); err == nil {
+		t.Fatal("zero bandwidth should fail")
+	}
+}
+
+func TestFigure2Shape(t *testing.T) {
+	fig := quickFig(t, "fig2")
+	// (a) More channels → shorter waits, for every algorithm.
+	for _, alg := range AlgorithmNames {
+		if !(last(fig, alg) < first(fig, alg)) {
+			t.Errorf("%s: wait did not fall from K=4 (%v) to K=10 (%v)",
+				alg, first(fig, alg), last(fig, alg))
+		}
+	}
+	for _, row := range fig.Rows {
+		// (b) The proposed scheme beats the conventional allocator.
+		if row.Values["DRP-CDS"] > row.Values["VFK"]*1.001 {
+			t.Errorf("K=%v: DRP-CDS (%v) worse than VFK (%v)", row.X, row.Values["DRP-CDS"], row.Values["VFK"])
+		}
+		// (c) CDS refinement never hurts DRP.
+		if row.Values["DRP-CDS"] > row.Values["DRP"]*1.001 {
+			t.Errorf("K=%v: CDS hurt DRP (%v vs %v)", row.X, row.Values["DRP-CDS"], row.Values["DRP"])
+		}
+		// (d) DRP-CDS tracks the optimum reference within a few
+		// percent (paper: ~3%).
+		if row.Values["DRP-CDS"] > row.Values["GOPT"]*1.08 {
+			t.Errorf("K=%v: DRP-CDS (%v) more than 8%% above GOPT (%v)",
+				row.X, row.Values["DRP-CDS"], row.Values["GOPT"])
+		}
+	}
+}
+
+func TestFigure3Shape(t *testing.T) {
+	fig := quickFig(t, "fig3")
+	// More items → longer waits, for every algorithm.
+	for _, alg := range AlgorithmNames {
+		if !(last(fig, alg) > first(fig, alg)) {
+			t.Errorf("%s: wait did not grow from N=60 (%v) to N=180 (%v)",
+				alg, first(fig, alg), last(fig, alg))
+		}
+	}
+	// DRP-CDS stays near GOPT at every N (CDS is what keeps DRP
+	// scalable in N, per the paper's discussion).
+	for _, row := range fig.Rows {
+		if row.Values["DRP-CDS"] > row.Values["GOPT"]*1.08 {
+			t.Errorf("N=%v: DRP-CDS (%v) more than 8%% above GOPT (%v)",
+				row.X, row.Values["DRP-CDS"], row.Values["GOPT"])
+		}
+	}
+}
+
+func TestFigure4Shape(t *testing.T) {
+	fig := quickFig(t, "fig4")
+	// (a) Higher diversity → longer waits (bigger items, same
+	// bandwidth).
+	for _, alg := range AlgorithmNames {
+		if !(last(fig, alg) > first(fig, alg)) {
+			t.Errorf("%s: wait did not grow with diversity", alg)
+		}
+	}
+	// (b) At Φ=0 (the conventional environment) VFK coincides with
+	// DRP exactly — with unit sizes the shadow database is the real
+	// one — and stays within several percent of the refined DRP-CDS.
+	flat := fig.Rows[0]
+	if diff := flat.Values["VFK"] - flat.Values["DRP"]; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("Φ=0: VFK (%v) should equal DRP (%v)", flat.Values["VFK"], flat.Values["DRP"])
+	}
+	if flat.Values["VFK"] > flat.Values["DRP-CDS"]*1.08 {
+		t.Errorf("Φ=0: VFK (%v) should be near DRP-CDS (%v)", flat.Values["VFK"], flat.Values["DRP-CDS"])
+	}
+	// (c) At Φ=3 VFK collapses: clearly worse than DRP-CDS.
+	diverse := fig.Rows[len(fig.Rows)-1]
+	if diverse.Values["VFK"] < diverse.Values["DRP-CDS"]*1.10 {
+		t.Errorf("Φ=3: VFK (%v) should clearly trail DRP-CDS (%v)",
+			diverse.Values["VFK"], diverse.Values["DRP-CDS"])
+	}
+	// (d) The relative VFK gap grows with diversity.
+	gapFlat := flat.Values["VFK"] / flat.Values["DRP-CDS"]
+	gapDiverse := diverse.Values["VFK"] / diverse.Values["DRP-CDS"]
+	if gapDiverse <= gapFlat {
+		t.Errorf("VFK gap did not widen with diversity: %v → %v", gapFlat, gapDiverse)
+	}
+}
+
+func TestFigure5Shape(t *testing.T) {
+	fig := quickFig(t, "fig5")
+	// (a) Higher skew → shorter waits for the adaptive algorithms.
+	for _, alg := range []string{"DRP", "DRP-CDS", "GOPT"} {
+		if !(last(fig, alg) < first(fig, alg)) {
+			t.Errorf("%s: wait did not fall with skewness", alg)
+		}
+	}
+	// (b) The DRP-CDS gap to GOPT shrinks as skew grows (paper: 0.04
+	// at θ=0.4 down to 0.005 at θ=1.6). Compare relative gaps at the
+	// extremes with slack for noise.
+	gapLow := fig.Rows[0].Values["DRP-CDS"] - fig.Rows[0].Values["GOPT"]
+	gapHigh := last(fig, "DRP-CDS") - last(fig, "GOPT")
+	if gapHigh > gapLow+0.02 {
+		t.Errorf("gap to GOPT grew with skewness: %v → %v", gapLow, gapHigh)
+	}
+}
+
+func TestFigure6And7Shape(t *testing.T) {
+	fig6 := quickFig(t, "fig6")
+	fig7 := quickFig(t, "fig7")
+	// GOPT is far more expensive than DRP-CDS at every point.
+	for _, fig := range []*Figure{fig6, fig7} {
+		for _, row := range fig.Rows {
+			if row.Values["GOPT"] < row.Values["DRP-CDS"]*5 {
+				t.Errorf("%s %s=%v: GOPT (%vms) not clearly slower than DRP-CDS (%vms)",
+					fig.ID, fig.XLabel, row.X, row.Values["GOPT"], row.Values["DRP-CDS"])
+			}
+		}
+	}
+	// GOPT's cost grows with N (fig7): last point slower than first.
+	if !(last(fig7, "GOPT") > first(fig7, "GOPT")) {
+		t.Errorf("GOPT execution time did not grow with N: %v → %v",
+			first(fig7, "GOPT"), last(fig7, "GOPT"))
+	}
+}
+
+func TestTableAndCSVRendering(t *testing.T) {
+	fig := &Figure{
+		ID: "fig2", Title: "t", XLabel: "K", YLabel: "wait",
+		Algorithms: []string{"A", "B"},
+		Rows: []Row{
+			{X: 4, Values: map[string]float64{"A": 1.5, "B": 2.5}},
+			{X: 6, Values: map[string]float64{"A": 1.25, "B": 2}},
+		},
+	}
+	table := fig.Table()
+	for _, want := range []string{"fig2", "K", "A", "B", "1.5000", "2.0000"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+	csv := fig.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv has %d lines:\n%s", len(lines), csv)
+	}
+	if lines[0] != "K,A,B" {
+		t.Errorf("csv header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "4,1.5,") {
+		t.Errorf("csv row = %q", lines[1])
+	}
+}
+
+func TestFigureIDsRunnable(t *testing.T) {
+	ids := FigureIDs()
+	if len(ids) != 6 {
+		t.Fatalf("expected 6 figures, got %v", ids)
+	}
+	// Spot-check one full dispatch round trip (cheapest figure).
+	cfg := Quick()
+	cfg.Seeds = cfg.Seeds[:1]
+	for _, id := range ids[:1] {
+		fig, err := Run(id, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fig.ID != id {
+			t.Errorf("figure ID %q, want %q", fig.ID, id)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Table renders the figure as a fixed-width ASCII table, one row per
+// swept point and one column per algorithm.
+func (f *Figure) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s\n", f.ID, f.Title)
+	fmt.Fprintf(&b, "y: %s\n", f.YLabel)
+
+	fmt.Fprintf(&b, "%10s", f.XLabel)
+	for _, name := range f.Algorithms {
+		fmt.Fprintf(&b, "  %12s", name)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", 10+14*len(f.Algorithms)))
+	for _, row := range f.Rows {
+		fmt.Fprintf(&b, "%10s", trimFloat(row.X))
+		for _, name := range f.Algorithms {
+			fmt.Fprintf(&b, "  %12.4f", row.Values[name])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the figure as comma-separated values with a header.
+func (f *Figure) CSV() string {
+	var b strings.Builder
+	b.WriteString(f.XLabel)
+	for _, name := range f.Algorithms {
+		b.WriteByte(',')
+		b.WriteString(name)
+	}
+	b.WriteByte('\n')
+	for _, row := range f.Rows {
+		b.WriteString(trimFloat(row.X))
+		for _, name := range f.Algorithms {
+			b.WriteByte(',')
+			b.WriteString(strconv.FormatFloat(row.Values[name], 'g', 8, 64))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func trimFloat(x float64) string {
+	return strconv.FormatFloat(x, 'g', 6, 64)
+}

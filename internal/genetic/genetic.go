@@ -1,0 +1,356 @@
+// Package genetic implements a small, reusable genetic-algorithm
+// engine over fixed-length integer chromosomes, in the style of
+// Holland (1975) and Goldberg (1989) — the references the paper's GOPT
+// comparator is built on. internal/gopt instantiates it for channel
+// allocation; the engine itself is domain-free.
+package genetic
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Fitness scores a chromosome; higher is better. Implementations must
+// be deterministic for a given chromosome.
+type Fitness func(genes []int) float64
+
+// Selection chooses parents from the scored population.
+type Selection int
+
+const (
+	// Tournament selection draws TournamentSize candidates uniformly
+	// and keeps the fittest. Robust to fitness scaling; the default.
+	Tournament Selection = iota
+	// Roulette selection samples proportionally to fitness shifted
+	// to be positive (classic fitness-proportionate selection).
+	Roulette
+)
+
+// String returns the selection scheme's name.
+func (s Selection) String() string {
+	switch s {
+	case Tournament:
+		return "tournament"
+	case Roulette:
+		return "roulette"
+	default:
+		return "unknown"
+	}
+}
+
+// Crossover chooses the recombination operator.
+type Crossover int
+
+const (
+	// OnePoint splits both parents at one random locus.
+	OnePoint Crossover = iota
+	// Uniform draws each gene from either parent with probability ½.
+	Uniform
+)
+
+// String returns the crossover operator's name.
+func (c Crossover) String() string {
+	switch c {
+	case OnePoint:
+		return "one-point"
+	case Uniform:
+		return "uniform"
+	default:
+		return "unknown"
+	}
+}
+
+// Config parameterizes a GA run. Zero fields take the documented
+// defaults via withDefaults.
+type Config struct {
+	// Length is the chromosome length (required).
+	Length int
+	// Alphabet is the number of values a gene can take; genes are in
+	// [0, Alphabet) (required).
+	Alphabet int
+	// PopulationSize is the number of chromosomes per generation
+	// (default 100, minimum 2).
+	PopulationSize int
+	// Generations bounds the number of generations (default 300).
+	Generations int
+	// CrossoverRate is the probability a pair is recombined rather
+	// than copied (default 0.9).
+	CrossoverRate float64
+	// MutationRate is the per-gene probability of random reassignment
+	// (default 1/Length).
+	MutationRate float64
+	// TournamentSize is the tournament arity (default 3).
+	TournamentSize int
+	// Elitism is how many of the fittest chromosomes survive
+	// unchanged each generation (default 2).
+	Elitism int
+	// Stagnation stops the run after this many generations without
+	// improvement of the best fitness; 0 disables early stopping.
+	Stagnation int
+	// Selection and CrossoverOp choose the operators.
+	Selection   Selection
+	CrossoverOp Crossover
+	// Seeds are chromosomes injected into the initial population
+	// (each must have Length genes in range); the rest is random.
+	Seeds [][]int
+	// Seed drives all randomness; runs are reproducible.
+	Seed int64
+}
+
+// ErrBadConfig wraps configuration validation failures.
+var ErrBadConfig = errors.New("genetic: bad config")
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Length < 1 {
+		return c, fmt.Errorf("%w: Length=%d", ErrBadConfig, c.Length)
+	}
+	if c.Alphabet < 1 {
+		return c, fmt.Errorf("%w: Alphabet=%d", ErrBadConfig, c.Alphabet)
+	}
+	if c.PopulationSize == 0 {
+		c.PopulationSize = 100
+	}
+	if c.PopulationSize < 2 {
+		return c, fmt.Errorf("%w: PopulationSize=%d", ErrBadConfig, c.PopulationSize)
+	}
+	if c.Generations == 0 {
+		c.Generations = 300
+	}
+	if c.Generations < 1 {
+		return c, fmt.Errorf("%w: Generations=%d", ErrBadConfig, c.Generations)
+	}
+	if c.CrossoverRate == 0 {
+		c.CrossoverRate = 0.9
+	}
+	if c.CrossoverRate < 0 || c.CrossoverRate > 1 {
+		return c, fmt.Errorf("%w: CrossoverRate=%v", ErrBadConfig, c.CrossoverRate)
+	}
+	if c.MutationRate == 0 {
+		c.MutationRate = 1 / float64(c.Length)
+	}
+	if c.MutationRate < 0 || c.MutationRate > 1 {
+		return c, fmt.Errorf("%w: MutationRate=%v", ErrBadConfig, c.MutationRate)
+	}
+	if c.TournamentSize == 0 {
+		c.TournamentSize = 3
+	}
+	if c.TournamentSize < 1 || c.TournamentSize > c.PopulationSize {
+		return c, fmt.Errorf("%w: TournamentSize=%d", ErrBadConfig, c.TournamentSize)
+	}
+	if c.Elitism == 0 {
+		c.Elitism = 2
+	}
+	if c.Elitism < 0 || c.Elitism >= c.PopulationSize {
+		return c, fmt.Errorf("%w: Elitism=%d with population %d", ErrBadConfig, c.Elitism, c.PopulationSize)
+	}
+	if c.Stagnation < 0 {
+		return c, fmt.Errorf("%w: Stagnation=%d", ErrBadConfig, c.Stagnation)
+	}
+	for i, s := range c.Seeds {
+		if len(s) != c.Length {
+			return c, fmt.Errorf("%w: seed %d has length %d, want %d", ErrBadConfig, i, len(s), c.Length)
+		}
+		for j, g := range s {
+			if g < 0 || g >= c.Alphabet {
+				return c, fmt.Errorf("%w: seed %d gene %d = %d outside [0,%d)", ErrBadConfig, i, j, g, c.Alphabet)
+			}
+		}
+	}
+	return c, nil
+}
+
+// Result is the outcome of a GA run.
+type Result struct {
+	// Best is the fittest chromosome found across all generations.
+	Best []int
+	// BestFitness is its score.
+	BestFitness float64
+	// History records the best fitness after each generation (length
+	// = generations actually run), for convergence analysis.
+	History []float64
+	// Generations is the number of generations executed (may be less
+	// than configured when Stagnation stops the run early).
+	Generations int
+	// Evaluations counts fitness calls.
+	Evaluations int
+}
+
+type scored struct {
+	genes   []int
+	fitness float64
+}
+
+// Run executes the genetic algorithm.
+func Run(cfg Config, fitness Fitness) (*Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if fitness == nil {
+		return nil, fmt.Errorf("%w: nil fitness", ErrBadConfig)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	res := &Result{}
+
+	evaluate := func(genes []int) float64 {
+		res.Evaluations++
+		return fitness(genes)
+	}
+
+	// Initial population: injected seeds first, the rest random.
+	pop := make([]scored, cfg.PopulationSize)
+	for i := range pop {
+		genes := make([]int, cfg.Length)
+		if i < len(cfg.Seeds) {
+			copy(genes, cfg.Seeds[i])
+		} else {
+			for j := range genes {
+				genes[j] = rng.Intn(cfg.Alphabet)
+			}
+		}
+		pop[i] = scored{genes: genes, fitness: evaluate(genes)}
+	}
+
+	best := scored{fitness: math.Inf(-1)}
+	updateBest := func() bool {
+		improved := false
+		for _, s := range pop {
+			if s.fitness > best.fitness {
+				best = scored{genes: append([]int(nil), s.genes...), fitness: s.fitness}
+				improved = true
+			}
+		}
+		return improved
+	}
+	updateBest()
+
+	stagnant := 0
+	for gen := 0; gen < cfg.Generations; gen++ {
+		next := make([]scored, 0, cfg.PopulationSize)
+
+		// Elitism: carry the current top chromosomes unchanged.
+		elite := topK(pop, cfg.Elitism)
+		for _, e := range elite {
+			next = append(next, scored{genes: append([]int(nil), e.genes...), fitness: e.fitness})
+		}
+
+		for len(next) < cfg.PopulationSize {
+			p1 := selectParent(cfg, pop, rng)
+			p2 := selectParent(cfg, pop, rng)
+			c1 := append([]int(nil), p1.genes...)
+			c2 := append([]int(nil), p2.genes...)
+			if rng.Float64() < cfg.CrossoverRate {
+				crossover(cfg, c1, c2, rng)
+			}
+			mutate(cfg, c1, rng)
+			mutate(cfg, c2, rng)
+			next = append(next, scored{genes: c1, fitness: evaluate(c1)})
+			if len(next) < cfg.PopulationSize {
+				next = append(next, scored{genes: c2, fitness: evaluate(c2)})
+			}
+		}
+		pop = next
+		res.Generations = gen + 1
+
+		if updateBest() {
+			stagnant = 0
+		} else {
+			stagnant++
+		}
+		res.History = append(res.History, best.fitness)
+		if cfg.Stagnation > 0 && stagnant >= cfg.Stagnation {
+			break
+		}
+	}
+
+	res.Best = best.genes
+	res.BestFitness = best.fitness
+	return res, nil
+}
+
+// topK returns the k fittest population members (k small; simple
+// selection sort on a copy).
+func topK(pop []scored, k int) []scored {
+	out := make([]scored, 0, k)
+	used := make([]bool, len(pop))
+	for len(out) < k {
+		bestIdx := -1
+		for i, s := range pop {
+			if used[i] {
+				continue
+			}
+			if bestIdx < 0 || s.fitness > pop[bestIdx].fitness {
+				bestIdx = i
+			}
+		}
+		used[bestIdx] = true
+		out = append(out, pop[bestIdx])
+	}
+	return out
+}
+
+func selectParent(cfg Config, pop []scored, rng *rand.Rand) scored {
+	switch cfg.Selection {
+	case Roulette:
+		// Shift fitness to positive mass; degenerate (all-equal)
+		// populations fall back to uniform choice.
+		minFit := math.Inf(1)
+		for _, s := range pop {
+			if s.fitness < minFit {
+				minFit = s.fitness
+			}
+		}
+		var total float64
+		for _, s := range pop {
+			total += s.fitness - minFit
+		}
+		if total <= 0 {
+			return pop[rng.Intn(len(pop))]
+		}
+		r := rng.Float64() * total
+		for _, s := range pop {
+			r -= s.fitness - minFit
+			if r <= 0 {
+				return s
+			}
+		}
+		return pop[len(pop)-1]
+	default: // Tournament
+		best := pop[rng.Intn(len(pop))]
+		for i := 1; i < cfg.TournamentSize; i++ {
+			if c := pop[rng.Intn(len(pop))]; c.fitness > best.fitness {
+				best = c
+			}
+		}
+		return best
+	}
+}
+
+func crossover(cfg Config, a, b []int, rng *rand.Rand) {
+	switch cfg.CrossoverOp {
+	case Uniform:
+		for i := range a {
+			if rng.Float64() < 0.5 {
+				a[i], b[i] = b[i], a[i]
+			}
+		}
+	default: // OnePoint
+		if len(a) < 2 {
+			return
+		}
+		cut := 1 + rng.Intn(len(a)-1)
+		for i := cut; i < len(a); i++ {
+			a[i], b[i] = b[i], a[i]
+		}
+	}
+}
+
+func mutate(cfg Config, genes []int, rng *rand.Rand) {
+	for i := range genes {
+		if rng.Float64() < cfg.MutationRate {
+			genes[i] = rng.Intn(cfg.Alphabet)
+		}
+	}
+}

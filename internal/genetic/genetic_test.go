@@ -1,0 +1,251 @@
+package genetic
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// oneMax counts ones: the classic GA smoke problem.
+func oneMax(genes []int) float64 {
+	var s float64
+	for _, g := range genes {
+		s += float64(g)
+	}
+	return s
+}
+
+func TestConfigValidation(t *testing.T) {
+	fit := func([]int) float64 { return 0 }
+	tests := []struct {
+		name string
+		cfg  Config
+	}{
+		{"zero length", Config{Length: 0, Alphabet: 2}},
+		{"zero alphabet", Config{Length: 4, Alphabet: 0}},
+		{"population one", Config{Length: 4, Alphabet: 2, PopulationSize: 1}},
+		{"negative generations", Config{Length: 4, Alphabet: 2, Generations: -1}},
+		{"crossover rate > 1", Config{Length: 4, Alphabet: 2, CrossoverRate: 1.5}},
+		{"mutation rate > 1", Config{Length: 4, Alphabet: 2, MutationRate: 1.5}},
+		{"tournament too large", Config{Length: 4, Alphabet: 2, PopulationSize: 4, TournamentSize: 9}},
+		{"elitism exceeds population", Config{Length: 4, Alphabet: 2, PopulationSize: 4, Elitism: 4}},
+		{"short seed", Config{Length: 4, Alphabet: 2, Seeds: [][]int{{0, 1}}}},
+		{"seed gene out of range", Config{Length: 2, Alphabet: 2, Seeds: [][]int{{0, 5}}}},
+		{"negative stagnation", Config{Length: 4, Alphabet: 2, Stagnation: -1}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Run(tt.cfg, fit); !errors.Is(err, ErrBadConfig) {
+				t.Fatalf("error = %v, want ErrBadConfig", err)
+			}
+		})
+	}
+	if _, err := Run(Config{Length: 4, Alphabet: 2}, nil); !errors.Is(err, ErrBadConfig) {
+		t.Fatal("nil fitness should fail")
+	}
+}
+
+func TestSolvesOneMax(t *testing.T) {
+	res, err := Run(Config{
+		Length:      30,
+		Alphabet:    2,
+		Generations: 200,
+		Seed:        1,
+	}, oneMax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestFitness < 29 {
+		t.Fatalf("best fitness %v, want ≈ 30 (OneMax)", res.BestFitness)
+	}
+	for _, g := range res.Best {
+		if g != 0 && g != 1 {
+			t.Fatalf("gene %d outside alphabet", g)
+		}
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	cfg := Config{Length: 20, Alphabet: 4, Generations: 50, Seed: 42}
+	a, err := Run(cfg, oneMax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg, oneMax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BestFitness != b.BestFitness || a.Evaluations != b.Evaluations {
+		t.Fatal("identically-seeded runs differ")
+	}
+	for i := range a.Best {
+		if a.Best[i] != b.Best[i] {
+			t.Fatal("identically-seeded runs found different chromosomes")
+		}
+	}
+}
+
+func TestHistoryMonotoneNonDecreasing(t *testing.T) {
+	res, err := Run(Config{Length: 25, Alphabet: 3, Generations: 80, Seed: 3}, oneMax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.History); i++ {
+		if res.History[i] < res.History[i-1] {
+			t.Fatalf("best fitness regressed at generation %d: %v < %v",
+				i, res.History[i], res.History[i-1])
+		}
+	}
+	if res.BestFitness != res.History[len(res.History)-1] {
+		t.Fatal("BestFitness disagrees with final history entry")
+	}
+}
+
+func TestElitismPreservesBest(t *testing.T) {
+	// With elitism the best fitness can never drop, even with a
+	// violent mutation rate.
+	res, err := Run(Config{
+		Length:       15,
+		Alphabet:     2,
+		Generations:  60,
+		MutationRate: 0.5,
+		Elitism:      2,
+		Seed:         5,
+	}, oneMax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.History); i++ {
+		if res.History[i] < res.History[i-1] {
+			t.Fatal("elitism failed to preserve the best chromosome")
+		}
+	}
+}
+
+func TestStagnationStopsEarly(t *testing.T) {
+	// A constant fitness stagnates immediately.
+	res, err := Run(Config{
+		Length:      10,
+		Alphabet:    2,
+		Generations: 500,
+		Stagnation:  5,
+		Seed:        7,
+	}, func([]int) float64 { return 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Generations > 10 {
+		t.Fatalf("ran %d generations despite stagnation limit 5", res.Generations)
+	}
+}
+
+func TestSeedsEnterPopulation(t *testing.T) {
+	// Seeding the known optimum means the run can never do worse.
+	optimum := make([]int, 12)
+	for i := range optimum {
+		optimum[i] = 1
+	}
+	res, err := Run(Config{
+		Length:      12,
+		Alphabet:    2,
+		Generations: 3,
+		Seeds:       [][]int{optimum},
+		Seed:        9,
+	}, oneMax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestFitness < 12 {
+		t.Fatalf("seeded optimum lost: best %v", res.BestFitness)
+	}
+}
+
+func TestRouletteSelection(t *testing.T) {
+	res, err := Run(Config{
+		Length:      20,
+		Alphabet:    2,
+		Generations: 150,
+		Selection:   Roulette,
+		Seed:        11,
+	}, oneMax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestFitness < 17 {
+		t.Fatalf("roulette run best %v, want near 20", res.BestFitness)
+	}
+}
+
+func TestUniformCrossover(t *testing.T) {
+	res, err := Run(Config{
+		Length:      20,
+		Alphabet:    2,
+		Generations: 150,
+		CrossoverOp: Uniform,
+		Seed:        13,
+	}, oneMax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestFitness < 18 {
+		t.Fatalf("uniform-crossover run best %v, want near 20", res.BestFitness)
+	}
+}
+
+func TestNegativeFitnessLandscape(t *testing.T) {
+	// Minimization via negated objective (how GOPT uses the engine):
+	// target is the all-zero string.
+	res, err := Run(Config{Length: 18, Alphabet: 3, Generations: 200, Seed: 15},
+		func(genes []int) float64 { return -oneMax(genes) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestFitness < -2 {
+		t.Fatalf("minimization reached %v, want near 0", res.BestFitness)
+	}
+	if math.IsInf(res.BestFitness, -1) {
+		t.Fatal("best fitness never updated")
+	}
+}
+
+func TestOperatorStrings(t *testing.T) {
+	if Tournament.String() != "tournament" || Roulette.String() != "roulette" ||
+		Selection(9).String() != "unknown" {
+		t.Error("Selection.String mismatch")
+	}
+	if OnePoint.String() != "one-point" || Uniform.String() != "uniform" ||
+		Crossover(9).String() != "unknown" {
+		t.Error("Crossover.String mismatch")
+	}
+}
+
+func TestLengthOneChromosome(t *testing.T) {
+	res, err := Run(Config{Length: 1, Alphabet: 5, Generations: 30, Seed: 17}, oneMax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestFitness != 4 {
+		t.Fatalf("length-1 search best %v, want 4", res.BestFitness)
+	}
+}
+
+func TestEvaluationsCounted(t *testing.T) {
+	res, err := Run(Config{Length: 8, Alphabet: 2, PopulationSize: 10, Generations: 5, Seed: 19}, oneMax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Initial population plus offspring (elites are not re-evaluated).
+	if res.Evaluations < 10 || res.Evaluations > 10+5*10 {
+		t.Fatalf("evaluations = %d, outside plausible range", res.Evaluations)
+	}
+}
+
+func BenchmarkRunOneMax(b *testing.B) {
+	cfg := Config{Length: 60, Alphabet: 6, PopulationSize: 50, Generations: 50, Seed: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg, oneMax); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

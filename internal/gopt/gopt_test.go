@@ -1,0 +1,144 @@
+package gopt
+
+import (
+	"math"
+	"testing"
+
+	"diversecast/internal/baseline"
+	"diversecast/internal/core"
+	"diversecast/internal/workload"
+)
+
+func TestRejectsBadK(t *testing.T) {
+	db := workload.Config{N: 10, Theta: 0.8, Phi: 1, Seed: 1}.MustGenerate()
+	for _, k := range []int{0, -1, 11} {
+		if _, err := New(1).Allocate(db, k); err == nil {
+			t.Errorf("K=%d should fail", k)
+		}
+	}
+}
+
+func TestProducesValidAllocation(t *testing.T) {
+	db := workload.Config{N: 30, Theta: 0.8, Phi: 2, Seed: 2}.MustGenerate()
+	g := &GOPT{PopulationSize: 30, Generations: 40, Seed: 3}
+	a, err := g.Allocate(db, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.K() != 4 {
+		t.Fatalf("K = %d, want 4", a.K())
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	db := workload.Config{N: 25, Theta: 1.0, Phi: 1.5, Seed: 4}.MustGenerate()
+	g := &GOPT{PopulationSize: 20, Generations: 30, Seed: 5}
+	a, err := g.Allocate(db, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := g.Allocate(db, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatal("identically-seeded GOPT runs differ")
+	}
+}
+
+func TestFindsOptimumOnTinyInstance(t *testing.T) {
+	// On a tiny instance the exact optimum is known; the reference
+	// configuration must land on it.
+	db := workload.Config{N: 9, Theta: 0.9, Phi: 2, Seed: 6}.MustGenerate()
+	opt, err := baseline.NewExhaustive().Allocate(db, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _, err := NewReference(7).AllocateWithStats(db, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := core.Cost(a), core.Cost(opt); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("GOPT cost %v, exhaustive optimum %v", got, want)
+	}
+}
+
+func TestPolishNeverHurts(t *testing.T) {
+	db := workload.Config{N: 40, Theta: 0.8, Phi: 2, Seed: 8}.MustGenerate()
+	raw := &GOPT{PopulationSize: 30, Generations: 50, Seed: 9}
+	polished := &GOPT{PopulationSize: 30, Generations: 50, Seed: 9, Polish: true}
+	_, rawStats, err := raw.AllocateWithStats(db, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, polStats, err := polished.AllocateWithStats(db, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if polStats.RawCost != rawStats.Cost {
+		t.Fatalf("identical seeds should share the raw GA result: %v vs %v", polStats.RawCost, rawStats.Cost)
+	}
+	if polStats.Cost > polStats.RawCost+1e-9 {
+		t.Fatalf("polish increased cost: %v → %v", polStats.RawCost, polStats.Cost)
+	}
+}
+
+func TestSeedWithDRPLowerBound(t *testing.T) {
+	// Seeding with DRP guarantees GOPT is at least as good as DRP
+	// (elitism preserves the seed).
+	db := workload.Config{N: 50, Theta: 0.8, Phi: 2, Seed: 10}.MustGenerate()
+	drp, err := core.NewDRP().Allocate(db, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := &GOPT{PopulationSize: 20, Generations: 10, SeedWithDRP: true, Seed: 11}
+	a, err := g.Allocate(db, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if core.Cost(a) > core.Cost(drp)+1e-9 {
+		t.Fatalf("DRP-seeded GOPT (%v) worse than DRP (%v)", core.Cost(a), core.Cost(drp))
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	db := workload.Config{N: 20, Theta: 0.8, Phi: 1, Seed: 12}.MustGenerate()
+	g := &GOPT{PopulationSize: 10, Generations: 8, Stagnation: 8, Seed: 13}
+	a, stats, err := g.AllocateWithStats(db, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Generations < 1 || stats.Generations > 8 {
+		t.Errorf("generations = %d", stats.Generations)
+	}
+	if stats.Evaluations < 10 {
+		t.Errorf("evaluations = %d, want at least the initial population", stats.Evaluations)
+	}
+	if math.Abs(stats.Cost-core.Cost(a)) > 1e-9 {
+		t.Errorf("stats.Cost %v disagrees with allocation cost %v", stats.Cost, core.Cost(a))
+	}
+	if stats.RawCost < stats.Cost-1e-9 {
+		t.Errorf("raw cost %v below final cost %v without polish", stats.RawCost, stats.Cost)
+	}
+}
+
+func TestReferenceBeatsVFKOnDiverseData(t *testing.T) {
+	// The headline qualitative result, in miniature: on a diverse
+	// database the optimum reference clearly beats the
+	// conventional-environment allocator.
+	db := workload.Config{N: 40, Theta: 0.8, Phi: 2.5, Seed: 14}.MustGenerate()
+	vfk, err := baseline.NewVFK().Allocate(db, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := NewReference(15).Allocate(db, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if core.Cost(ref) >= core.Cost(vfk) {
+		t.Fatalf("GOPT (%v) did not beat VFK (%v) on diverse data", core.Cost(ref), core.Cost(vfk))
+	}
+}

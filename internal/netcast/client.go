@@ -1,0 +1,186 @@
+package netcast
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"diversecast/internal/wire"
+)
+
+// Client is a tuned broadcast receiver: it is subscribed to one
+// channel and reads item transmissions off the air.
+type Client struct {
+	conn    net.Conn
+	r       *bufio.Reader
+	hello   wire.Hello
+	channel int
+}
+
+// Reception is one fully received item transmission.
+type Reception struct {
+	Begin wire.ItemBegin
+	// Payload is the reassembled item content.
+	Payload []byte
+	// BeginAt and EndAt are the wall-clock receipt times of the
+	// transmission's begin and end frames.
+	BeginAt time.Time
+	EndAt   time.Time
+}
+
+// Client errors.
+var (
+	ErrServerError = errors.New("netcast: server reported error")
+	ErrBadPayload  = errors.New("netcast: payload does not match announcement")
+)
+
+// Tune connects to a broadcast server and subscribes to the given
+// channel. timeout bounds the dial and handshake.
+func Tune(addr string, channel int, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("netcast: dial %s: %w", addr, err)
+	}
+	c := &Client{conn: conn, r: bufio.NewReader(conn), channel: channel}
+	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("netcast: handshake deadline: %w", err)
+	}
+	f, err := wire.ReadFrame(c.r)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("netcast: reading hello: %w", err)
+	}
+	if f.Type != wire.MsgHello {
+		conn.Close()
+		return nil, fmt.Errorf("netcast: expected hello, got %s", f.Type)
+	}
+	if err := wire.DecodeJSON(f, &c.hello); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if channel < 0 || channel >= c.hello.K {
+		conn.Close()
+		return nil, fmt.Errorf("netcast: channel %d outside [0,%d)", channel, c.hello.K)
+	}
+	if err := wire.WriteJSON(conn, wire.MsgSubscribe, wire.Subscribe{Channel: channel}); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("netcast: subscribing: %w", err)
+	}
+	if err := conn.SetDeadline(time.Time{}); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("netcast: clearing deadline: %w", err)
+	}
+	return c, nil
+}
+
+// Hello returns the server greeting (channel count, bandwidth, time
+// scale).
+func (c *Client) Hello() wire.Hello { return c.hello }
+
+// Channel returns the subscribed channel index.
+func (c *Client) Channel() int { return c.channel }
+
+// Close disconnects the client.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// NextItem blocks until the next complete item transmission has been
+// received and returns it. A transmission already in progress when the
+// client tuned in is skipped (its beginning was missed, exactly as in
+// the paper's model). deadline (if nonzero) bounds the whole wait.
+func (c *Client) NextItem(deadline time.Time) (*Reception, error) {
+	if err := c.conn.SetReadDeadline(deadline); err != nil {
+		return nil, fmt.Errorf("netcast: setting deadline: %w", err)
+	}
+	var (
+		rec     *Reception
+		payload bytes.Buffer
+	)
+	for {
+		f, err := wire.ReadFrame(c.r)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil, io.EOF
+			}
+			return nil, fmt.Errorf("netcast: reading broadcast: %w", err)
+		}
+		switch f.Type {
+		case wire.MsgItemBegin:
+			var begin wire.ItemBegin
+			if err := wire.DecodeJSON(f, &begin); err != nil {
+				return nil, err
+			}
+			rec = &Reception{Begin: begin, BeginAt: time.Now()}
+			payload.Reset()
+		case wire.MsgItemChunk:
+			if rec == nil {
+				continue // tuned in mid-transmission; wait for a begin
+			}
+			payload.Write(f.Body)
+		case wire.MsgItemEnd:
+			if rec == nil {
+				continue
+			}
+			var end wire.ItemEnd
+			if err := wire.DecodeJSON(f, &end); err != nil {
+				return nil, err
+			}
+			if end.ItemID != rec.Begin.ItemID || end.Cycle != rec.Begin.Cycle {
+				// A gap in the stream (e.g. the server dropped us and
+				// we reconnected); resynchronize.
+				rec = nil
+				continue
+			}
+			rec.EndAt = time.Now()
+			rec.Payload = payload.Bytes()
+			if len(rec.Payload) != rec.Begin.PayloadLen {
+				return nil, fmt.Errorf("%w: got %d bytes, announced %d",
+					ErrBadPayload, len(rec.Payload), rec.Begin.PayloadLen)
+			}
+			return rec, nil
+		case wire.MsgError:
+			var eb wire.ErrorBody
+			if err := wire.DecodeJSON(f, &eb); err != nil {
+				return nil, err
+			}
+			return nil, fmt.Errorf("%w: %s", ErrServerError, eb.Message)
+		default:
+			return nil, fmt.Errorf("netcast: unexpected frame %s", f.Type)
+		}
+	}
+}
+
+// WaitForItem blocks until the wanted item's next complete
+// transmission finishes and returns the reception along with the
+// measured waiting time (from the call to the final byte — the
+// client-side analogue of Eq. (1)'s probe + download).
+func (c *Client) WaitForItem(itemID int, timeout time.Duration) (*Reception, time.Duration, error) {
+	start := time.Now()
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = start.Add(timeout)
+	}
+	for {
+		rec, err := c.NextItem(deadline)
+		if err != nil {
+			return nil, 0, err
+		}
+		if rec.Begin.ItemID == itemID {
+			return rec, time.Since(start), nil
+		}
+	}
+}
+
+// VerifyPayload checks a reception's content against the deterministic
+// generator the server uses.
+func VerifyPayload(rec *Reception) error {
+	want := Payload(rec.Begin.ItemID, rec.Begin.PayloadLen)
+	if !bytes.Equal(rec.Payload, want) {
+		return fmt.Errorf("%w: content mismatch for item %d", ErrBadPayload, rec.Begin.ItemID)
+	}
+	return nil
+}

@@ -1,0 +1,50 @@
+package netcast
+
+import (
+	"encoding/json"
+
+	"diversecast/internal/broadcast"
+	"diversecast/internal/wire"
+)
+
+// PayloadLen converts an item size (size units) into on-wire payload
+// bytes at the given density, with a one-byte floor so every item
+// carries data.
+func PayloadLen(size float64, bytesPerUnit int) int {
+	n := int(size * float64(bytesPerUnit))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Payload deterministically generates an item's synthetic content from
+// its ID, so any client can verify what it downloaded without shared
+// state. Byte i is a cheap mix of the ID and the offset.
+func Payload(itemID, length int) []byte {
+	p := make([]byte, length)
+	for i := range p {
+		p[i] = byte(itemID*131 + i*31 + (i>>8)*17)
+	}
+	return p
+}
+
+func beginBody(channel int, slot broadcast.Slot, payloadLen, cycle int) ([]byte, error) {
+	return json.Marshal(wire.ItemBegin{
+		Channel:    channel,
+		Pos:        slot.Pos,
+		ItemID:     slot.ItemID,
+		Size:       slot.Size,
+		PayloadLen: payloadLen,
+		Cycle:      cycle,
+	})
+}
+
+func endBody(channel int, slot broadcast.Slot, cycle int) ([]byte, error) {
+	return json.Marshal(wire.ItemEnd{
+		Channel: channel,
+		Pos:     slot.Pos,
+		ItemID:  slot.ItemID,
+		Cycle:   cycle,
+	})
+}

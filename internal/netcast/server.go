@@ -1,0 +1,375 @@
+// Package netcast executes a broadcast program over real TCP: the
+// server plays every channel's cyclic schedule on the wire (paced to
+// the configured bandwidth and time scale) to all subscribed clients,
+// and the client tunes to a channel and waits for items — the same
+// probe/download lifecycle the paper's analytical model describes,
+// but with wall-clock time and real sockets.
+package netcast
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"diversecast/internal/broadcast"
+	"diversecast/internal/wire"
+)
+
+// ServerConfig parameterizes a broadcast server.
+type ServerConfig struct {
+	// Program is the broadcast program to execute (required).
+	Program *broadcast.Program
+	// TimeScale converts virtual program seconds to real seconds;
+	// 0.001 plays a 10-second cycle in 10ms. Default 1.
+	TimeScale float64
+	// BytesPerUnit is the payload bytes transmitted per size unit
+	// (min 1 byte per item). Default 64.
+	BytesPerUnit int
+	// SubscriberBuffer is the per-subscriber outbound frame queue; a
+	// subscriber that falls this far behind is disconnected rather
+	// than allowed to stall the broadcast. Default 256.
+	SubscriberBuffer int
+	// WriteTimeout bounds a single frame write to a subscriber.
+	// Default 5s.
+	WriteTimeout time.Duration
+}
+
+func (c ServerConfig) withDefaults() (ServerConfig, error) {
+	if c.Program == nil {
+		return c, errors.New("netcast: config needs a Program")
+	}
+	if err := c.Program.Validate(); err != nil {
+		return c, fmt.Errorf("netcast: %w", err)
+	}
+	if c.TimeScale == 0 {
+		c.TimeScale = 1
+	}
+	if c.TimeScale < 0 {
+		return c, fmt.Errorf("netcast: negative TimeScale %v", c.TimeScale)
+	}
+	if c.BytesPerUnit == 0 {
+		c.BytesPerUnit = 64
+	}
+	if c.BytesPerUnit < 1 {
+		return c, fmt.Errorf("netcast: BytesPerUnit %d", c.BytesPerUnit)
+	}
+	if c.SubscriberBuffer == 0 {
+		c.SubscriberBuffer = 256
+	}
+	if c.SubscriberBuffer < 1 {
+		return c, fmt.Errorf("netcast: SubscriberBuffer %d", c.SubscriberBuffer)
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = 5 * time.Second
+	}
+	return c, nil
+}
+
+// Server broadcasts a program to TCP subscribers.
+type Server struct {
+	cfg     ServerConfig
+	ln      net.Listener
+	casters []*caster
+
+	wg        sync.WaitGroup
+	closed    chan struct{}
+	closeOnce sync.Once
+}
+
+// Serve starts a broadcast server listening on addr (e.g.
+// "127.0.0.1:0"). All channels begin their first cycle immediately.
+func Serve(addr string, cfg ServerConfig) (*Server, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netcast: listen: %w", err)
+	}
+	s := &Server{cfg: cfg, ln: ln, closed: make(chan struct{})}
+
+	epoch := time.Now()
+	for c := range cfg.Program.Channels {
+		ca := newCaster(s, c, epoch)
+		s.casters = append(s.casters, ca)
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			ca.run()
+		}()
+	}
+
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.acceptLoop()
+	}()
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Close stops the broadcast, disconnects all subscribers and waits for
+// all server goroutines to exit. It is idempotent.
+func (s *Server) Close() error {
+	var err error
+	s.closeOnce.Do(func() {
+		close(s.closed)
+		err = s.ln.Close()
+		for _, ca := range s.casters {
+			ca.dropAll()
+		}
+		s.wg.Wait()
+	})
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+				// Transient accept failure: a single bad connection
+				// attempt must not kill the broadcast.
+				continue
+			}
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handshake(conn)
+		}()
+	}
+}
+
+// handshake greets the client, reads its subscription and hands the
+// connection to the channel's caster. On any failure the connection is
+// closed; the broadcast must never block on a misbehaving client.
+func (s *Server) handshake(conn net.Conn) {
+	deadline := time.Now().Add(s.cfg.WriteTimeout)
+	if err := conn.SetDeadline(deadline); err != nil {
+		conn.Close()
+		return
+	}
+	hello := wire.Hello{
+		K:         s.cfg.Program.K,
+		Bandwidth: s.cfg.Program.Bandwidth,
+		TimeScale: s.cfg.TimeScale,
+	}
+	if err := wire.WriteJSON(conn, wire.MsgHello, hello); err != nil {
+		conn.Close()
+		return
+	}
+	f, err := wire.ReadFrame(conn)
+	if err != nil || f.Type != wire.MsgSubscribe {
+		conn.Close()
+		return
+	}
+	var sub wire.Subscribe
+	if err := wire.DecodeJSON(f, &sub); err != nil {
+		conn.Close()
+		return
+	}
+	if sub.Channel < 0 || sub.Channel >= len(s.casters) {
+		_ = wire.WriteJSON(conn, wire.MsgError,
+			wire.ErrorBody{Message: fmt.Sprintf("channel %d outside [0,%d)", sub.Channel, len(s.casters))})
+		conn.Close()
+		return
+	}
+	// Clear the handshake deadline; the writer applies per-frame
+	// deadlines from here on.
+	if err := conn.SetDeadline(time.Time{}); err != nil {
+		conn.Close()
+		return
+	}
+	select {
+	case <-s.closed:
+		conn.Close()
+	default:
+		s.casters[sub.Channel].add(conn)
+	}
+}
+
+// outFrame is one pre-encoded frame queued to a subscriber.
+type outFrame struct {
+	t    wire.MsgType
+	body []byte
+}
+
+// subscriber owns one client connection and its outbound queue.
+type subscriber struct {
+	conn  net.Conn
+	out   chan outFrame
+	done  chan struct{}
+	once  sync.Once
+	wrTmo time.Duration
+}
+
+func (sub *subscriber) close() {
+	sub.once.Do(func() {
+		close(sub.done)
+		sub.conn.Close()
+	})
+}
+
+// writeLoop drains the queue onto the socket.
+func (sub *subscriber) writeLoop() {
+	defer sub.close()
+	for {
+		select {
+		case <-sub.done:
+			return
+		case f := <-sub.out:
+			if err := sub.conn.SetWriteDeadline(time.Now().Add(sub.wrTmo)); err != nil {
+				return
+			}
+			if err := wire.WriteFrame(sub.conn, f.t, f.body); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// caster plays one channel's cycle to its subscriber set.
+type caster struct {
+	srv     *Server
+	channel int
+	epoch   time.Time
+
+	mu   sync.Mutex
+	subs map[*subscriber]struct{}
+}
+
+func newCaster(srv *Server, channel int, epoch time.Time) *caster {
+	return &caster{srv: srv, channel: channel, epoch: epoch, subs: make(map[*subscriber]struct{})}
+}
+
+func (ca *caster) add(conn net.Conn) {
+	sub := &subscriber{
+		conn:  conn,
+		out:   make(chan outFrame, ca.srv.cfg.SubscriberBuffer),
+		done:  make(chan struct{}),
+		wrTmo: ca.srv.cfg.WriteTimeout,
+	}
+	ca.mu.Lock()
+	ca.subs[sub] = struct{}{}
+	ca.mu.Unlock()
+	ca.srv.wg.Add(1)
+	go func() {
+		defer ca.srv.wg.Done()
+		sub.writeLoop()
+		ca.remove(sub)
+	}()
+}
+
+func (ca *caster) remove(sub *subscriber) {
+	ca.mu.Lock()
+	delete(ca.subs, sub)
+	ca.mu.Unlock()
+	sub.close()
+}
+
+func (ca *caster) dropAll() {
+	ca.mu.Lock()
+	subs := make([]*subscriber, 0, len(ca.subs))
+	for sub := range ca.subs {
+		subs = append(subs, sub)
+	}
+	ca.subs = make(map[*subscriber]struct{})
+	ca.mu.Unlock()
+	for _, sub := range subs {
+		sub.close()
+	}
+}
+
+// send enqueues a frame to every subscriber; one that has fallen a
+// full buffer behind is dropped (broadcast never blocks on a client).
+func (ca *caster) send(t wire.MsgType, body []byte) {
+	ca.mu.Lock()
+	var drop []*subscriber
+	for sub := range ca.subs {
+		select {
+		case sub.out <- outFrame{t: t, body: body}:
+		default:
+			drop = append(drop, sub)
+		}
+	}
+	ca.mu.Unlock()
+	for _, sub := range drop {
+		ca.remove(sub)
+	}
+}
+
+// sleepUntil waits for the virtual-time offset (seconds since epoch,
+// scaled) or server shutdown, whichever first. It reports false on
+// shutdown.
+func (ca *caster) sleepUntil(virtualOffset float64) bool {
+	target := ca.epoch.Add(time.Duration(virtualOffset * ca.srv.cfg.TimeScale * float64(time.Second)))
+	d := time.Until(target)
+	if d <= 0 {
+		select {
+		case <-ca.srv.closed:
+			return false
+		default:
+			return true
+		}
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ca.srv.closed:
+		return false
+	case <-timer.C:
+		return true
+	}
+}
+
+// chunkSize bounds one payload chunk frame.
+const chunkSize = 4096
+
+// run plays the cyclic schedule forever (until server close). Pacing
+// is anchored to the epoch, so timing does not drift across cycles.
+func (ca *caster) run() {
+	ch := ca.srv.cfg.Program.Channels[ca.channel]
+	if len(ch.Slots) == 0 || ch.CycleLength <= 0 {
+		<-ca.srv.closed
+		return
+	}
+	for cycle := 0; ; cycle++ {
+		cycleStart := float64(cycle) * ch.CycleLength
+		for _, slot := range ch.Slots {
+			if !ca.sleepUntil(cycleStart + slot.Start) {
+				return
+			}
+			payload := Payload(slot.ItemID, PayloadLen(slot.Size, ca.srv.cfg.BytesPerUnit))
+			begin, err := beginBody(ca.channel, slot, len(payload), cycle)
+			if err != nil {
+				// Unreachable: the body is always marshalable.
+				return
+			}
+			ca.send(wire.MsgItemBegin, begin)
+			for off := 0; off < len(payload); off += chunkSize {
+				end := off + chunkSize
+				if end > len(payload) {
+					end = len(payload)
+				}
+				ca.send(wire.MsgItemChunk, payload[off:end])
+			}
+			if !ca.sleepUntil(cycleStart + slot.End()) {
+				return
+			}
+			endB, err := endBody(ca.channel, slot, cycle)
+			if err != nil {
+				return
+			}
+			ca.send(wire.MsgItemEnd, endB)
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package ondemand_test
+
+import (
+	"fmt"
+	"log"
+
+	"diversecast/internal/core"
+	"diversecast/internal/ondemand"
+	"diversecast/internal/workload"
+)
+
+// Example runs a tiny on-demand channel: three requests, two for the
+// same item batched into one transmission.
+func Example() {
+	db := core.MustNewDatabase([]core.Item{
+		{ID: 1, Freq: 0.5, Size: 10},
+		{ID: 2, Freq: 0.5, Size: 20},
+	})
+	trace := []workload.Request{
+		{Time: 0.0, Pos: 0},
+		{Time: 0.0, Pos: 0}, // same item, same instant: one broadcast
+		{Time: 0.2, Pos: 1},
+	}
+	res, err := ondemand.Run(db, trace, ondemand.RxW{}, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("broadcasts: %d\n", res.Broadcasts)
+	fmt.Printf("mean wait:  %.2f s\n", res.Wait.Mean)
+	// Output:
+	// broadcasts: 2
+	// mean wait:  1.60 s
+}

@@ -1,0 +1,279 @@
+package ondemand
+
+import (
+	"math"
+	"testing"
+
+	"diversecast/internal/airsim"
+	"diversecast/internal/broadcast"
+	"diversecast/internal/core"
+	"diversecast/internal/workload"
+)
+
+func testDB(tb testing.TB, n int, phi float64, seed int64) *core.Database {
+	tb.Helper()
+	return workload.Config{N: n, Theta: 0.9, Phi: phi, Seed: seed}.MustGenerate()
+}
+
+func testTrace(tb testing.TB, db *core.Database, requests int, rate float64, seed int64) []workload.Request {
+	tb.Helper()
+	trace, err := workload.GenerateTrace(db, workload.TraceConfig{Requests: requests, Rate: rate, Seed: seed})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return trace
+}
+
+func TestRunValidation(t *testing.T) {
+	db := testDB(t, 10, 1, 1)
+	trace := testTrace(t, db, 5, 10, 2)
+	if _, err := Run(db, nil, FCFS{}, 10); err != ErrEmptyTrace {
+		t.Errorf("empty trace: %v", err)
+	}
+	if _, err := Run(db, trace, FCFS{}, 0); err == nil {
+		t.Error("zero bandwidth should fail")
+	}
+	unsorted := append([]workload.Request(nil), trace...)
+	unsorted[0], unsorted[1] = unsorted[1], unsorted[0]
+	if _, err := Run(db, unsorted, FCFS{}, 10); err == nil {
+		t.Error("unsorted trace should fail")
+	}
+	bad := append([]workload.Request(nil), trace...)
+	bad[0].Pos = 99
+	if _, err := Run(db, bad, FCFS{}, 10); err == nil {
+		t.Error("out-of-range position should fail")
+	}
+}
+
+type badScheduler struct{}
+
+func (badScheduler) Name() string                { return "bad" }
+func (badScheduler) Pick(float64, []Pending) int { return -1 }
+
+func TestRunRejectsBadScheduler(t *testing.T) {
+	db := testDB(t, 10, 1, 1)
+	trace := testTrace(t, db, 5, 10, 2)
+	if _, err := Run(db, trace, badScheduler{}, 10); err == nil {
+		t.Fatal("bad scheduler index should fail")
+	}
+}
+
+// Every scheduler must serve every request exactly once.
+func TestConservation(t *testing.T) {
+	db := testDB(t, 30, 2, 3)
+	trace := testTrace(t, db, 3000, 20, 4)
+	for _, sched := range Schedulers() {
+		t.Run(sched.Name(), func(t *testing.T) {
+			res, err := Run(db, trace, sched, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Requests != len(trace) {
+				t.Fatalf("served %d of %d", res.Requests, len(trace))
+			}
+			if res.Wait.Min <= 0 {
+				t.Fatalf("min wait %v must exceed zero (download takes time)", res.Wait.Min)
+			}
+			// A request can never finish before its own transmission
+			// time: stretch ≥ 1.
+			if res.Stretch.Min < 1-1e-9 {
+				t.Fatalf("stretch %v below 1", res.Stretch.Min)
+			}
+			if res.Broadcasts < 1 || res.BatchMean < 1 {
+				t.Fatalf("broadcasts %d, batch mean %v", res.Broadcasts, res.BatchMean)
+			}
+			if res.Makespan < trace[len(trace)-1].Time {
+				t.Fatalf("makespan %v before last arrival", res.Makespan)
+			}
+		})
+	}
+}
+
+// A lone request on an idle server is served immediately: wait equals
+// the item's transmission time exactly (the low-load advantage over
+// push, which always pays half a cycle of probe time).
+func TestIdleServerServesImmediately(t *testing.T) {
+	db := testDB(t, 10, 1, 5)
+	trace := []workload.Request{{Time: 3.0, Pos: 4}}
+	res, err := Run(db, trace, RxW{}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := db.Item(4).Size / 10
+	if math.Abs(res.Wait.Mean-want) > 1e-9 {
+		t.Fatalf("idle wait %v, want %v", res.Wait.Mean, want)
+	}
+	if math.Abs(res.Stretch.Mean-1) > 1e-9 {
+		t.Fatalf("idle stretch %v, want 1", res.Stretch.Mean)
+	}
+}
+
+// Simultaneous requests for one item are served by one transmission.
+func TestBroadcastBatching(t *testing.T) {
+	db := testDB(t, 10, 1, 6)
+	trace := []workload.Request{
+		{Time: 1.0, Pos: 2},
+		{Time: 1.0, Pos: 2},
+		{Time: 1.0, Pos: 2},
+	}
+	res, err := Run(db, trace, MRF{}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Broadcasts != 1 {
+		t.Fatalf("%d broadcasts for 3 identical requests, want 1", res.Broadcasts)
+	}
+	if res.BatchMean != 3 {
+		t.Fatalf("batch mean %v, want 3", res.BatchMean)
+	}
+}
+
+// A request arriving during its own item's transmission missed the
+// beginning and must wait for a later airing.
+func TestMidTransmissionRequestWaits(t *testing.T) {
+	db := core.MustNewDatabase([]core.Item{
+		{ID: 1, Freq: 0.5, Size: 10}, // 1s at b=10
+		{ID: 2, Freq: 0.5, Size: 10},
+	})
+	trace := []workload.Request{
+		{Time: 0.0, Pos: 0}, // airs [0,1)
+		{Time: 0.5, Pos: 0}, // mid-air: must be re-broadcast
+	}
+	res, err := Run(db, trace, FCFS{}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Broadcasts != 2 {
+		t.Fatalf("%d broadcasts, want 2 (mid-air request re-served)", res.Broadcasts)
+	}
+	// Second request waits from 0.5 to the end of the second airing
+	// at 2.0 → 1.5s.
+	if math.Abs(res.Wait.Max-1.5) > 1e-9 {
+		t.Fatalf("max wait %v, want 1.5", res.Wait.Max)
+	}
+}
+
+// Under diverse sizes the size-aware RxW/S beats plain RxW on mean
+// wait — the pull-side echo of the paper's main claim.
+func TestSizeAwareSchedulingWinsOnDiverseSizes(t *testing.T) {
+	db := testDB(t, 40, 2.5, 7)
+	trace := testTrace(t, db, 6000, 30, 8)
+	rxw, err := Run(db, trace, RxW{}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rxws, err := Run(db, trace, RxWS{}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rxws.Wait.Mean >= rxw.Wait.Mean {
+		t.Fatalf("RxW/S (%v) did not beat RxW (%v) on diverse sizes", rxws.Wait.Mean, rxw.Wait.Mean)
+	}
+}
+
+// RxW avoids the starvation FCFS-in-popular-storm / MRF exhibit: under
+// a skewed overload, MRF's worst-case wait explodes relative to RxW.
+func TestRxWBoundsStarvationVersusMRF(t *testing.T) {
+	db := testDB(t, 30, 1.5, 9)
+	// Heavy overload: arrivals much faster than the channel drains.
+	trace := testTrace(t, db, 4000, 200, 10)
+	mrf, err := Run(db, trace, MRF{}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rxw, err := Run(db, trace, RxW{}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rxw.Wait.Max >= mrf.Wait.Max {
+		t.Fatalf("RxW worst wait (%v) not below MRF's (%v) under overload", rxw.Wait.Max, mrf.Wait.Max)
+	}
+}
+
+// The push/pull trade in this model: at low request rates on-demand
+// crushes the cyclic push program (an idle server airs your item
+// immediately; push always pays ~half a cycle of probe). Under
+// overload, broadcast *batching* keeps on-demand bounded — one airing
+// serves every waiter — so its wait converges toward the
+// full-rotation scale instead of diverging; push's remaining edge is
+// needing no uplink at all (on-demand consumed one uplink message per
+// request).
+func TestPushPullTradeoff(t *testing.T) {
+	db := testDB(t, 40, 2, 11)
+	alloc, err := core.NewDRPCDS().Allocate(db, 1) // one channel each side
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := broadcast.Build(alloc, 10, broadcast.ByPosition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullRotation := db.TotalSize() / 10 // airing every item once
+
+	pullWait := func(rate float64) float64 {
+		trace := testTrace(t, db, 2000, rate, 12)
+		res, err := Run(db, trace, RxW{}, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Wait.Mean
+	}
+	pushMeasured := func(rate float64) float64 {
+		trace := testTrace(t, db, 2000, rate, 12)
+		res, err := airsim.Measure(prog, trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Wait.Mean
+	}
+
+	// Low load: one request every ~50s against a cycle of hundreds of
+	// seconds — the on-demand server is usually idle.
+	low, mid, high := 0.02, 2.0, 50.0
+	if !(pullWait(low) < pushMeasured(low)/4) {
+		t.Fatalf("low load: on-demand (%v) should crush push (%v)", pullWait(low), pushMeasured(low))
+	}
+	// Waits grow with load…
+	if !(pullWait(low) < pullWait(mid) && pullWait(mid) < pullWait(high)) {
+		t.Fatalf("on-demand wait not monotone in load: %v, %v, %v",
+			pullWait(low), pullWait(mid), pullWait(high))
+	}
+	// …but batching bounds the overload regime by the full-rotation
+	// scale (unit-service queueing would diverge here: the offered
+	// load is ~100× the channel rate).
+	if !(pullWait(high) < fullRotation) {
+		t.Fatalf("overload: on-demand (%v) exceeded the full rotation bound (%v)",
+			pullWait(high), fullRotation)
+	}
+}
+
+func TestSchedulerNames(t *testing.T) {
+	want := map[string]bool{"FCFS": true, "MRF": true, "RxW": true, "RxW/S": true}
+	for _, s := range Schedulers() {
+		if !want[s.Name()] {
+			t.Errorf("unexpected scheduler %q", s.Name())
+		}
+		delete(want, s.Name())
+	}
+	if len(want) != 0 {
+		t.Errorf("missing schedulers: %v", want)
+	}
+}
+
+func BenchmarkSchedulers(b *testing.B) {
+	db := testDB(b, 60, 2, 13)
+	trace := testTrace(b, db, 3000, 30, 14)
+	for _, sched := range Schedulers() {
+		b.Run(sched.Name(), func(b *testing.B) {
+			var mean float64
+			for i := 0; i < b.N; i++ {
+				res, err := Run(db, trace, sched, 10)
+				if err != nil {
+					b.Fatal(err)
+				}
+				mean = res.Wait.Mean
+			}
+			b.ReportMetric(mean, "wait_s")
+		})
+	}
+}

@@ -1,0 +1,78 @@
+package query
+
+import (
+	"testing"
+
+	"diversecast/internal/broadcast"
+	"diversecast/internal/core"
+	"diversecast/internal/workload"
+)
+
+// Regression test for the back-to-back slot rendezvous: a client whose
+// download ends exactly at the next needed slot's start must catch it
+// (slot starts are cumulative float sums, so this failed before the
+// epsilon-tolerant schedule query in Retrieve, costing a spurious full
+// cycle per item). The exhaustive sweep also quantifies the value of
+// cycle-adjacency: chains laid out as contiguous blocks must beat the
+// same chains scattered by the position order by a wide margin.
+func TestAdjacentBlocksBeatScatteredChains(t *testing.T) {
+	db := workload.Config{N: 60, Theta: 0.9, Phi: 0, Seed: 8}.MustGenerate()
+	a, err := core.NewDRPCDS().Allocate(db, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Orbit order: consecutive slots differ by +17 positions, so every
+	// stride-17 chain occupies consecutive slots.
+	orbit := func(_ int, group []int) []int {
+		out := make([]int, 0, len(group))
+		cur := 0
+		for i := 0; i < 60; i++ {
+			out = append(out, cur)
+			cur = (cur + 17) % 60
+		}
+		return out
+	}
+	pOrbit, err := broadcast.BuildCustom(a, 10, orbit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pPos, err := broadcast.Build(a, 10, broadcast.ByPosition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycle := pOrbit.Channels[0].CycleLength
+
+	meanAndWorst := func(p *broadcast.Program) (float64, float64) {
+		var sum, worst float64
+		n := 0
+		for x := 0; x < 60; x++ {
+			items := []int{x, (x + 17) % 60, (x + 34) % 60, (x + 51) % 60}
+			for ph := 0; ph < 40; ph++ {
+				at := cycle * float64(ph) / 40
+				s, _, err := Retrieve(p, Query{Time: at, Items: items})
+				if err != nil {
+					t.Fatal(err)
+				}
+				sum += s
+				if s > worst {
+					worst = s
+				}
+				n++
+			}
+		}
+		return sum / float64(n), worst
+	}
+
+	orbitMean, orbitWorst := meanAndWorst(pOrbit)
+	posMean, _ := meanAndWorst(pPos)
+
+	// Adjacency wins by a wide margin on chain queries.
+	if orbitMean > posMean*0.75 {
+		t.Fatalf("block layout (%v) not clearly better than scattered (%v)", orbitMean, posMean)
+	}
+	// And no query ever pays more than ~one cycle plus the block: the
+	// pre-fix boundary bug made chains cost (m−1) extra cycles.
+	if orbitWorst > cycle*1.1 {
+		t.Fatalf("worst block span %v exceeds a cycle (%v): missed back-to-back slots", orbitWorst, cycle)
+	}
+}

@@ -1,0 +1,272 @@
+// Package query models multi-item queries over broadcast programs,
+// the territory of the reproduced paper's references [9] and [10]
+// (Huang and Chen, dependent-data broadcasting): a client query needs
+// a SET of related items, and its latency — the query span — runs
+// until the last needed item has been downloaded.
+//
+// Two pieces are provided. Retrieve implements the standard greedy
+// client: among the items still needed, always download the one whose
+// next complete transmission finishes earliest. AffinityOrder
+// rearranges the items *within* each channel cycle so that co-accessed
+// items air back to back; single-item waiting times are unchanged (a
+// flat cyclic channel's mean wait is order-independent), but query
+// spans shrink.
+package query
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"diversecast/internal/broadcast"
+	"diversecast/internal/core"
+	"diversecast/internal/dist"
+	"diversecast/internal/stats"
+)
+
+// Query is one multi-item request: at Time the client needs every
+// item in Items (database positions, no duplicates).
+type Query struct {
+	Time  float64
+	Items []int
+}
+
+// WorkloadConfig describes a synthetic query workload.
+type WorkloadConfig struct {
+	// Queries is the number of queries to generate.
+	Queries int
+	// Rate is the query arrival rate (queries per second).
+	Rate float64
+	// MaxItems bounds the query size (uniform in 1..MaxItems).
+	MaxItems int
+	// Locality is the probability that each additional query item is
+	// the previous one's related item (its position advanced by
+	// Stride, wrapping) rather than an independent popularity-
+	// weighted draw.
+	Locality float64
+	// Stride is the position offset between related items (default
+	// 1: adjacent storage). Strides coprime to N model related data
+	// scattered across the database, which naive cycle orders keep
+	// far apart.
+	Stride int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// Generate draws a query workload against db: the first item of each
+// query follows the access-frequency distribution; subsequent items
+// follow database adjacency with probability Locality.
+func Generate(db *core.Database, cfg WorkloadConfig) ([]Query, error) {
+	if cfg.Queries < 0 {
+		return nil, fmt.Errorf("query: negative query count %d", cfg.Queries)
+	}
+	if cfg.MaxItems < 1 {
+		return nil, fmt.Errorf("query: MaxItems must be >= 1, got %d", cfg.MaxItems)
+	}
+	if cfg.Locality < 0 || cfg.Locality > 1 {
+		return nil, fmt.Errorf("query: Locality must be in [0,1], got %v", cfg.Locality)
+	}
+	if cfg.Stride == 0 {
+		cfg.Stride = 1
+	}
+	if cfg.Stride < 0 {
+		return nil, fmt.Errorf("query: Stride must be positive, got %d", cfg.Stride)
+	}
+	weights := make([]float64, db.Len())
+	for i := range weights {
+		weights[i] = db.Item(i).Freq
+	}
+	alias, err := dist.NewAlias(weights)
+	if err != nil {
+		return nil, fmt.Errorf("query: %w", err)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	gaps, err := dist.ExponentialInterarrivals(rng, cfg.Queries, cfg.Rate)
+	if err != nil {
+		return nil, fmt.Errorf("query: %w", err)
+	}
+
+	queries := make([]Query, cfg.Queries)
+	var now float64
+	for qi := range queries {
+		now += gaps[qi]
+		size := 1 + rng.Intn(cfg.MaxItems)
+		seen := make(map[int]bool, size)
+		items := make([]int, 0, size)
+		cur := alias.Sample(rng)
+		for len(items) < size {
+			if !seen[cur] {
+				seen[cur] = true
+				items = append(items, cur)
+			}
+			if rng.Float64() < cfg.Locality {
+				cur = (cur + cfg.Stride) % db.Len()
+			} else {
+				cur = alias.Sample(rng)
+			}
+		}
+		queries[qi] = Query{Time: now, Items: items}
+	}
+	return queries, nil
+}
+
+// Retrieval errors.
+var (
+	ErrEmptyQuery = errors.New("query: empty item set")
+	ErrDuplicate  = errors.New("query: duplicate item in query")
+)
+
+// Retrieve runs the greedy client for one query against a program:
+// starting at the query time, repeatedly download the still-needed
+// item whose next complete transmission ends earliest. It returns the
+// span (finish − query time) and the download order.
+func Retrieve(p *broadcast.Program, q Query) (span float64, order []int, err error) {
+	if len(q.Items) == 0 {
+		return 0, nil, ErrEmptyQuery
+	}
+	remaining := make(map[int]bool, len(q.Items))
+	for _, pos := range q.Items {
+		if remaining[pos] {
+			return 0, nil, fmt.Errorf("%w: position %d", ErrDuplicate, pos)
+		}
+		remaining[pos] = true
+	}
+
+	now := q.Time
+	order = make([]int, 0, len(q.Items))
+	for len(remaining) > 0 {
+		bestPos, bestEnd := -1, math.Inf(1)
+		// A transmission starting exactly when the previous download
+		// ends is catchable (back-to-back slots); slot starts are
+		// cumulative float sums, so query the schedule a hair early
+		// or boundary jitter would miss every adjacent slot and pay a
+		// spurious full cycle.
+		eps := 1e-9 * (1 + math.Abs(now))
+		// Deterministic iteration for tie-stability.
+		keys := make([]int, 0, len(remaining))
+		for pos := range remaining {
+			keys = append(keys, pos)
+		}
+		sort.Ints(keys)
+		for _, pos := range keys {
+			start, err := p.NextStart(pos, now-eps)
+			if err != nil {
+				return 0, nil, fmt.Errorf("query: item %d: %w", pos, err)
+			}
+			c, s, _ := p.Locate(pos)
+			end := start + p.Channels[c].Slots[s].Duration
+			if end < bestEnd {
+				bestPos, bestEnd = pos, end
+			}
+		}
+		delete(remaining, bestPos)
+		order = append(order, bestPos)
+		now = bestEnd
+	}
+	return now - q.Time, order, nil
+}
+
+// Result summarizes a query-workload evaluation.
+type Result struct {
+	Queries int
+	// Span is the query latency (arrival to last download).
+	Span stats.Summary
+	// PerSize summarizes spans by query size (index = size, entry 0
+	// unused).
+	PerSize []stats.Summary
+}
+
+// Evaluate retrieves every query and aggregates the spans.
+func Evaluate(p *broadcast.Program, queries []Query) (*Result, error) {
+	if len(queries) == 0 {
+		return nil, errors.New("query: empty workload")
+	}
+	var span stats.Accumulator
+	maxSize := 0
+	for _, q := range queries {
+		if len(q.Items) > maxSize {
+			maxSize = len(q.Items)
+		}
+	}
+	perSize := make([]stats.Accumulator, maxSize+1)
+	for _, q := range queries {
+		s, _, err := Retrieve(p, q)
+		if err != nil {
+			return nil, err
+		}
+		span.Add(s)
+		perSize[len(q.Items)].Add(s)
+	}
+	res := &Result{Queries: len(queries), Span: span.Summarize()}
+	res.PerSize = make([]stats.Summary, len(perSize))
+	for i := range perSize {
+		res.PerSize[i] = perSize[i].Summarize()
+	}
+	return res, nil
+}
+
+// AffinityOrder builds a slot-reorder function (for
+// broadcast.BuildCustom) from a training query workload: within each
+// channel, items that co-occur in queries are chained back to back by
+// a greedy maximum-affinity walk, so a client needing both catches
+// them in one pass instead of paying an extra cycle.
+func AffinityOrder(a *core.Allocation, training []Query) func(channel int, group []int) []int {
+	// Pairwise co-access weights.
+	affinity := make(map[[2]int]float64)
+	for _, q := range training {
+		for i := 0; i < len(q.Items); i++ {
+			for j := i + 1; j < len(q.Items); j++ {
+				x, y := q.Items[i], q.Items[j]
+				if x > y {
+					x, y = y, x
+				}
+				affinity[[2]int{x, y}]++
+			}
+		}
+	}
+	weight := func(x, y int) float64 {
+		if x > y {
+			x, y = y, x
+		}
+		return affinity[[2]int{x, y}]
+	}
+	db := a.Database()
+
+	return func(_ int, group []int) []int {
+		if len(group) < 3 {
+			return group
+		}
+		// Greedy chain: start from the most popular item, repeatedly
+		// append the unused item with the highest affinity to the
+		// current tail (ties and zero affinity: most popular next).
+		used := make(map[int]bool, len(group))
+		start := group[0]
+		for _, pos := range group {
+			if db.Item(pos).Freq > db.Item(start).Freq {
+				start = pos
+			}
+		}
+		out := []int{start}
+		used[start] = true
+		for len(out) < len(group) {
+			tail := out[len(out)-1]
+			best := -1
+			bestW, bestF := -1.0, -1.0
+			for _, pos := range group {
+				if used[pos] {
+					continue
+				}
+				w := weight(tail, pos)
+				f := db.Item(pos).Freq
+				if w > bestW || (w == bestW && f > bestF) {
+					best, bestW, bestF = pos, w, f
+				}
+			}
+			out = append(out, best)
+			used[best] = true
+		}
+		return out
+	}
+}

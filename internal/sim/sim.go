@@ -1,0 +1,130 @@
+// Package sim is a small deterministic discrete-event simulation
+// engine: a virtual clock and an event queue ordered by (time,
+// insertion sequence). The broadcast air model (internal/airsim) runs
+// on it to measure empirical waiting times against the paper's
+// analytical model.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"diversecast/internal/pqueue"
+)
+
+// Handler is invoked when its event fires. It may schedule further
+// events on the simulator it was registered with.
+type Handler func()
+
+type event struct {
+	at  float64
+	seq uint64
+	fn  Handler
+}
+
+// Simulator owns the virtual clock and the pending-event queue. The
+// zero value is not usable; construct with New. Not safe for
+// concurrent use: a simulation is single-threaded by design so runs
+// are reproducible.
+type Simulator struct {
+	now     float64
+	seq     uint64
+	pending *pqueue.Queue[event]
+	fired   uint64
+}
+
+// Scheduling errors.
+var (
+	ErrPastEvent  = errors.New("sim: event scheduled before current time")
+	ErrBadTime    = errors.New("sim: event time must be finite")
+	ErrNilHandler = errors.New("sim: nil handler")
+)
+
+// New returns an empty simulator at time zero.
+func New() *Simulator {
+	return &Simulator{
+		pending: pqueue.New(func(a, b event) bool {
+			if a.at != b.at {
+				return a.at < b.at
+			}
+			return a.seq < b.seq // FIFO among simultaneous events
+		}),
+	}
+}
+
+// Now returns the current virtual time in seconds.
+func (s *Simulator) Now() float64 { return s.now }
+
+// Fired reports how many events have executed.
+func (s *Simulator) Fired() uint64 { return s.fired }
+
+// Pending reports how many events are queued.
+func (s *Simulator) Pending() int { return s.pending.Len() }
+
+// At schedules fn at absolute virtual time t (t ≥ Now).
+func (s *Simulator) At(t float64, fn Handler) error {
+	if fn == nil {
+		return ErrNilHandler
+	}
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		return fmt.Errorf("%w: %v", ErrBadTime, t)
+	}
+	if t < s.now {
+		return fmt.Errorf("%w: %v < now %v", ErrPastEvent, t, s.now)
+	}
+	s.seq++
+	s.pending.Push(event{at: t, seq: s.seq, fn: fn})
+	return nil
+}
+
+// After schedules fn delay seconds from Now (delay ≥ 0).
+func (s *Simulator) After(delay float64, fn Handler) error {
+	return s.At(s.now+delay, fn)
+}
+
+// Step executes the next event, advancing the clock to it. It reports
+// whether an event was executed.
+func (s *Simulator) Step() bool {
+	ev, ok := s.pending.Pop()
+	if !ok {
+		return false
+	}
+	s.now = ev.at
+	s.fired++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue is empty or maxEvents have
+// fired (0 means no bound). It returns the number of events executed
+// by this call.
+func (s *Simulator) Run(maxEvents uint64) uint64 {
+	var n uint64
+	for maxEvents == 0 || n < maxEvents {
+		if !s.Step() {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// RunUntil executes events with time ≤ horizon, leaving later events
+// queued, and finally advances the clock to horizon. It returns the
+// number of events executed.
+func (s *Simulator) RunUntil(horizon float64) uint64 {
+	var n uint64
+	for {
+		ev, ok := s.pending.Peek()
+		if !ok || ev.at > horizon {
+			break
+		}
+		s.Step()
+		n++
+	}
+	if horizon > s.now {
+		s.now = horizon
+	}
+	return n
+}

@@ -1,0 +1,162 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := New()
+	var got []int
+	mustAt := func(at float64, v int) {
+		t.Helper()
+		if err := s.At(at, func() { got = append(got, v) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAt(3, 3)
+	mustAt(1, 1)
+	mustAt(2, 2)
+	if n := s.Run(0); n != 3 {
+		t.Fatalf("ran %d events", n)
+	}
+	for i, want := range []int{1, 2, 3} {
+		if got[i] != want {
+			t.Fatalf("order = %v", got)
+		}
+	}
+	if s.Now() != 3 {
+		t.Fatalf("clock = %v, want 3", s.Now())
+	}
+}
+
+func TestSimultaneousEventsAreFIFO(t *testing.T) {
+	s := New()
+	var got []int
+	for i := 0; i < 5; i++ {
+		v := i
+		if err := s.At(1, func() { got = append(got, v) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Run(0)
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("simultaneous events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestSchedulingValidation(t *testing.T) {
+	s := New()
+	if err := s.At(1, nil); !errors.Is(err, ErrNilHandler) {
+		t.Errorf("nil handler: %v", err)
+	}
+	if err := s.At(math.NaN(), func() {}); !errors.Is(err, ErrBadTime) {
+		t.Errorf("NaN time: %v", err)
+	}
+	if err := s.At(math.Inf(1), func() {}); !errors.Is(err, ErrBadTime) {
+		t.Errorf("inf time: %v", err)
+	}
+	if err := s.At(5, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(0)
+	if err := s.At(4, func() {}); !errors.Is(err, ErrPastEvent) {
+		t.Errorf("past event: %v", err)
+	}
+	if err := s.After(-1, func() {}); !errors.Is(err, ErrPastEvent) {
+		t.Errorf("negative delay: %v", err)
+	}
+}
+
+func TestHandlersScheduleMoreEvents(t *testing.T) {
+	s := New()
+	var ticks int
+	var tick Handler
+	tick = func() {
+		ticks++
+		if ticks < 10 {
+			if err := s.After(1, tick); err != nil {
+				t.Error(err)
+			}
+		}
+	}
+	if err := s.At(0, tick); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(0)
+	if ticks != 10 {
+		t.Fatalf("ticks = %d", ticks)
+	}
+	if s.Now() != 9 {
+		t.Fatalf("clock = %v, want 9", s.Now())
+	}
+	if s.Fired() != 10 {
+		t.Fatalf("fired = %d", s.Fired())
+	}
+}
+
+func TestRunMaxEvents(t *testing.T) {
+	s := New()
+	for i := 0; i < 5; i++ {
+		if err := s.At(float64(i), func() {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := s.Run(2); n != 2 {
+		t.Fatalf("Run(2) executed %d", n)
+	}
+	if s.Pending() != 3 {
+		t.Fatalf("pending = %d, want 3", s.Pending())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	var fired []float64
+	for _, at := range []float64{1, 2, 3, 10} {
+		at := at
+		if err := s.At(at, func() { fired = append(fired, at) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := s.RunUntil(5)
+	if n != 3 || len(fired) != 3 {
+		t.Fatalf("RunUntil(5) fired %d events (%v)", n, fired)
+	}
+	if s.Now() != 5 {
+		t.Fatalf("clock = %v, want horizon 5", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", s.Pending())
+	}
+	// Resume past the horizon.
+	s.Run(0)
+	if len(fired) != 4 || s.Now() != 10 {
+		t.Fatalf("resume failed: fired %v, clock %v", fired, s.Now())
+	}
+}
+
+func TestRunUntilDoesNotRewindClock(t *testing.T) {
+	s := New()
+	if err := s.At(7, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(0)
+	s.RunUntil(3) // horizon in the past: must be a no-op on the clock
+	if s.Now() != 7 {
+		t.Fatalf("clock rewound to %v", s.Now())
+	}
+}
+
+func TestEmptyRun(t *testing.T) {
+	s := New()
+	if s.Step() {
+		t.Fatal("Step on empty simulator returned true")
+	}
+	if n := s.Run(0); n != 0 {
+		t.Fatalf("Run on empty simulator executed %d", n)
+	}
+}

@@ -1,0 +1,116 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Histogram counts observations in fixed-width bins over [Lo, Hi);
+// out-of-range observations land in overflow counters. The simulators
+// use it to report waiting-time distributions, not just means.
+type Histogram struct {
+	lo, hi  float64
+	bins    []int
+	under   int
+	over    int
+	total   int
+	binSize float64
+}
+
+// NewHistogram builds a histogram with the given bounds and bin count.
+func NewHistogram(lo, hi float64, bins int) (*Histogram, error) {
+	if !(hi > lo) {
+		return nil, fmt.Errorf("stats: histogram needs hi > lo, got [%v, %v)", lo, hi)
+	}
+	if bins < 1 {
+		return nil, fmt.Errorf("stats: histogram needs at least one bin, got %d", bins)
+	}
+	return &Histogram{lo: lo, hi: hi, bins: make([]int, bins), binSize: (hi - lo) / float64(bins)}, nil
+}
+
+// Add observes one value.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	switch {
+	case x < h.lo:
+		h.under++
+	case x >= h.hi:
+		h.over++
+	default:
+		idx := int((x - h.lo) / h.binSize)
+		if idx >= len(h.bins) { // guard float edge at exactly hi-ε
+			idx = len(h.bins) - 1
+		}
+		h.bins[idx]++
+	}
+}
+
+// Total reports the number of observations.
+func (h *Histogram) Total() int { return h.total }
+
+// Bin returns the count of bin i.
+func (h *Histogram) Bin(i int) int { return h.bins[i] }
+
+// Bins reports the bin count.
+func (h *Histogram) Bins() int { return len(h.bins) }
+
+// Underflow and Overflow report out-of-range counts.
+func (h *Histogram) Underflow() int { return h.under }
+
+// Overflow reports observations at or above the upper bound.
+func (h *Histogram) Overflow() int { return h.over }
+
+// Quantile returns an approximation of the q-quantile (0 ≤ q ≤ 1)
+// assuming observations are uniform within each bin. Underflow mass is
+// attributed to lo and overflow to hi.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return h.lo
+	}
+	if q <= 0 {
+		return h.lo
+	}
+	if q >= 1 {
+		return h.hi
+	}
+	target := q * float64(h.total)
+	cum := float64(h.under)
+	if cum >= target {
+		return h.lo
+	}
+	for i, c := range h.bins {
+		next := cum + float64(c)
+		if next >= target && c > 0 {
+			frac := (target - cum) / float64(c)
+			return h.lo + (float64(i)+frac)*h.binSize
+		}
+		cum = next
+	}
+	return h.hi
+}
+
+// Render draws an ASCII bar chart with the given maximum bar width.
+func (h *Histogram) Render(width int) string {
+	if width < 1 {
+		width = 40
+	}
+	maxCount := 1
+	for _, c := range h.bins {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range h.bins {
+		lo := h.lo + float64(i)*h.binSize
+		bar := strings.Repeat("#", c*width/maxCount)
+		fmt.Fprintf(&b, "%10.3f..%-10.3f %6d %s\n", lo, lo+h.binSize, c, bar)
+	}
+	if h.under > 0 {
+		fmt.Fprintf(&b, "%22s %6d\n", "<underflow>", h.under)
+	}
+	if h.over > 0 {
+		fmt.Fprintf(&b, "%22s %6d\n", "<overflow>", h.over)
+	}
+	return b.String()
+}

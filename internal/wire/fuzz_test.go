@@ -1,0 +1,70 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+)
+
+// FuzzReadFrame throws arbitrary byte streams at the frame decoder:
+// it must never panic, never allocate beyond MaxFrameSize, and any
+// frame it accepts must re-encode to the bytes it consumed.
+func FuzzReadFrame(f *testing.F) {
+	// Seeds: a valid frame, a truncated one, an oversized header, an
+	// empty stream, and a zero-length frame.
+	var valid bytes.Buffer
+	if err := WriteFrame(&valid, MsgItemChunk, []byte("payload")); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add(valid.Bytes()[:3])
+	var oversized [5]byte
+	binary.BigEndian.PutUint32(oversized[:4], MaxFrameSize+1)
+	f.Add(oversized[:])
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		frame, err := ReadFrame(r)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Accepted frames re-encode to exactly the bytes consumed.
+		consumed := len(data) - r.Len()
+		var re bytes.Buffer
+		if werr := WriteFrame(&re, frame.Type, frame.Body); werr != nil {
+			t.Fatalf("accepted frame does not re-encode: %v", werr)
+		}
+		if !bytes.Equal(re.Bytes(), data[:consumed]) {
+			t.Fatalf("round trip mismatch: read %d bytes, re-encoded %d", consumed, re.Len())
+		}
+	})
+}
+
+// FuzzFrameStream decodes as many frames as the input holds; the
+// decoder must terminate and fail cleanly at the first corruption.
+func FuzzFrameStream(f *testing.F) {
+	var stream bytes.Buffer
+	for _, mt := range []MsgType{MsgHello, MsgItemBegin, MsgItemChunk, MsgItemEnd} {
+		if err := WriteFrame(&stream, mt, []byte{byte(mt)}); err != nil {
+			f.Fatal(err)
+		}
+	}
+	f.Add(stream.Bytes())
+	f.Add([]byte("garbage that is definitely not a frame stream"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		for i := 0; i < 1000; i++ {
+			_, err := ReadFrame(r)
+			if err == io.EOF || err != nil {
+				return
+			}
+		}
+		if r.Len() > 0 {
+			t.Fatal("decoder failed to consume a bounded stream in 1000 frames")
+		}
+	})
+}

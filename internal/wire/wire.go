@@ -1,0 +1,171 @@
+// Package wire defines the framing and message types of the netcast
+// protocol: length-prefixed frames with a one-byte type and a JSON (or
+// raw, for payload chunks) body. Both the broadcast server and the
+// tuning client speak it.
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MsgType identifies a frame's meaning.
+type MsgType byte
+
+// Protocol message types.
+const (
+	// MsgHello is sent by the server on connect: a Hello body.
+	MsgHello MsgType = 1
+	// MsgSubscribe is sent by the client to tune to a channel: a
+	// Subscribe body.
+	MsgSubscribe MsgType = 2
+	// MsgItemBegin opens one item transmission: an ItemBegin body.
+	MsgItemBegin MsgType = 3
+	// MsgItemChunk carries raw item payload bytes.
+	MsgItemChunk MsgType = 4
+	// MsgItemEnd closes one item transmission: an ItemEnd body.
+	MsgItemEnd MsgType = 5
+	// MsgError reports a fatal protocol error: an ErrorBody body.
+	MsgError MsgType = 6
+)
+
+// String names the message type.
+func (t MsgType) String() string {
+	switch t {
+	case MsgHello:
+		return "hello"
+	case MsgSubscribe:
+		return "subscribe"
+	case MsgItemBegin:
+		return "item-begin"
+	case MsgItemChunk:
+		return "item-chunk"
+	case MsgItemEnd:
+		return "item-end"
+	case MsgError:
+		return "error"
+	default:
+		return fmt.Sprintf("unknown(%d)", byte(t))
+	}
+}
+
+// MaxFrameSize bounds a frame body; larger frames are rejected so a
+// corrupt length prefix cannot trigger an unbounded allocation.
+const MaxFrameSize = 1 << 20
+
+// Framing errors.
+var (
+	ErrFrameTooLarge = errors.New("wire: frame exceeds MaxFrameSize")
+	ErrShortFrame    = errors.New("wire: frame shorter than header")
+)
+
+// Hello is the server greeting.
+type Hello struct {
+	K         int     `json:"k"`
+	Bandwidth float64 `json:"bandwidth"`
+	// TimeScale is the server's real-seconds-per-virtual-second
+	// pacing factor (tests run accelerated broadcasts).
+	TimeScale float64 `json:"time_scale"`
+}
+
+// Subscribe tunes the client to one broadcast channel.
+type Subscribe struct {
+	Channel int `json:"channel"`
+}
+
+// ItemBegin announces the start of an item transmission on the
+// subscribed channel.
+type ItemBegin struct {
+	Channel int     `json:"channel"`
+	Pos     int     `json:"pos"`
+	ItemID  int     `json:"item_id"`
+	Size    float64 `json:"size"`
+	// PayloadLen is the total number of chunk bytes to follow.
+	PayloadLen int `json:"payload_len"`
+	// Cycle counts the channel's broadcast cycles, starting at 0.
+	Cycle int `json:"cycle"`
+}
+
+// ItemEnd closes an item transmission.
+type ItemEnd struct {
+	Channel int `json:"channel"`
+	Pos     int `json:"pos"`
+	ItemID  int `json:"item_id"`
+	Cycle   int `json:"cycle"`
+}
+
+// ErrorBody carries a fatal server-side error to the client.
+type ErrorBody struct {
+	Message string `json:"message"`
+}
+
+// Frame is one decoded protocol frame.
+type Frame struct {
+	Type MsgType
+	Body []byte
+}
+
+// WriteFrame writes one frame: 4-byte big-endian body length
+// (including the type byte), the type, then the body.
+func WriteFrame(w io.Writer, t MsgType, body []byte) error {
+	if len(body)+1 > MaxFrameSize {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(body))
+	}
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(body)+1))
+	hdr[4] = byte(t)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: writing frame header: %w", err)
+	}
+	if len(body) > 0 {
+		if _, err := w.Write(body); err != nil {
+			return fmt.Errorf("wire: writing frame body: %w", err)
+		}
+	}
+	return nil
+}
+
+// WriteJSON marshals v and writes it as a frame of type t.
+func WriteJSON(w io.Writer, t MsgType, v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("wire: marshaling %s: %w", t, err)
+	}
+	return WriteFrame(w, t, body)
+}
+
+// ReadFrame reads one frame. It returns io.EOF unchanged at a clean
+// connection end (before any header byte).
+func ReadFrame(r io.Reader) (Frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return Frame{}, io.EOF
+		}
+		return Frame{}, fmt.Errorf("wire: reading frame header: %w", err)
+	}
+	length := binary.BigEndian.Uint32(hdr[:])
+	if length < 1 {
+		return Frame{}, ErrShortFrame
+	}
+	if length > MaxFrameSize {
+		return Frame{}, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, length)
+	}
+	buf := make([]byte, length)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return Frame{}, fmt.Errorf("wire: reading frame body: %w", err)
+	}
+	return Frame{Type: MsgType(buf[0]), Body: buf[1:]}, nil
+}
+
+// DecodeJSON unmarshals a frame body into v, reporting the frame type
+// on error.
+func DecodeJSON(f Frame, v any) error {
+	if err := json.Unmarshal(f.Body, v); err != nil {
+		return fmt.Errorf("wire: decoding %s: %w", f.Type, err)
+	}
+	return nil
+}

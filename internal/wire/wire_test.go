@@ -1,0 +1,201 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	body := []byte("hello broadcast")
+	if err := WriteFrame(&buf, MsgItemChunk, body); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != MsgItemChunk {
+		t.Fatalf("type = %v", f.Type)
+	}
+	if !bytes.Equal(f.Body, body) {
+		t.Fatalf("body = %q", f.Body)
+	}
+}
+
+func TestEmptyBodyFrame(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, MsgError, nil); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != MsgError || len(f.Body) != 0 {
+		t.Fatalf("frame = %+v", f)
+	}
+}
+
+func TestMultipleFramesInSequence(t *testing.T) {
+	var buf bytes.Buffer
+	types := []MsgType{MsgHello, MsgSubscribe, MsgItemBegin, MsgItemChunk, MsgItemEnd}
+	for i, mt := range types {
+		if err := WriteFrame(&buf, mt, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, mt := range types {
+		f, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Type != mt || f.Body[0] != byte(i) {
+			t.Fatalf("frame %d = %+v", i, f)
+		}
+	}
+	if _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("expected clean EOF, got %v", err)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	want := ItemBegin{Channel: 2, Pos: 7, ItemID: 8, Size: 12.5, PayloadLen: 800, Cycle: 3}
+	if err := WriteJSON(&buf, MsgItemBegin, want); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got ItemBegin
+	if err := DecodeJSON(f, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("got %+v, want %+v", got, want)
+	}
+}
+
+func TestAllBodyTypesRoundTrip(t *testing.T) {
+	tests := []struct {
+		t    MsgType
+		body any
+		into func() any
+	}{
+		{MsgHello, &Hello{K: 4, Bandwidth: 10, TimeScale: 0.01}, func() any { return &Hello{} }},
+		{MsgSubscribe, &Subscribe{Channel: 3}, func() any { return &Subscribe{} }},
+		{MsgItemEnd, &ItemEnd{Channel: 1, Pos: 2, ItemID: 3, Cycle: 4}, func() any { return &ItemEnd{} }},
+		{MsgError, &ErrorBody{Message: "boom"}, func() any { return &ErrorBody{} }},
+	}
+	for _, tt := range tests {
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf, tt.t, tt.body); err != nil {
+			t.Fatal(err)
+		}
+		f, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := tt.into()
+		if err := DecodeJSON(f, got); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestOversizedFrameRejectedOnWrite(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, MsgItemChunk, make([]byte, MaxFrameSize)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("error = %v", err)
+	}
+}
+
+func TestOversizedFrameRejectedOnRead(t *testing.T) {
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], MaxFrameSize+1)
+	hdr[4] = byte(MsgItemChunk)
+	if _, err := ReadFrame(bytes.NewReader(hdr[:])); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("error = %v", err)
+	}
+}
+
+func TestZeroLengthFrameRejected(t *testing.T) {
+	var hdr [4]byte // length 0: no type byte
+	if _, err := ReadFrame(bytes.NewReader(hdr[:])); !errors.Is(err, ErrShortFrame) {
+		t.Fatalf("error = %v", err)
+	}
+}
+
+func TestTruncatedFrame(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, MsgItemChunk, []byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Cut mid-body: read must fail, and not with bare EOF.
+	if _, err := ReadFrame(bytes.NewReader(raw[:len(raw)-4])); err == nil || err == io.EOF {
+		t.Fatalf("truncated body error = %v", err)
+	}
+	// Cut mid-header after the first byte: also a hard error.
+	if _, err := ReadFrame(bytes.NewReader(raw[:2])); err == nil {
+		t.Fatalf("truncated header should fail")
+	}
+}
+
+func TestCleanEOF(t *testing.T) {
+	if _, err := ReadFrame(strings.NewReader("")); err != io.EOF {
+		t.Fatalf("empty stream error = %v, want io.EOF", err)
+	}
+}
+
+func TestDecodeJSONError(t *testing.T) {
+	f := Frame{Type: MsgHello, Body: []byte("{bad json")}
+	var h Hello
+	if err := DecodeJSON(f, &h); err == nil {
+		t.Fatal("bad JSON should fail")
+	} else if !strings.Contains(err.Error(), "hello") {
+		t.Fatalf("error %q should name the frame type", err)
+	}
+}
+
+func TestMsgTypeString(t *testing.T) {
+	for mt, want := range map[MsgType]string{
+		MsgHello: "hello", MsgSubscribe: "subscribe", MsgItemBegin: "item-begin",
+		MsgItemChunk: "item-chunk", MsgItemEnd: "item-end", MsgError: "error",
+	} {
+		if got := mt.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", mt, got, want)
+		}
+	}
+	if got := MsgType(99).String(); !strings.Contains(got, "unknown") {
+		t.Errorf("unknown type String() = %q", got)
+	}
+}
+
+// Property: arbitrary bodies round-trip through a pipe of frames.
+func TestFrameRoundTripProperty(t *testing.T) {
+	check := func(tb byte, body []byte) bool {
+		if len(body)+1 > MaxFrameSize {
+			return true
+		}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, MsgType(tb), body); err != nil {
+			return false
+		}
+		f, err := ReadFrame(&buf)
+		if err != nil {
+			return false
+		}
+		return f.Type == MsgType(tb) && bytes.Equal(f.Body, body)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

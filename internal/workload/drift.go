@@ -1,0 +1,54 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"diversecast/internal/core"
+)
+
+// This file models access-pattern drift: the paper's server (Figure 1)
+// regenerates broadcast programs as collected access statistics
+// change. Drift and SwapHotspots produce the "next epoch" database
+// against which internal/adapt's incremental re-allocation is
+// evaluated.
+
+// Drift returns a database with the same items whose access
+// frequencies are multiplicatively perturbed: each frequency is scaled
+// by exp(sigma·G) with G standard normal, then renormalized. sigma=0
+// returns an identical profile; sigma≈0.3 models gradual popularity
+// drift between reallocation epochs.
+func Drift(db *core.Database, sigma float64, seed int64) (*core.Database, error) {
+	if sigma < 0 || math.IsNaN(sigma) || math.IsInf(sigma, 0) {
+		return nil, fmt.Errorf("workload: drift sigma must be finite and non-negative, got %v", sigma)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	items := db.Items()
+	var total float64
+	for i := range items {
+		items[i].Freq *= math.Exp(sigma * rng.NormFloat64())
+		total += items[i].Freq
+	}
+	for i := range items {
+		items[i].Freq /= total
+	}
+	return core.NewDatabase(items)
+}
+
+// SwapHotspots returns a database in which the access frequencies of
+// pairs random item pairs are exchanged — a flash-crowd model where
+// previously cold items become hot while sizes stay put.
+func SwapHotspots(db *core.Database, pairs int, seed int64) (*core.Database, error) {
+	if pairs < 0 {
+		return nil, fmt.Errorf("workload: negative pair count %d", pairs)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	items := db.Items()
+	n := len(items)
+	for p := 0; p < pairs; p++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		items[i].Freq, items[j].Freq = items[j].Freq, items[i].Freq
+	}
+	return core.NewDatabase(items)
+}

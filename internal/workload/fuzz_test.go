@@ -1,0 +1,43 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadProfile throws arbitrary bytes at the profile parser: it
+// must never panic, and any profile it accepts must round-trip through
+// WriteProfile/ReadProfile preserving the database.
+func FuzzReadProfile(f *testing.F) {
+	f.Add(`{"name":"x","items":[{"id":1,"freq":0.5,"size":2},{"id":2,"freq":0.5,"size":3,"title":"t"}]}`)
+	f.Add(`{"items":[]}`)
+	f.Add(`{"items":[{"id":1,"freq":-1,"size":0}]}`)
+	f.Add(`not json at all`)
+	f.Add(`{"items":[{"id":1,"freq":1e308,"size":1e308}]}`)
+
+	f.Fuzz(func(t *testing.T, in string) {
+		db, titles, err := ReadProfile(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		// Accepted profiles are valid, normalized databases.
+		if db.Len() == 0 {
+			t.Fatal("accepted an empty database")
+		}
+		if tf := db.TotalFreq(); tf < 1-1e-6 || tf > 1+1e-6 {
+			t.Fatalf("accepted profile with total frequency %v", tf)
+		}
+		var buf bytes.Buffer
+		if err := WriteProfile(&buf, "fuzz", db, titles); err != nil {
+			t.Fatalf("accepted profile does not re-encode: %v", err)
+		}
+		db2, _, err := ReadProfile(&buf)
+		if err != nil {
+			t.Fatalf("re-encoded profile does not re-parse: %v", err)
+		}
+		if db2.Len() != db.Len() {
+			t.Fatalf("round trip changed item count %d → %d", db.Len(), db2.Len())
+		}
+	})
+}

@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"diversecast/internal/core"
+)
+
+// Profile is the on-disk representation of a broadcast database, as
+// consumed and produced by the cmd/ tools: a named list of items with
+// optional display titles.
+type Profile struct {
+	Name  string        `json:"name,omitempty"`
+	Items []ProfileItem `json:"items"`
+}
+
+// ProfileItem is one serialized broadcast item.
+type ProfileItem struct {
+	ID    int     `json:"id"`
+	Freq  float64 `json:"freq"`
+	Size  float64 `json:"size"`
+	Title string  `json:"title,omitempty"`
+}
+
+// WriteProfile serializes a database (with optional titles) as
+// indented JSON.
+func WriteProfile(w io.Writer, name string, db *core.Database, titles map[int]string) error {
+	p := Profile{Name: name, Items: make([]ProfileItem, db.Len())}
+	for i := 0; i < db.Len(); i++ {
+		it := db.Item(i)
+		p.Items[i] = ProfileItem{ID: it.ID, Freq: it.Freq, Size: it.Size, Title: titles[it.ID]}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(p); err != nil {
+		return fmt.Errorf("workload: encoding profile: %w", err)
+	}
+	return nil
+}
+
+// ReadProfile deserializes a profile and validates it as a database.
+// Frequencies are normalized to sum to one, so hand-written profiles
+// may use raw request counts.
+func ReadProfile(r io.Reader) (*core.Database, map[int]string, error) {
+	var p Profile
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&p); err != nil {
+		return nil, nil, fmt.Errorf("workload: decoding profile: %w", err)
+	}
+	items := make([]core.Item, len(p.Items))
+	titles := make(map[int]string)
+	for i, pi := range p.Items {
+		items[i] = core.Item{ID: pi.ID, Freq: pi.Freq, Size: pi.Size}
+		if pi.Title != "" {
+			titles[pi.ID] = pi.Title
+		}
+	}
+	db, err := core.NewDatabase(items)
+	if err != nil {
+		return nil, nil, fmt.Errorf("workload: profile invalid: %w", err)
+	}
+	return db.Normalized(), titles, nil
+}
+
+// LoadProfileFile reads a profile from disk.
+func LoadProfileFile(path string) (*core.Database, map[int]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("workload: opening profile: %w", err)
+	}
+	defer f.Close()
+	return ReadProfile(f)
+}
+
+// SaveProfileFile writes a profile to disk.
+func SaveProfileFile(path, name string, db *core.Database, titles map[int]string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("workload: creating profile: %w", err)
+	}
+	if err := WriteProfile(f, name, db, titles); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("workload: closing profile: %w", err)
+	}
+	return nil
+}

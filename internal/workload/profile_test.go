@@ -1,0 +1,91 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"diversecast/internal/core"
+)
+
+func TestProfileRoundTrip(t *testing.T) {
+	cat, err := MediaPortal(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteProfile(&buf, cat.Name, cat.DB, cat.Titles); err != nil {
+		t.Fatal(err)
+	}
+	db, titles, err := ReadProfile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != cat.DB.Len() {
+		t.Fatalf("round trip lost items: %d vs %d", db.Len(), cat.DB.Len())
+	}
+	for i := 0; i < db.Len(); i++ {
+		a, b := db.Item(i), cat.DB.Item(i)
+		if a.ID != b.ID || math.Abs(a.Freq-b.Freq) > 1e-12 || a.Size != b.Size {
+			t.Fatalf("item %d differs: %+v vs %+v", i, a, b)
+		}
+		if titles[a.ID] != cat.Titles[a.ID] {
+			t.Fatalf("title for %d differs", a.ID)
+		}
+	}
+}
+
+func TestProfileNormalizesRawCounts(t *testing.T) {
+	// Profiles may carry request counts instead of probabilities.
+	in := `{"items":[
+		{"id":1,"freq":300,"size":2},
+		{"id":2,"freq":100,"size":4}
+	]}`
+	db, _, err := ReadProfile(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(db.TotalFreq()-1) > 1e-12 {
+		t.Fatalf("frequencies not normalized: %v", db.TotalFreq())
+	}
+	if math.Abs(db.Item(0).Freq-0.75) > 1e-12 {
+		t.Fatalf("item 1 freq %v, want 0.75", db.Item(0).Freq)
+	}
+}
+
+func TestProfileRejectsInvalid(t *testing.T) {
+	cases := map[string]string{
+		"not json":      "{nope",
+		"empty items":   `{"items":[]}`,
+		"zero size":     `{"items":[{"id":1,"freq":1,"size":0}]}`,
+		"negative freq": `{"items":[{"id":1,"freq":-1,"size":1}]}`,
+		"duplicate ids": `{"items":[{"id":1,"freq":1,"size":1},{"id":1,"freq":1,"size":2}]}`,
+	}
+	for name, in := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, _, err := ReadProfile(strings.NewReader(in)); err == nil {
+				t.Fatal("should fail")
+			}
+		})
+	}
+}
+
+func TestProfileFileRoundTrip(t *testing.T) {
+	db := core.PaperExampleDatabase()
+	path := filepath.Join(t.TempDir(), "paper.json")
+	if err := SaveProfileFile(path, "paper", db, nil); err != nil {
+		t.Fatal(err)
+	}
+	loaded, titles, err := LoadProfileFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != db.Len() || len(titles) != 0 {
+		t.Fatalf("loaded %d items, %d titles", loaded.Len(), len(titles))
+	}
+	if _, _, err := LoadProfileFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file should fail")
+	}
+}
