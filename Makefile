@@ -1,0 +1,24 @@
+# Developer entry points. `make verify` is the gate every change must
+# pass: vet plus the full test suite under the race detector (the
+# netcast Tune-vs-Close shutdown race is only visible with -race).
+
+GO ?= go
+
+.PHONY: verify build test race vet bench
+
+verify: vet race
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .

@@ -6,12 +6,16 @@
 //
 //	bcastserver -addr 127.0.0.1:7070 -catalog media-portal -k 6
 //	bcastserver -paper -k 5 -timescale 0.1
+//	bcastserver -paper -k 5 -metrics 127.0.0.1:9090
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -20,15 +24,16 @@ import (
 	"diversecast/internal/cli"
 	"diversecast/internal/core"
 	"diversecast/internal/netcast"
+	"diversecast/internal/obs"
 )
 
 func main() {
-	srv, err := start(os.Args[1:], os.Stdout)
+	app, err := start(os.Args[1:], os.Stdout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bcastserver:", err)
 		os.Exit(1)
 	}
-	defer srv.Close()
+	defer app.Close()
 	fmt.Println("press Ctrl-C to stop")
 
 	sig := make(chan os.Signal, 1)
@@ -37,9 +42,38 @@ func main() {
 	fmt.Println("shutting down")
 }
 
-// start parses flags, builds the program and launches the server. It
-// is separated from main so tests can run a server in-process.
-func start(args []string, out io.Writer) (*netcast.Server, error) {
+// app bundles the broadcast server with its optional metrics endpoint
+// so main and the tests share one lifecycle.
+type app struct {
+	srv       *netcast.Server
+	metricsLn net.Listener
+	metricsSv *http.Server
+}
+
+// Addr returns the broadcast listening address.
+func (a *app) Addr() net.Addr { return a.srv.Addr() }
+
+// MetricsAddr returns the metrics endpoint address, or nil when
+// -metrics is disabled.
+func (a *app) MetricsAddr() net.Addr {
+	if a.metricsLn == nil {
+		return nil
+	}
+	return a.metricsLn.Addr()
+}
+
+// Close stops the metrics endpoint and the broadcast server.
+func (a *app) Close() error {
+	if a.metricsSv != nil {
+		a.metricsSv.Close()
+	}
+	return a.srv.Close()
+}
+
+// start parses flags, builds the program and launches the server
+// (plus the -metrics endpoint if requested). It is separated from
+// main so tests can run a server in-process.
+func start(args []string, out io.Writer) (*app, error) {
 	fs := flag.NewFlagSet("bcastserver", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var dbf cli.DBFlags
@@ -50,6 +84,7 @@ func start(args []string, out io.Writer) (*netcast.Server, error) {
 	bandwidth := fs.Float64("bandwidth", 10, "channel bandwidth (size units per second)")
 	timescale := fs.Float64("timescale", 1.0, "real seconds per virtual second (use <1 to accelerate)")
 	bytesPerUnit := fs.Int("bytes-per-unit", 64, "payload bytes per size unit")
+	metricsAddr := fs.String("metrics", "", "serve /metrics and /debug/pprof on this address (empty = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -79,9 +114,29 @@ func start(args []string, out io.Writer) (*netcast.Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	ap := &app{srv: srv}
+
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			srv.Close()
+			return nil, fmt.Errorf("metrics listen: %w", err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", obs.Default().Handler())
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		ap.metricsLn = ln
+		ap.metricsSv = &http.Server{Handler: mux}
+		go ap.metricsSv.Serve(ln)
+		fmt.Fprintf(out, "metrics on http://%s/metrics (pprof on /debug/pprof/)\n", ln.Addr())
+	}
 
 	fmt.Fprintf(out, "broadcasting on %s (%s, W_b = %.4fs, timescale %g)\n",
 		srv.Addr(), allocator.Name(), core.WaitingTime(a, *bandwidth), *timescale)
 	fmt.Fprint(out, p.Render(titles))
-	return srv, nil
+	return ap, nil
 }

@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"fmt"
+	"io"
+	"net/http"
 	"strings"
 	"testing"
 	"time"
@@ -11,13 +14,13 @@ import (
 
 func TestStartAndTune(t *testing.T) {
 	var out bytes.Buffer
-	srv, err := start([]string{
+	app, err := start([]string{
 		"-addr", "127.0.0.1:0", "-paper", "-k", "5", "-timescale", "0.01",
 	}, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer srv.Close()
+	defer app.Close()
 
 	s := out.String()
 	for _, want := range []string{"broadcasting on", "DRP-CDS", "channel 0"} {
@@ -25,14 +28,97 @@ func TestStartAndTune(t *testing.T) {
 			t.Errorf("output missing %q:\n%s", want, s)
 		}
 	}
+	if app.MetricsAddr() != nil {
+		t.Error("metrics endpoint running without -metrics")
+	}
 
-	c, err := netcast.Tune(srv.Addr().String(), 0, 2*time.Second)
+	c, err := netcast.Tune(app.Addr().String(), 0, 2*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c.Close()
 	if _, err := c.NextItem(time.Now().Add(5 * time.Second)); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestMetricsEndpoint drives the acceptance path: -metrics serves
+// Prometheus text exposition with nonzero per-channel frame counters
+// while a live client is tuned in.
+func TestMetricsEndpoint(t *testing.T) {
+	var out bytes.Buffer
+	app, err := start([]string{
+		"-addr", "127.0.0.1:0", "-paper", "-k", "5", "-timescale", "0.005",
+		"-metrics", "127.0.0.1:0",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+	if app.MetricsAddr() == nil {
+		t.Fatal("-metrics did not start an endpoint")
+	}
+	if !strings.Contains(out.String(), "metrics on http://") {
+		t.Errorf("startup output does not announce the metrics endpoint:\n%s", out.String())
+	}
+
+	c, err := netcast.Tune(app.Addr().String(), 0, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 2; i++ {
+		if _, err := c.NextItem(time.Now().Add(5 * time.Second)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", app.MetricsAddr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %s\n%s", resp.Status, text)
+	}
+	if !strings.Contains(resp.Header.Get("Content-Type"), "text/plain") {
+		t.Errorf("content type = %q", resp.Header.Get("Content-Type"))
+	}
+	for _, want := range []string{
+		"# TYPE netcast_frames_sent_total counter",
+		`netcast_subscribers_added_total{channel="0"}`,
+		"# TYPE core_drp_seconds histogram",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	// The live client must show up as nonzero channel-0 frame traffic.
+	var frames int64
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, `netcast_frames_sent_total{channel="0"}`) {
+			if _, err := fmt.Sscanf(line, `netcast_frames_sent_total{channel="0"} %d`, &frames); err != nil {
+				t.Fatalf("parsing %q: %v", line, err)
+			}
+		}
+	}
+	if frames == 0 {
+		t.Fatalf("channel-0 frame counter is zero under a live client:\n%s", text)
+	}
+
+	// pprof rides along on the same endpoint.
+	pr, err := http.Get(fmt.Sprintf("http://%s/debug/pprof/", app.MetricsAddr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr.Body.Close()
+	if pr.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/pprof/: %s", pr.Status)
 	}
 }
 
@@ -43,12 +129,13 @@ func TestStartErrors(t *testing.T) {
 		{"-catalog", "bogus"},
 		{"-addr", "256.256.256.256:-1"},
 		{"-timescale", "-1", "-paper", "-k", "2", "-addr", "127.0.0.1:0"},
+		{"-paper", "-k", "2", "-addr", "127.0.0.1:0", "-metrics", "256.256.256.256:-1"},
 		{"-wat"},
 	}
 	for _, args := range tests {
 		var out bytes.Buffer
-		if srv, err := start(args, &out); err == nil {
-			srv.Close()
+		if app, err := start(args, &out); err == nil {
+			app.Close()
 			t.Errorf("args %v should fail", args)
 		}
 	}

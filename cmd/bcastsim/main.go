@@ -22,6 +22,7 @@ import (
 	"diversecast/internal/cli"
 	"diversecast/internal/core"
 	"diversecast/internal/hybrid"
+	"diversecast/internal/obs"
 	"diversecast/internal/ondemand"
 	"diversecast/internal/stats"
 	"diversecast/internal/workload"
@@ -52,8 +53,15 @@ func run(args []string, out io.Writer) error {
 	pushCount := fs.Int("push-count", 0, "hybrid: number of items pushed (0 = the hottest items covering 85% of demand)")
 	cachePolicy := fs.String("cache-policy", "", "client cache policy: lru, lfu, pix or cost (push mode only; empty = no cache)")
 	cacheCapacity := fs.Float64("cache-capacity", 0, "client cache capacity in size units (with -cache-policy)")
+	dumpStats := fs.Bool("stats", false, "dump the process metrics registry (Prometheus text format) on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *dumpStats {
+		defer func() {
+			fmt.Fprintln(out, "---- metrics ----")
+			_ = obs.Default().WriteText(out)
+		}()
 	}
 
 	db, _, err := dbf.Load()

@@ -60,6 +60,30 @@ func TestRunHistogram(t *testing.T) {
 	}
 }
 
+// TestRunStatsDump: -stats appends the metrics registry, including
+// the allocator timings and (in cached mode) the cache accounting the
+// run just produced.
+func TestRunStatsDump(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-n", "30", "-k", "3", "-cache-policy", "lru", "-cache-capacity", "50",
+		"-requests", "2000", "-stats"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"---- metrics ----",
+		"# TYPE core_drp_seconds histogram",
+		"core_cds_refinements_total",
+		"# TYPE cache_wait_seconds histogram",
+		"cache_hits_total",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("-stats output missing %q:\n%s", want, s)
+		}
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	tests := [][]string{
 		{"-n", "10", "-k", "11"}, // K > N

@@ -6,8 +6,21 @@ import (
 
 	"diversecast/internal/broadcast"
 	"diversecast/internal/core"
+	"diversecast/internal/obs"
 	"diversecast/internal/stats"
 	"diversecast/internal/workload"
+)
+
+// Cache-simulation instrumentation on the process-wide registry: the
+// served/hit/miss accounting multi-channel dissemination systems are
+// evaluated by, plus the per-request waiting-time distribution.
+var (
+	cacheHits = obs.Default().Counter("cache_hits_total",
+		"requests answered from the client cache")
+	cacheMisses = obs.Default().Counter("cache_misses_total",
+		"requests that waited on the broadcast")
+	cacheWait = obs.Default().Histogram("cache_wait_seconds",
+		"per-request waiting time (zero on hits), virtual seconds", 0, 120, 60)
 )
 
 // SimResult summarizes a cache-aware client simulation.
@@ -39,6 +52,8 @@ func Simulate(a *core.Allocation, p *broadcast.Program, cch *Cache, trace []work
 	for _, req := range trace {
 		if cch.Access(req.Pos, req.Time) {
 			wait.Add(0)
+			cacheHits.Inc()
+			cacheWait.Observe(0)
 			continue
 		}
 		w, err := p.WaitFor(req.Pos, req.Time)
@@ -47,6 +62,8 @@ func Simulate(a *core.Allocation, p *broadcast.Program, cch *Cache, trace []work
 		}
 		wait.Add(w)
 		missWait.Add(w)
+		cacheMisses.Inc()
+		cacheWait.Observe(w)
 
 		it := db.Item(req.Pos)
 		cch.Admit(Entry{

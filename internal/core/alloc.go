@@ -98,13 +98,23 @@ func (g GroupAgg) Cost() float64 { return g.F * g.Z }
 // Aggregates computes F_i, Z_i and N_i for every channel.
 func (a *Allocation) Aggregates() []GroupAgg {
 	agg := make([]GroupAgg, a.k)
+	a.aggregatesInto(agg)
+	return agg
+}
+
+// aggregatesInto recomputes the aggregates into an existing slice
+// (len = K), sparing hot loops the allocation. The accumulation order
+// is identical to Aggregates, so results are bit-for-bit equal.
+func (a *Allocation) aggregatesInto(agg []GroupAgg) {
+	for i := range agg {
+		agg[i] = GroupAgg{}
+	}
 	for pos, c := range a.channel {
 		it := a.db.Item(pos)
 		agg[c].F += it.Freq
 		agg[c].Z += it.Size
 		agg[c].N++
 	}
-	return agg
 }
 
 // Clone returns a deep copy that can be mutated independently (the

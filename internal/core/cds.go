@@ -74,10 +74,14 @@ func (c *CDS) refine(a *Allocation, wantTrace bool) (*Allocation, []Move, error)
 		}
 	}
 
+	start := timeNow()
 	var moves []Move
+	applied := 0
 	cost := Cost(cur)
 	for {
-		if c.MaxMoves > 0 && len(moves) >= c.MaxMoves {
+		// Bound on applied moves, not trace length: Refine (no trace)
+		// must honor MaxMoves too.
+		if c.MaxMoves > 0 && applied >= c.MaxMoves {
 			break
 		}
 
@@ -109,21 +113,41 @@ func (c *CDS) refine(a *Allocation, wantTrace bool) (*Allocation, []Move, error)
 			break
 		}
 
-		it := db.Item(best.Pos)
-		agg[best.From].F -= it.Freq
-		agg[best.From].Z -= it.Size
-		agg[best.From].N--
-		agg[best.To].F += it.Freq
-		agg[best.To].Z += it.Size
-		agg[best.To].N++
 		cur.move(best.Pos, best.To)
+		// Reconcile instead of tracking incrementally: rebuild the two
+		// touched groups from the allocation in the same accumulation
+		// order Aggregates uses. Untouched groups were exact before the
+		// move, so by induction agg stays bit-for-bit equal to a fresh
+		// Aggregates() call, and the trace's CostBefore/CostAfter stay
+		// exactly Cost(cur) instead of drifting away from it (one
+		// subtraction at a time) over long refinements. O(N) per
+		// applied move, dominated by the O(K·N) scan above.
+		agg[best.From], agg[best.To] = GroupAgg{}, GroupAgg{}
+		for pos := 0; pos < db.Len(); pos++ {
+			c := cur.ChannelOf(pos)
+			if c != best.From && c != best.To {
+				continue
+			}
+			it := db.Item(pos)
+			agg[c].F += it.Freq
+			agg[c].Z += it.Size
+			agg[c].N++
+		}
+		var newCost float64
+		for _, g := range agg {
+			newCost += g.Cost()
+		}
 
+		applied++
 		if wantTrace {
 			best.CostBefore = cost
-			best.CostAfter = cost - best.Reduction
+			best.CostAfter = newCost
 			moves = append(moves, best)
 		}
-		cost -= best.Reduction
+		cost = newCost
 	}
+	cdsRefinements.Inc()
+	cdsMoves.Add(int64(applied))
+	cdsSeconds.Observe(timeNow().Sub(start).Seconds())
 	return cur, moves, nil
 }

@@ -147,6 +147,69 @@ func TestCDSMovesAreStrictlyDecreasing(t *testing.T) {
 	}
 }
 
+// TestCDSTraceCostMatchesRecomputationExactly is the drift
+// regression: the trace used to carry an incrementally tracked cost
+// (cost -= Δc per move), which floats away from the true Cost over
+// long refinements. After reconciliation, CostAfter is computed from
+// the allocation itself, so it must equal Cost bit-for-bit — no
+// tolerance — on every move of a long run, and the final CostAfter
+// must equal Cost(refined) exactly.
+func TestCDSTraceCostMatchesRecomputationExactly(t *testing.T) {
+	for _, seed := range []int{1, 7, 99} {
+		db := randomDatabase(t, seed, 120)
+		a := randomAllocation(t, db, 8, seed+5)
+		refined, moves, err := NewCDS().RefineWithTrace(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(moves) == 0 {
+			t.Fatalf("seed %d: random allocation already optimal?", seed)
+		}
+		replay := a.Clone()
+		for i, m := range moves {
+			replay.move(m.Pos, m.To)
+			if got, want := m.CostAfter, Cost(replay); got != want {
+				t.Fatalf("seed %d, move %d/%d: CostAfter %v, Cost %v (drift %g)",
+					seed, i, len(moves), got, want, got-want)
+			}
+			if i+1 < len(moves) && moves[i+1].CostBefore != m.CostAfter {
+				t.Fatalf("seed %d, move %d: CostBefore chain broken", seed, i)
+			}
+		}
+		if got, want := moves[len(moves)-1].CostAfter, Cost(refined); got != want {
+			t.Fatalf("seed %d: final CostAfter %v, Cost(refined) %v", seed, got, want)
+		}
+	}
+}
+
+// MaxMoves must bound the untraced Refine path too, not just
+// RefineWithTrace (it used to count trace entries, which the plain
+// Refine never appends).
+func TestCDSMaxMovesBoundsUntracedRefine(t *testing.T) {
+	db := randomDatabase(t, 2, 60)
+	a := randomAllocation(t, db, 6, 1)
+	_, unbounded, err := NewCDS().RefineWithTrace(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(unbounded) < 3 {
+		t.Skipf("instance converged in %d moves; need ≥3 for this test", len(unbounded))
+	}
+	limited := &CDS{MaxMoves: 2}
+	bounded, err := limited.Refine(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Refine with MaxMoves=2 must land on the same allocation as the
+	// first two traced moves — not on the unbounded fixed point.
+	replay := a.Clone()
+	replay.move(unbounded[0].Pos, unbounded[0].To)
+	replay.move(unbounded[1].Pos, unbounded[1].To)
+	if !bounded.Equal(replay) {
+		t.Fatal("Refine ignored MaxMoves")
+	}
+}
+
 func TestCDSMaxMoves(t *testing.T) {
 	db := randomDatabase(t, 2, 60)
 	a := randomAllocation(t, db, 6, 1)

@@ -126,6 +126,8 @@ func (d *DRP) allocate(db *Database, k int, wantTrace bool) (*Allocation, *Trace
 	if k < 1 || k > n {
 		return nil, nil, fmt.Errorf("%w: K=%d, N=%d", ErrBadChannelCount, k, n)
 	}
+	start := timeNow()
+	defer func() { drpSeconds.Observe(timeNow().Sub(start).Seconds()) }()
 
 	order := db.ByBenefitRatio()
 

@@ -9,7 +9,19 @@ import (
 	"net"
 	"time"
 
+	"diversecast/internal/obs"
 	"diversecast/internal/wire"
+)
+
+// Client-side instrumentation on the process-wide registry: every
+// tuned receiver in the process shares these.
+var (
+	cliReceptions = obs.Default().Counter("netcast_client_receptions_total",
+		"complete item transmissions received")
+	cliResyncs = obs.Default().Counter("netcast_client_resyncs_total",
+		"stream gaps that forced the receiver to resynchronize")
+	cliPayloadMismatches = obs.Default().Counter("netcast_client_payload_mismatches_total",
+		"receptions whose payload contradicted the announcement")
 )
 
 // Client is a tuned broadcast receiver: it is subscribed to one
@@ -132,15 +144,18 @@ func (c *Client) NextItem(deadline time.Time) (*Reception, error) {
 			if end.ItemID != rec.Begin.ItemID || end.Cycle != rec.Begin.Cycle {
 				// A gap in the stream (e.g. the server dropped us and
 				// we reconnected); resynchronize.
+				cliResyncs.Inc()
 				rec = nil
 				continue
 			}
 			rec.EndAt = time.Now()
 			rec.Payload = payload.Bytes()
 			if len(rec.Payload) != rec.Begin.PayloadLen {
+				cliPayloadMismatches.Inc()
 				return nil, fmt.Errorf("%w: got %d bytes, announced %d",
 					ErrBadPayload, len(rec.Payload), rec.Begin.PayloadLen)
 			}
+			cliReceptions.Inc()
 			return rec, nil
 		case wire.MsgError:
 			var eb wire.ErrorBody
@@ -180,6 +195,7 @@ func (c *Client) WaitForItem(itemID int, timeout time.Duration) (*Reception, tim
 func VerifyPayload(rec *Reception) error {
 	want := Payload(rec.Begin.ItemID, rec.Begin.PayloadLen)
 	if !bytes.Equal(rec.Payload, want) {
+		cliPayloadMismatches.Inc()
 		return fmt.Errorf("%w: content mismatch for item %d", ErrBadPayload, rec.Begin.ItemID)
 	}
 	return nil

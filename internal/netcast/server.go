@@ -10,10 +10,12 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strconv"
 	"sync"
 	"time"
 
 	"diversecast/internal/broadcast"
+	"diversecast/internal/obs"
 	"diversecast/internal/wire"
 )
 
@@ -34,6 +36,9 @@ type ServerConfig struct {
 	// WriteTimeout bounds a single frame write to a subscriber.
 	// Default 5s.
 	WriteTimeout time.Duration
+	// Metrics receives the server's instrumentation (subscribers,
+	// frames, drops, accept errors). Nil uses obs.Default().
+	Metrics *obs.Registry
 }
 
 func (c ServerConfig) withDefaults() (ServerConfig, error) {
@@ -64,7 +69,57 @@ func (c ServerConfig) withDefaults() (ServerConfig, error) {
 	if c.WriteTimeout == 0 {
 		c.WriteTimeout = 5 * time.Second
 	}
+	if c.Metrics == nil {
+		c.Metrics = obs.Default()
+	}
 	return c, nil
+}
+
+// serverMetrics holds the server-wide counters, resolved once at
+// startup so the hot paths pay a single atomic op per event.
+type serverMetrics struct {
+	handshakeFailures *obs.Counter
+	acceptRetries     *obs.Counter
+	acceptPermanent   *obs.Counter
+}
+
+func newServerMetrics(r *obs.Registry) serverMetrics {
+	return serverMetrics{
+		handshakeFailures: r.Counter("netcast_handshake_failures_total",
+			"client connections that failed or were rejected during handshake"),
+		acceptRetries: r.Counter("netcast_accept_retries_total",
+			"temporary accept errors retried with backoff"),
+		acceptPermanent: r.Counter("netcast_accept_permanent_failures_total",
+			"permanent accept errors that terminated the accept loop"),
+	}
+}
+
+// casterMetrics holds one channel's counters.
+type casterMetrics struct {
+	subsAdded   *obs.Counter
+	subsDropped *obs.Counter
+	queueDrops  *obs.Counter
+	frames      *obs.Counter
+	bytes       *obs.Counter
+	subscribers *obs.Gauge
+}
+
+func newCasterMetrics(r *obs.Registry, channel int) casterMetrics {
+	ch := strconv.Itoa(channel)
+	return casterMetrics{
+		subsAdded: r.Counter("netcast_subscribers_added_total",
+			"subscribers registered on the channel", "channel", ch),
+		subsDropped: r.Counter("netcast_subscribers_dropped_total",
+			"subscribers removed (disconnect, lag drop, or shutdown)", "channel", ch),
+		queueDrops: r.Counter("netcast_queue_full_drops_total",
+			"subscribers dropped for falling a full queue behind", "channel", ch),
+		frames: r.Counter("netcast_frames_sent_total",
+			"frames enqueued to subscribers", "channel", ch),
+		bytes: r.Counter("netcast_bytes_sent_total",
+			"payload bytes enqueued to subscribers", "channel", ch),
+		subscribers: r.Gauge("netcast_subscribers",
+			"currently registered subscribers", "channel", ch),
+	}
 }
 
 // Server broadcasts a program to TCP subscribers.
@@ -72,6 +127,7 @@ type Server struct {
 	cfg     ServerConfig
 	ln      net.Listener
 	casters []*caster
+	metrics serverMetrics
 
 	wg        sync.WaitGroup
 	closed    chan struct{}
@@ -89,7 +145,7 @@ func Serve(addr string, cfg ServerConfig) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("netcast: listen: %w", err)
 	}
-	s := &Server{cfg: cfg, ln: ln, closed: make(chan struct{})}
+	s := &Server{cfg: cfg, ln: ln, closed: make(chan struct{}), metrics: newServerMetrics(cfg.Metrics)}
 
 	epoch := time.Now()
 	for c := range cfg.Program.Channels {
@@ -113,8 +169,13 @@ func Serve(addr string, cfg ServerConfig) (*Server, error) {
 // Addr returns the listening address.
 func (s *Server) Addr() net.Addr { return s.ln.Addr() }
 
-// Close stops the broadcast, disconnects all subscribers and waits for
-// all server goroutines to exit. It is idempotent.
+// Close stops the broadcast and is idempotent. When it returns, the
+// listener is closed, every subscriber connection has been closed, and
+// every server goroutine — casters, the accept loop, in-flight
+// handshakes and per-subscriber write loops — has exited. A handshake
+// racing with Close can never strand a subscriber: casters refuse
+// registrations after shutdown and close the connection instead, so
+// Close cannot deadlock waiting on a write loop that nobody will stop.
 func (s *Server) Close() error {
 	var err error
 	s.closeOnce.Do(func() {
@@ -128,7 +189,16 @@ func (s *Server) Close() error {
 	return err
 }
 
+// Accept-error backoff bounds: failed Accept calls (e.g. EMFILE when
+// the process is out of descriptors) are retried with doubling delays
+// so the loop cannot busy-spin at 100% CPU while the condition lasts.
+const (
+	acceptBackoffMin = time.Millisecond
+	acceptBackoffMax = time.Second
+)
+
 func (s *Server) acceptLoop() {
+	backoff := time.Duration(0)
 	for {
 		conn, err := s.ln.Accept()
 		if err != nil {
@@ -136,11 +206,33 @@ func (s *Server) acceptLoop() {
 			case <-s.closed:
 				return
 			default:
-				// Transient accept failure: a single bad connection
-				// attempt must not kill the broadcast.
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Temporary() { //nolint:staticcheck // Temporary marks EMFILE/ECONNABORTED-class errors
+				// Transient accept failure (a single aborted connection,
+				// or descriptor exhaustion under load): back off rather
+				// than spin, and keep the broadcast alive.
+				if backoff < acceptBackoffMin {
+					backoff = acceptBackoffMin
+				} else if backoff *= 2; backoff > acceptBackoffMax {
+					backoff = acceptBackoffMax
+				}
+				s.metrics.acceptRetries.Inc()
+				timer := time.NewTimer(backoff)
+				select {
+				case <-s.closed:
+					timer.Stop()
+					return
+				case <-timer.C:
+				}
 				continue
 			}
+			// Permanent failure: the listener is unusable. Exit cleanly
+			// (existing subscribers keep receiving the broadcast).
+			s.metrics.acceptPermanent.Inc()
+			return
 		}
+		backoff = 0
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
@@ -155,7 +247,7 @@ func (s *Server) acceptLoop() {
 func (s *Server) handshake(conn net.Conn) {
 	deadline := time.Now().Add(s.cfg.WriteTimeout)
 	if err := conn.SetDeadline(deadline); err != nil {
-		conn.Close()
+		s.failHandshake(conn)
 		return
 	}
 	hello := wire.Hello{
@@ -164,37 +256,45 @@ func (s *Server) handshake(conn net.Conn) {
 		TimeScale: s.cfg.TimeScale,
 	}
 	if err := wire.WriteJSON(conn, wire.MsgHello, hello); err != nil {
-		conn.Close()
+		s.failHandshake(conn)
 		return
 	}
 	f, err := wire.ReadFrame(conn)
 	if err != nil || f.Type != wire.MsgSubscribe {
-		conn.Close()
+		s.failHandshake(conn)
 		return
 	}
 	var sub wire.Subscribe
 	if err := wire.DecodeJSON(f, &sub); err != nil {
-		conn.Close()
+		s.failHandshake(conn)
 		return
 	}
 	if sub.Channel < 0 || sub.Channel >= len(s.casters) {
 		_ = wire.WriteJSON(conn, wire.MsgError,
 			wire.ErrorBody{Message: fmt.Sprintf("channel %d outside [0,%d)", sub.Channel, len(s.casters))})
-		conn.Close()
+		s.failHandshake(conn)
 		return
 	}
 	// Clear the handshake deadline; the writer applies per-frame
 	// deadlines from here on.
 	if err := conn.SetDeadline(time.Time{}); err != nil {
-		conn.Close()
+		s.failHandshake(conn)
 		return
 	}
-	select {
-	case <-s.closed:
-		conn.Close()
-	default:
-		s.casters[sub.Channel].add(conn)
+	// The caster itself decides — under its lock — whether it is still
+	// accepting subscribers. Checking s.closed here instead would race
+	// with Close: a registration slipping in after dropAll would leave
+	// a write loop nobody stops and deadlock s.wg.Wait().
+	if !s.casters[sub.Channel].add(conn) {
+		s.failHandshake(conn)
 	}
+}
+
+// failHandshake records and closes a connection that never became a
+// subscriber.
+func (s *Server) failHandshake(conn net.Conn) {
+	s.metrics.handshakeFailures.Inc()
+	conn.Close()
 }
 
 // outFrame is one pre-encoded frame queued to a subscriber.
@@ -242,16 +342,26 @@ type caster struct {
 	srv     *Server
 	channel int
 	epoch   time.Time
+	met     casterMetrics
 
-	mu   sync.Mutex
-	subs map[*subscriber]struct{}
+	mu     sync.Mutex
+	subs   map[*subscriber]struct{}
+	closed bool // set by dropAll; add refuses registrations after it
 }
 
 func newCaster(srv *Server, channel int, epoch time.Time) *caster {
-	return &caster{srv: srv, channel: channel, epoch: epoch, subs: make(map[*subscriber]struct{})}
+	return &caster{
+		srv: srv, channel: channel, epoch: epoch,
+		met:  newCasterMetrics(srv.cfg.Metrics, channel),
+		subs: make(map[*subscriber]struct{}),
+	}
 }
 
-func (ca *caster) add(conn net.Conn) {
+// add registers a new subscriber connection and starts its write
+// loop. It reports false — without taking ownership of conn — when the
+// caster has already shut down, so a handshake racing with Close can
+// never strand a write-loop goroutine past dropAll.
+func (ca *caster) add(conn net.Conn) bool {
 	sub := &subscriber{
 		conn:  conn,
 		out:   make(chan outFrame, ca.srv.cfg.SubscriberBuffer),
@@ -259,31 +369,46 @@ func (ca *caster) add(conn net.Conn) {
 		wrTmo: ca.srv.cfg.WriteTimeout,
 	}
 	ca.mu.Lock()
+	if ca.closed {
+		ca.mu.Unlock()
+		return false
+	}
 	ca.subs[sub] = struct{}{}
 	ca.mu.Unlock()
+	ca.met.subsAdded.Inc()
+	ca.met.subscribers.Inc()
 	ca.srv.wg.Add(1)
 	go func() {
 		defer ca.srv.wg.Done()
 		sub.writeLoop()
 		ca.remove(sub)
 	}()
+	return true
 }
 
 func (ca *caster) remove(sub *subscriber) {
 	ca.mu.Lock()
+	_, present := ca.subs[sub]
 	delete(ca.subs, sub)
 	ca.mu.Unlock()
+	if present {
+		ca.met.subsDropped.Inc()
+		ca.met.subscribers.Dec()
+	}
 	sub.close()
 }
 
 func (ca *caster) dropAll() {
 	ca.mu.Lock()
+	ca.closed = true
 	subs := make([]*subscriber, 0, len(ca.subs))
 	for sub := range ca.subs {
 		subs = append(subs, sub)
 	}
 	ca.subs = make(map[*subscriber]struct{})
 	ca.mu.Unlock()
+	ca.met.subsDropped.Add(int64(len(subs)))
+	ca.met.subscribers.Add(-int64(len(subs)))
 	for _, sub := range subs {
 		sub.close()
 	}
@@ -294,14 +419,21 @@ func (ca *caster) dropAll() {
 func (ca *caster) send(t wire.MsgType, body []byte) {
 	ca.mu.Lock()
 	var drop []*subscriber
+	delivered := 0
 	for sub := range ca.subs {
 		select {
 		case sub.out <- outFrame{t: t, body: body}:
+			delivered++
 		default:
 			drop = append(drop, sub)
 		}
 	}
 	ca.mu.Unlock()
+	if delivered > 0 {
+		ca.met.frames.Add(int64(delivered))
+		ca.met.bytes.Add(int64(delivered * len(body)))
+	}
+	ca.met.queueDrops.Add(int64(len(drop)))
 	for _, sub := range drop {
 		ca.remove(sub)
 	}

@@ -1,0 +1,307 @@
+package netcast
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"diversecast/internal/obs"
+)
+
+// TestTuneCloseRaceStress hammers Tune concurrently with Close. Before
+// the caster carried a closed flag, a handshake finishing after
+// dropAll registered a subscriber nobody would ever stop, and Close
+// deadlocked in wg.Wait(); this test hung (and leaked goroutines).
+// Run under -race: the flag is read and written under ca.mu.
+func TestTuneCloseRaceStress(t *testing.T) {
+	_, p := testProgram(t)
+	rounds := 8
+	if testing.Short() {
+		rounds = 3
+	}
+	for round := 0; round < rounds; round++ {
+		srv, err := Serve("127.0.0.1:0", ServerConfig{
+			Program:   p,
+			TimeScale: 0.01,
+			Metrics:   obs.NewRegistry(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := srv.Addr().String()
+
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func(ch int) {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					c, err := Tune(addr, ch%2, time.Second)
+					if err != nil {
+						// The server is shutting down; expected.
+						return
+					}
+					c.Close()
+				}
+			}(i)
+		}
+
+		// Let some handshakes land mid-flight, then yank the server.
+		time.Sleep(time.Duration(round) * 3 * time.Millisecond)
+		done := make(chan struct{})
+		go func() {
+			srv.Close()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatal("Server.Close deadlocked while clients were tuning")
+		}
+		close(stop)
+		wg.Wait()
+	}
+}
+
+// TestAddAfterCloseRefusesSubscriber drives the race deterministically:
+// a registration arriving after dropAll must be refused, not stranded.
+func TestAddAfterCloseRefusesSubscriber(t *testing.T) {
+	_, p := testProgram(t)
+	reg := obs.NewRegistry()
+	srv, err := Serve("127.0.0.1:0", ServerConfig{Program: p, TimeScale: 0.01, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca := srv.casters[0]
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	server, client := net.Pipe()
+	defer client.Close()
+	if ca.add(server) {
+		t.Fatal("caster accepted a subscriber after shutdown")
+	}
+	ca.mu.Lock()
+	n := len(ca.subs)
+	ca.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("%d subscribers registered on a closed caster", n)
+	}
+}
+
+// scriptedListener feeds acceptLoop a scripted error sequence.
+type scriptedListener struct {
+	mu     sync.Mutex
+	script []error // nil entry = deliver a connection
+	conns  chan net.Conn
+	closed atomic.Bool
+}
+
+type tempErr struct{}
+
+func (tempErr) Error() string   { return "accept: too many open files" }
+func (tempErr) Timeout() bool   { return false }
+func (tempErr) Temporary() bool { return true }
+
+var errPermanent = errors.New("accept: permanently broken")
+
+func (l *scriptedListener) Accept() (net.Conn, error) {
+	if l.closed.Load() {
+		return nil, net.ErrClosed
+	}
+	l.mu.Lock()
+	if len(l.script) == 0 {
+		l.mu.Unlock()
+		// Script exhausted: block until Close like a quiet listener.
+		c, ok := <-l.conns
+		if !ok {
+			return nil, net.ErrClosed
+		}
+		return c, nil
+	}
+	next := l.script[0]
+	l.script = l.script[1:]
+	l.mu.Unlock()
+	if next != nil {
+		return nil, next
+	}
+	c, ok := <-l.conns
+	if !ok {
+		return nil, net.ErrClosed
+	}
+	return c, nil
+}
+
+func (l *scriptedListener) Close() error {
+	if l.closed.CompareAndSwap(false, true) {
+		close(l.conns)
+	}
+	return nil
+}
+
+func (l *scriptedListener) Addr() net.Addr {
+	return &net.TCPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 0}
+}
+
+// scriptedServer assembles a Server around a scripted listener without
+// going through net.Listen.
+func scriptedServer(t *testing.T, script []error) (*Server, *scriptedListener, *obs.Registry) {
+	t.Helper()
+	_, p := testProgram(t)
+	reg := obs.NewRegistry()
+	cfg, err := ServerConfig{Program: p, TimeScale: 0.01, Metrics: reg}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := &scriptedListener{script: script, conns: make(chan net.Conn)}
+	s := &Server{cfg: cfg, ln: ln, closed: make(chan struct{}), metrics: newServerMetrics(reg)}
+	return s, ln, reg
+}
+
+// TestAcceptLoopBacksOffOnTemporaryErrors: a burst of EMFILE-style
+// temporary errors must be absorbed with backoff — the loop keeps
+// going, counts each retry, and does not exit.
+func TestAcceptLoopBacksOffOnTemporaryErrors(t *testing.T) {
+	script := []error{tempErr{}, tempErr{}, tempErr{}, tempErr{}}
+	s, ln, reg := scriptedServer(t, script)
+	start := time.Now()
+	loopDone := make(chan struct{})
+	go func() {
+		s.acceptLoop()
+		close(loopDone)
+	}()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for reg.Snapshot().Counter("netcast_accept_retries_total") < int64(len(script)) {
+		if time.Now().After(deadline) {
+			t.Fatalf("retries = %d, want %d",
+				reg.Snapshot().Counter("netcast_accept_retries_total"), len(script))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Doubling from 1ms, and each retry is counted before its sleep:
+	// by the time the 4th retry is visible the loop has slept
+	// 1+2+4 = 7ms rather than spinning. Allow scheduling slop.
+	if elapsed := time.Since(start); elapsed < 5*time.Millisecond {
+		t.Fatalf("4 retries absorbed in %v; backoff is not sleeping", elapsed)
+	}
+	select {
+	case <-loopDone:
+		t.Fatal("accept loop exited on temporary errors")
+	default:
+	}
+	if got := reg.Snapshot().Counter("netcast_accept_permanent_failures_total"); got != 0 {
+		t.Fatalf("permanent failures = %d on a temporary-error script", got)
+	}
+
+	close(s.closed)
+	ln.Close()
+	select {
+	case <-loopDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("accept loop did not exit on close")
+	}
+}
+
+// TestAcceptLoopExitsOnPermanentError: a non-temporary error must end
+// the loop cleanly (no spin, no panic) and be counted.
+func TestAcceptLoopExitsOnPermanentError(t *testing.T) {
+	s, _, reg := scriptedServer(t, []error{tempErr{}, errPermanent})
+	loopDone := make(chan struct{})
+	go func() {
+		s.acceptLoop()
+		close(loopDone)
+	}()
+	select {
+	case <-loopDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("accept loop kept running past a permanent error")
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counter("netcast_accept_permanent_failures_total"); got != 1 {
+		t.Fatalf("permanent failures = %d, want 1", got)
+	}
+	if got := snap.Counter("netcast_accept_retries_total"); got != 1 {
+		t.Fatalf("retries = %d, want 1", got)
+	}
+}
+
+// TestAcceptLoopShutdownDuringBackoff: Close must interrupt a pending
+// backoff sleep promptly.
+func TestAcceptLoopShutdownDuringBackoff(t *testing.T) {
+	// An endless temporary-error script keeps the loop in backoff.
+	script := make([]error, 64)
+	for i := range script {
+		script[i] = tempErr{}
+	}
+	s, ln, _ := scriptedServer(t, script)
+	loopDone := make(chan struct{})
+	go func() {
+		s.acceptLoop()
+		close(loopDone)
+	}()
+	time.Sleep(5 * time.Millisecond)
+	close(s.closed)
+	ln.Close()
+	select {
+	case <-loopDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("accept loop ignored shutdown while backing off")
+	}
+}
+
+// TestServerMetricsAccounting: a normal session must leave nonzero
+// frame/byte/subscriber counters and a zero live-subscriber gauge
+// after close.
+func TestServerMetricsAccounting(t *testing.T) {
+	_, p := testProgram(t)
+	reg := obs.NewRegistry()
+	srv, err := Serve("127.0.0.1:0", ServerConfig{Program: p, TimeScale: 0.005, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Tune(srv.Addr().String(), 0, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := c.NextItem(time.Now().Add(5 * time.Second)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counter(`netcast_subscribers_added_total{channel="0"}`); got != 1 {
+		t.Fatalf("subscribers added = %d, want 1", got)
+	}
+	if got := snap.Gauge(`netcast_subscribers{channel="0"}`); got != 1 {
+		t.Fatalf("live subscribers = %d, want 1", got)
+	}
+	if got := snap.Counter(`netcast_frames_sent_total{channel="0"}`); got < 3 {
+		t.Fatalf("frames sent = %d, want ≥ 3", got)
+	}
+	if got := snap.Counter(`netcast_bytes_sent_total{channel="0"}`); got == 0 {
+		t.Fatal("bytes sent = 0")
+	}
+
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snap = reg.Snapshot()
+	if got := snap.Gauge(`netcast_subscribers{channel="0"}`); got != 0 {
+		t.Fatalf("live subscribers after close = %d, want 0", got)
+	}
+	if got := snap.Counter(`netcast_subscribers_dropped_total{channel="0"}`); got != 1 {
+		t.Fatalf("subscribers dropped = %d, want 1", got)
+	}
+}

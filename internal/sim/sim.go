@@ -10,7 +10,21 @@ import (
 	"fmt"
 	"math"
 
+	"diversecast/internal/obs"
 	"diversecast/internal/pqueue"
+)
+
+// Engine instrumentation on the process-wide registry. The queue-wait
+// histogram observes, per fired event, how long (in virtual seconds)
+// the event sat between being scheduled and firing — the engine-level
+// waiting-time distribution that server-side accounting builds on.
+var (
+	simScheduled = obs.Default().Counter("sim_events_scheduled_total",
+		"events accepted into the pending queue")
+	simFired = obs.Default().Counter("sim_events_fired_total",
+		"events executed")
+	simQueueWait = obs.Default().Histogram("sim_event_queue_wait_virtual_seconds",
+		"virtual seconds between scheduling and firing, per event", 0, 120, 60)
 )
 
 // Handler is invoked when its event fires. It may schedule further
@@ -18,9 +32,10 @@ import (
 type Handler func()
 
 type event struct {
-	at  float64
-	seq uint64
-	fn  Handler
+	at      float64
+	schedAt float64 // clock value when the event was scheduled
+	seq     uint64
+	fn      Handler
 }
 
 // Simulator owns the virtual clock and the pending-event queue. The
@@ -74,7 +89,8 @@ func (s *Simulator) At(t float64, fn Handler) error {
 		return fmt.Errorf("%w: %v < now %v", ErrPastEvent, t, s.now)
 	}
 	s.seq++
-	s.pending.Push(event{at: t, seq: s.seq, fn: fn})
+	s.pending.Push(event{at: t, schedAt: s.now, seq: s.seq, fn: fn})
+	simScheduled.Inc()
 	return nil
 }
 
@@ -92,6 +108,8 @@ func (s *Simulator) Step() bool {
 	}
 	s.now = ev.at
 	s.fired++
+	simFired.Inc()
+	simQueueWait.Observe(ev.at - ev.schedAt)
 	ev.fn()
 	return true
 }

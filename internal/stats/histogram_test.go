@@ -1,0 +1,127 @@
+package stats
+
+import "testing"
+
+// Quantile edge cases beyond the uniform sweep in stats_test.go:
+// degenerate mass placements that exercise the estimator's bin-walk
+// boundary conditions.
+
+// All mass in the first bin, empty trailing bins: high quantiles must
+// interpolate inside the occupied bin, never skid into the empty tail
+// or return hi.
+func TestQuantileEmptyTrailingBins(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5) // bins of width 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		h.Add(1) // all in bin 0 = [0, 2)
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		got := h.Quantile(q)
+		if got < 0 || got > 2 {
+			t.Errorf("Quantile(%v) = %v, outside the only occupied bin [0,2)", q, got)
+		}
+	}
+	if got := h.Quantile(1); got != 10 {
+		t.Errorf("Quantile(1) = %v, want hi", got)
+	}
+}
+
+// Mass exactly on bin boundaries: a value equal to a bin's lower edge
+// belongs to that bin ([lo, hi) semantics), and the quantiles must
+// stay within the occupied bins.
+func TestQuantileMassOnBinBoundaries(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		h.Add(float64(2 * i)) // exactly on every bin's lower edge
+	}
+	for i := 0; i < h.Bins(); i++ {
+		if h.Bin(i) != 1 {
+			t.Fatalf("bin %d = %d, want exactly 1 (boundary values belong to the bin they open)", i, h.Bin(i))
+		}
+	}
+	// The median of {0,2,4,6,8} sits in bin 2.
+	if got := h.Quantile(0.5); got < 4 || got > 6 {
+		t.Errorf("Quantile(0.5) = %v, want within [4,6)", got)
+	}
+	// The upper bound itself is overflow, not the last bin.
+	h.Add(10)
+	if h.Overflow() != 1 {
+		t.Errorf("Add(hi) landed in a bin; overflow = %d", h.Overflow())
+	}
+}
+
+// All-underflow input: every quantile collapses to lo.
+func TestQuantileAllUnderflow(t *testing.T) {
+	h, err := NewHistogram(10, 20, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		h.Add(-5)
+	}
+	if h.Underflow() != 7 || h.Total() != 7 {
+		t.Fatalf("underflow %d / total %d", h.Underflow(), h.Total())
+	}
+	for _, q := range []float64{0.01, 0.5, 0.99} {
+		if got := h.Quantile(q); got != 10 {
+			t.Errorf("Quantile(%v) = %v, want lo", q, got)
+		}
+	}
+}
+
+// All-overflow input: the bin walk finds no mass, so quantiles report
+// hi (overflow mass is attributed to the upper bound).
+func TestQuantileAllOverflow(t *testing.T) {
+	h, err := NewHistogram(0, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		h.Add(9)
+	}
+	for _, q := range []float64{0.25, 0.5, 0.99} {
+		if got := h.Quantile(q); got != 1 {
+			t.Errorf("Quantile(%v) = %v, want hi", q, got)
+		}
+	}
+}
+
+// Mixed underflow + bins: the underflow mass shifts the interpolation
+// target but is pinned to lo when the quantile falls inside it.
+func TestQuantileUnderflowThenBins(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		h.Add(-1) // underflow
+	}
+	for i := 0; i < 5; i++ {
+		h.Add(5) // bin 2
+	}
+	if got := h.Quantile(0.25); got != 0 {
+		t.Errorf("Quantile inside underflow mass = %v, want lo", got)
+	}
+	if got := h.Quantile(0.9); got < 4 || got > 6 {
+		t.Errorf("Quantile(0.9) = %v, want within bin [4,6)", got)
+	}
+}
+
+// A single observation answers every interior quantile from its bin.
+func TestQuantileSingleObservation(t *testing.T) {
+	h, err := NewHistogram(0, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Add(4.5) // bin 2 = [4, 6)
+	for _, q := range []float64{0.001, 0.5, 0.999} {
+		if got := h.Quantile(q); got < 4 || got > 6 {
+			t.Errorf("Quantile(%v) = %v, want within [4,6)", q, got)
+		}
+	}
+}
