@@ -1,12 +1,14 @@
 # Developer entry points. `make verify` is the gate every change must
-# pass: vet plus the full test suite under the race detector (the
-# netcast Tune-vs-Close shutdown race is only visible with -race).
+# pass: vet, the diverselint invariant suite, and the full test suite
+# under the race detector (the netcast Tune-vs-Close shutdown race is
+# only visible with -race).
 
 GO ?= go
+DIVERSELINT = bin/diverselint
 
-.PHONY: verify build test race vet bench
+.PHONY: verify build test race vet lint bench
 
-verify: vet race
+verify: vet lint race
 
 build:
 	$(GO) build ./...
@@ -19,6 +21,24 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# lint runs the repo's own analyzer suite (cmd/diverselint) over every
+# package, test files included, then staticcheck when it is installed
+# (CI pins it; offline dev containers may not have it, so its absence
+# is not an error here).
+lint: $(DIVERSELINT)
+	./$(DIVERSELINT) -tests ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; \
+	fi
+
+$(DIVERSELINT): FORCE
+	$(GO) build -o $(DIVERSELINT) ./cmd/diverselint
+
+.PHONY: FORCE
+FORCE:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

@@ -1,0 +1,172 @@
+// Command diverselint runs the repository's custom analyzer suite
+// (internal/analysis/passes): the correctness invariants PR 1 fixed
+// by hand, encoded as machine checks.
+//
+// Standalone:
+//
+//	diverselint [-tests] [-show-suppressed] [-only floatdet,locksend] [packages]
+//
+// with packages defaulting to ./... of the enclosing module. Exit
+// status is 1 when unsuppressed findings exist, 2 on operational
+// errors.
+//
+// As a go vet tool (the unitchecker protocol):
+//
+//	go vet -vettool=$(which diverselint) ./...
+//
+// In this mode the go command hands the tool one pre-planned
+// package at a time (a JSON .cfg file plus compiled export data for
+// its imports), which also covers _test.go files.
+//
+// Findings are suppressed by an in-code justification:
+//
+//	//diverselint:ignore <analyzer> <reason>
+//
+// on the flagged line or the line above; the reason is mandatory.
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"diversecast/internal/analysis"
+	"diversecast/internal/analysis/passes"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("diverselint", flag.ExitOnError)
+	var (
+		vFlag          = fs.String("V", "", "print version and exit (go vet protocol)")
+		flagsFlag      = fs.Bool("flags", false, "print analyzer flags as JSON (go vet protocol)")
+		listFlag       = fs.Bool("list", false, "list analyzers and exit")
+		testsFlag      = fs.Bool("tests", false, "also lint _test.go files of each package (standalone mode)")
+		showSuppressed = fs.Bool("show-suppressed", false, "also print suppressed findings (marked, not counted)")
+		onlyFlag       = fs.String("only", "", "comma-separated analyzer subset to run")
+	)
+	fs.Parse(args)
+
+	if *vFlag != "" {
+		// The go command fingerprints vet tools for its build cache;
+		// for a "devel" tool it requires a buildID, so hash our own
+		// executable (the unitchecker convention) — editing an
+		// analyzer then correctly invalidates cached vet results.
+		exe, err := os.Executable()
+		if err == nil {
+			var h [sha256.Size]byte
+			if data, rerr := os.ReadFile(exe); rerr == nil {
+				h = sha256.Sum256(data)
+			}
+			fmt.Printf("diverselint version devel buildID=%x\n", h)
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "diverselint:", err)
+		return 2
+	}
+	if *flagsFlag {
+		fmt.Println("[]")
+		return 0
+	}
+	if *listFlag {
+		for _, a := range passes.All() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers, err := selectAnalyzers(*onlyFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "diverselint:", err)
+		return 2
+	}
+
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return unitcheck(rest[0], analyzers)
+	}
+	return standalone(rest, analyzers, *testsFlag, *showSuppressed)
+}
+
+func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
+	all := passes.All()
+	if only == "" {
+		return all, nil
+	}
+	byName := make(map[string]*analysis.Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		a, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (use -list)", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// standalone loads the module around the working directory and lints
+// the matching packages.
+func standalone(patterns []string, analyzers []*analysis.Analyzer, tests, showSuppressed bool) int {
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "diverselint:", err)
+		return 2
+	}
+	mod, err := analysis.FindModule(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "diverselint:", err)
+		return 2
+	}
+	paths, err := mod.ExpandPatterns(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "diverselint:", err)
+		return 2
+	}
+	loader := analysis.NewLoader(mod.Resolver())
+	loader.GoVersion = mod.GoVersion
+	loader.IncludeTests = tests
+
+	var pkgs []*analysis.Package
+	for _, p := range paths {
+		pkg, err := loader.Load(p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "diverselint:", err)
+			return 2
+		}
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(os.Stderr, "diverselint: warning: %s: %v\n", p, terr)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+
+	findings, err := analysis.Run(loader.Fset, pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "diverselint:", err)
+		return 2
+	}
+	unsuppressed := 0
+	for _, f := range findings {
+		if f.Suppressed {
+			if showSuppressed {
+				fmt.Printf("%s: suppressed (%s): %s (%s)\n", f.Pos, f.Reason, f.Message, f.Analyzer)
+			}
+			continue
+		}
+		unsuppressed++
+		fmt.Printf("%s\n", f)
+	}
+	if unsuppressed > 0 {
+		fmt.Fprintf(os.Stderr, "diverselint: %d finding(s)\n", unsuppressed)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"diversecast/internal/analysis"
+	"diversecast/internal/analysis/passes"
+)
+
+// TestSelfLint runs the full suite over this repository and demands a
+// clean tree: every finding must be fixed or carry a justified
+// //diverselint:ignore. This is the `make lint` gate in test form, so
+// plain `go test ./...` already refuses a reintroduced bug class.
+func TestSelfLint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := analysis.FindModule(cwd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := mod.ExpandPatterns("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := analysis.NewLoader(mod.Resolver())
+	loader.GoVersion = mod.GoVersion
+	loader.IncludeTests = true
+	var pkgs []*analysis.Package
+	for _, p := range paths {
+		pkg, err := loader.Load(p)
+		if err != nil {
+			t.Fatalf("loading %s: %v", p, err)
+		}
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("type error in %s: %v", p, terr)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	findings, err := analysis.Run(loader.Fset, pkgs, passes.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		if !f.Suppressed {
+			t.Errorf("unsuppressed finding: %s", f)
+		}
+	}
+}
+
+// TestVetToolProtocol builds the binary and drives it through the
+// real `go vet -vettool` protocol against a throwaway module
+// containing one reintroduced lock-send bug: the go command must
+// accept the tool's version handshake and relay its diagnostic.
+func TestVetToolProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and runs go vet; skipped in -short")
+	}
+	gobin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go command not on PATH")
+	}
+
+	tmp := t.TempDir()
+	tool := filepath.Join(tmp, "diverselint")
+	build := exec.Command(gobin, "build", "-o", tool, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building diverselint: %v\n%s", err, out)
+	}
+
+	modDir := filepath.Join(tmp, "mod")
+	if err := os.MkdirAll(modDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	writeFile := func(name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(modDir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeFile("go.mod", "module example.com/bad\n\ngo 1.24\n")
+	writeFile("bad.go", `package bad
+
+import "sync"
+
+type fan struct {
+	mu   sync.Mutex
+	subs map[chan int]struct{}
+}
+
+func (f *fan) send(v int) {
+	f.mu.Lock()
+	for ch := range f.subs {
+		ch <- v
+	}
+	f.mu.Unlock()
+}
+`)
+
+	vet := exec.Command(gobin, "vet", "-vettool="+tool, "./...")
+	vet.Dir = modDir
+	// An isolated GOFLAGS environment keeps the test hermetic under
+	// whatever flags the outer invocation carries.
+	vet.Env = append(os.Environ(), "GOFLAGS=")
+	var out bytes.Buffer
+	vet.Stdout = &out
+	vet.Stderr = &out
+	err = vet.Run()
+	if err == nil {
+		t.Fatalf("go vet accepted the lock-send bug; output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "blocking channel send while holding") {
+		t.Fatalf("go vet failed without the locksend diagnostic: %v\n%s", err, out.String())
+	}
+}

@@ -1,0 +1,146 @@
+package main
+
+// The go vet tool protocol ("unitchecker"): `go vet -vettool=...`
+// plans the build itself and invokes the tool once per package with a
+// JSON config file describing the unit — source files, the import
+// map, and compiled export data for every dependency. The tool
+// type-checks from that export data (no source importer, no network),
+// reports diagnostics on stderr, and writes a facts file for
+// dependents (empty here: the diverselint analyzers are package-local
+// and export no facts).
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+
+	"diversecast/internal/analysis"
+)
+
+// vetConfig mirrors the JSON written by the go command for each
+// analysis unit (cmd/go/internal/work's vet.cfg).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func unitcheck(cfgFile string, analyzers []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "diverselint:", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "diverselint: parsing %s: %v\n", cfgFile, err)
+		return 2
+	}
+
+	// Dependents expect a facts file regardless of findings; write it
+	// first so a diagnostic exit does not break the build graph.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "diverselint:", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		// Pure dependency pass: only facts were wanted.
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, "diverselint:", err)
+			return 2
+		}
+		files = append(files, f)
+	}
+
+	// Imports resolve through the export data the go command compiled
+	// for this unit: source-level paths map through ImportMap to
+	// canonical ones, whose .a files are in PackageFile.
+	compiled := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		return compiled.Import(path)
+	})
+
+	var typeErrors []error
+	conf := types.Config{
+		Importer:  imp,
+		GoVersion: cfg.GoVersion,
+		Error:     func(err error) { typeErrors = append(typeErrors, err) },
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tpkg, _ := conf.Check(cfg.ImportPath, fset, files, info)
+	if len(typeErrors) > 0 && cfg.SucceedOnTypecheckFailure {
+		return 0
+	}
+
+	pkg := &analysis.Package{Path: cfg.ImportPath, Dir: cfg.Dir, Files: files, Types: tpkg, TypesInfo: info}
+	findings, err := analysis.Run(fset, []*analysis.Package{pkg}, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "diverselint:", err)
+		return 2
+	}
+	unsuppressed := 0
+	for _, f := range findings {
+		if f.Suppressed {
+			continue
+		}
+		unsuppressed++
+		fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", f.Pos, f.Message, f.Analyzer)
+	}
+	if unsuppressed > 0 {
+		// Exit 2 is the vet convention for "diagnostics reported".
+		return 2
+	}
+	return 0
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

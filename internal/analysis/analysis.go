@@ -1,0 +1,141 @@
+// Package analysis is a small, dependency-free reimplementation of
+// the golang.org/x/tools/go/analysis vocabulary: an Analyzer inspects
+// one type-checked package through a Pass and reports Diagnostics.
+//
+// The module cannot vendor x/tools (the repo builds offline with the
+// standard library only), so this package provides just enough of the
+// same shape — Analyzer, Pass, Reportf — for the diverselint suite
+// under passes/ to read as ordinary go/analysis code, and for the
+// suite to migrate to the real framework wholesale if x/tools ever
+// becomes available. Loading and type-checking live in load.go; the
+// driver loop and suppression directives in run.go and suppress.go.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer describes one analysis pass: a named invariant check
+// that runs over a single type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in findings and in
+	// //diverselint:ignore directives. It must be a valid Go
+	// identifier.
+	Name string
+
+	// Doc is the one-paragraph description printed by
+	// `diverselint -list`: the invariant guarded and why it matters
+	// to this codebase.
+	Doc string
+
+	// Run applies the analyzer to one package, reporting findings
+	// through pass.Report. A non-nil error aborts the whole lint run
+	// (it signals a broken analyzer, not a finding).
+	Run func(pass *Pass) error
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// A Pass presents one type-checked package to an analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. The driver fills position
+	// information and applies suppression directives.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding within the package being analyzed.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// IsFloat reports whether t's underlying type is float32 or float64.
+func IsFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// IsMap reports whether t's underlying type is a map.
+func IsMap(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// MethodFullName resolves the method referenced by a selector call to
+// its *types.Func full name, e.g. "(*sync.Mutex).Lock". It returns ""
+// when the selector does not resolve to a method (including when type
+// information is incomplete). Promoted methods of embedded fields
+// resolve to the embedded type's method, which is exactly what the
+// lock- and wait-matching passes need.
+func MethodFullName(info *types.Info, sel *ast.SelectorExpr) string {
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return ""
+	}
+	if fn.Type().(*types.Signature).Recv() == nil {
+		return "" // package-level function, not a method
+	}
+	return fn.FullName()
+}
+
+// LookupInterface finds the named interface type (e.g. path "net",
+// name "Conn") in pkg's transitive imports. It returns nil when the
+// package or name is absent — callers degrade gracefully rather than
+// fail, since an analyzed package that never imports net cannot be
+// holding one of its connections.
+func LookupInterface(pkg *types.Package, path, name string) *types.Interface {
+	seen := make(map[*types.Package]bool)
+	var find func(p *types.Package) *types.Interface
+	find = func(p *types.Package) *types.Interface {
+		if p == nil || seen[p] {
+			return nil
+		}
+		seen[p] = true
+		if p.Path() == path {
+			obj, ok := p.Scope().Lookup(name).(*types.TypeName)
+			if !ok {
+				return nil
+			}
+			iface, _ := obj.Type().Underlying().(*types.Interface)
+			return iface
+		}
+		for _, imp := range p.Imports() {
+			if iface := find(imp); iface != nil {
+				return iface
+			}
+		}
+		return nil
+	}
+	return find(pkg)
+}
+
+// ImplementsOrIs reports whether t is, points to, or implements the
+// interface iface (nil iface reports false).
+func ImplementsOrIs(t types.Type, iface *types.Interface) bool {
+	if iface == nil || t == nil {
+		return false
+	}
+	if types.Implements(t, iface) {
+		return true
+	}
+	if _, ok := t.Underlying().(*types.Pointer); !ok {
+		if types.Implements(types.NewPointer(t), iface) {
+			return true
+		}
+	}
+	return false
+}

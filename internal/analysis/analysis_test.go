@@ -1,0 +1,208 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"diversecast/internal/analysis"
+	"diversecast/internal/analysis/passes"
+)
+
+// writeModule materializes a throwaway module on disk and returns its
+// root.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for name, content := range files {
+		path := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+const testGoMod = "module example.com/m\n\ngo 1.24\n"
+
+// lintModule loads every package of the module at root and runs the
+// full diverselint suite.
+func lintModule(t *testing.T, root string) []analysis.Finding {
+	t.Helper()
+	mod, err := analysis.FindModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := mod.ExpandPatterns("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := analysis.NewLoader(mod.Resolver())
+	loader.GoVersion = mod.GoVersion
+	var pkgs []*analysis.Package
+	for _, p := range paths {
+		pkg, err := loader.Load(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("type error in %s: %v", p, terr)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	findings, err := analysis.Run(loader.Fset, pkgs, passes.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return findings
+}
+
+// TestReintroducedBugClassesAreCaught reconstructs the two PR-1 bug
+// shapes the acceptance criteria name — the netcast lock-held send
+// and a map-order cost accumulation — and asserts the suite flags
+// both (this is the tripwire that makes `make lint` fail if either is
+// ever reintroduced).
+func TestReintroducedBugClassesAreCaught(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": testGoMod,
+		"netcast/caster.go": `package netcast
+
+import "sync"
+
+type caster struct {
+	mu   sync.Mutex
+	subs map[chan []byte]struct{}
+}
+
+func (ca *caster) send(body []byte) {
+	ca.mu.Lock()
+	for ch := range ca.subs {
+		ch <- body
+	}
+	ca.mu.Unlock()
+}
+`,
+		"core/cost.go": `package core
+
+func Cost(groups map[int]struct{ F, Z float64 }) float64 {
+	var total float64
+	for _, g := range groups {
+		total += g.F * g.Z
+	}
+	return total
+}
+`,
+	})
+	findings := lintModule(t, root)
+	want := map[string]bool{"locksend": false, "floatdet": false}
+	for _, f := range findings {
+		if f.Suppressed {
+			t.Errorf("unexpected suppression: %s", f)
+		}
+		if _, ok := want[f.Analyzer]; ok {
+			want[f.Analyzer] = true
+		}
+	}
+	for name, hit := range want {
+		if !hit {
+			t.Errorf("reintroduced %s bug class not flagged; findings: %v", name, findings)
+		}
+	}
+}
+
+// TestSuppressionDirectives checks the //diverselint:ignore contract:
+// same-line and preceding-line directives suppress (with the reason
+// captured), a directive for a different analyzer does not, and a
+// reasonless directive is itself a finding.
+func TestSuppressionDirectives(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": testGoMod,
+		"a/a.go": `package a
+
+func sameLine(m map[int]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v //diverselint:ignore floatdet low bits immaterial here
+	}
+	return s
+}
+
+func precedingLine(m map[int]float64) float64 {
+	var s float64
+	for _, v := range m {
+		//diverselint:ignore floatdet low bits immaterial here
+		s += v
+	}
+	return s
+}
+
+func wrongAnalyzer(m map[int]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v //diverselint:ignore floateq wrong analyzer name
+	}
+	return s
+}
+
+func noReason(m map[int]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v //diverselint:ignore floatdet
+	}
+	return s
+}
+`,
+	})
+	findings := lintModule(t, root)
+	var suppressed, unsuppressed, malformed int
+	for _, f := range findings {
+		switch {
+		case f.Analyzer == "ignorespec":
+			malformed++
+		case f.Suppressed:
+			suppressed++
+			if f.Reason == "" {
+				t.Errorf("suppressed finding lost its reason: %s", f)
+			}
+		default:
+			unsuppressed++
+		}
+	}
+	// sameLine + precedingLine suppressed; wrongAnalyzer + noReason
+	// still flagged; the reasonless directive adds one ignorespec.
+	if suppressed != 2 || unsuppressed != 2 || malformed != 1 {
+		t.Errorf("got %d suppressed, %d unsuppressed, %d malformed; want 2, 2, 1\nfindings: %v",
+			suppressed, unsuppressed, malformed, findings)
+	}
+}
+
+// TestCleanModule: a module using all the blessed patterns yields no
+// findings.
+func TestCleanModule(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": testGoMod,
+		"a/a.go": `package a
+
+import "sort"
+
+func cost(groups map[int]float64) float64 {
+	keys := make([]int, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var total float64
+	for _, k := range keys {
+		total += groups[k]
+	}
+	return total
+}
+`,
+	})
+	for _, f := range lintModule(t, root) {
+		t.Errorf("unexpected finding on clean module: %s", f)
+	}
+}

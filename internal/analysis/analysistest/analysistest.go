@@ -1,0 +1,146 @@
+// Package analysistest runs one analyzer over a testdata corpus and
+// checks its diagnostics against // want comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// Corpus layout is the x/tools GOPATH convention: testdata/src/<pkg>
+// holds one package per directory; imports between corpus packages
+// resolve within testdata/src, everything else comes from the
+// standard library. Expectations are written on the offending line:
+//
+//	sum += v // want `ranging over a map`
+//
+// The string is a regular expression that must match the diagnostic
+// message. Every diagnostic must be wanted and every want matched.
+package analysistest
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"diversecast/internal/analysis"
+)
+
+// Run loads each corpus package and applies the analyzer, comparing
+// diagnostics with the corpus's want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	loader := analysis.NewLoader(func(path string) (string, bool) {
+		dir := filepath.Join(testdata, "src", filepath.FromSlash(path))
+		st, err := os.Stat(dir)
+		return dir, err == nil && st.IsDir()
+	})
+	loader.IncludeTests = true
+
+	for _, path := range pkgPaths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			t.Fatalf("loading corpus package %s: %v", path, err)
+		}
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("corpus %s: type error: %v", path, terr)
+		}
+		runOne(t, loader.Fset, a, pkg)
+	}
+}
+
+type expectation struct {
+	re  *regexp.Regexp
+	hit bool
+}
+
+func runOne(t *testing.T, fset *token.FileSet, a *analysis.Analyzer, pkg *analysis.Package) {
+	t.Helper()
+	// key: filename:line
+	wants := make(map[string][]*expectation)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, pat := range parseWants(t, fset.Position(c.Pos()), c.Text) {
+					pos := fset.Position(c.Pos())
+					key := posKey(pos.Filename, pos.Line)
+					wants[key] = append(wants[key], &expectation{re: pat})
+				}
+			}
+		}
+	}
+
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.TypesInfo,
+	}
+	pass.Report = func(d analysis.Diagnostic) {
+		pos := fset.Position(d.Pos)
+		key := posKey(pos.Filename, pos.Line)
+		for _, w := range wants[key] {
+			if !w.hit && w.re.MatchString(d.Message) {
+				w.hit = true
+				return
+			}
+		}
+		t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("analyzer %s: %v", a.Name, err)
+	}
+
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.hit {
+				t.Errorf("%s: expected diagnostic matching %q, got none", key, w.re)
+			}
+		}
+	}
+}
+
+var wantRE = regexp.MustCompile("// want (.*)$")
+
+// parseWants extracts the regexps of one comment's want clause; both
+// back-quoted and double-quoted patterns are accepted, several per
+// comment.
+func parseWants(t *testing.T, pos token.Position, comment string) []*regexp.Regexp {
+	t.Helper()
+	m := wantRE.FindStringSubmatch(comment)
+	if m == nil {
+		return nil
+	}
+	var pats []*regexp.Regexp
+	rest := strings.TrimSpace(m[1])
+	for rest != "" {
+		var raw string
+		switch rest[0] {
+		case '`':
+			end := strings.IndexByte(rest[1:], '`')
+			if end < 0 {
+				t.Fatalf("%s: unterminated want pattern %q", pos, rest)
+			}
+			raw, rest = rest[1:1+end], rest[2+end:]
+		case '"':
+			end := strings.IndexByte(rest[1:], '"')
+			if end < 0 {
+				t.Fatalf("%s: unterminated want pattern %q", pos, rest)
+			}
+			raw, rest = rest[1:1+end], rest[2+end:]
+		default:
+			t.Fatalf("%s: malformed want clause %q", pos, rest)
+		}
+		re, err := regexp.Compile(raw)
+		if err != nil {
+			t.Fatalf("%s: bad want regexp %q: %v", pos, raw, err)
+		}
+		pats = append(pats, re)
+		rest = strings.TrimSpace(rest)
+	}
+	return pats
+}
+
+func posKey(file string, line int) string {
+	return file + ":" + strconv.Itoa(line)
+}

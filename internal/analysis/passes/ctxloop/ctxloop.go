@@ -1,0 +1,111 @@
+// Package ctxloop flags infinite service loops that block on an
+// accept or channel receive with no way to observe shutdown.
+//
+// This is the accept-loop class fixed in PR 1: `for { conn, err :=
+// ln.Accept(); ... }` can neither exit when the server closes nor
+// distinguish shutdown from a transient error, so Close() leaves the
+// goroutine behind (or busy-spinning on a persistent error). A
+// compliant loop selects on a done/closed channel somewhere in its
+// body — see netcast.(*Server).acceptLoop for the canonical shape.
+package ctxloop
+
+import (
+	"go/ast"
+	"go/token"
+
+	"diversecast/internal/analysis"
+)
+
+// Analyzer flags unstoppable infinite loops.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxloop",
+	Doc: "flags infinite `for` loops that block on a listener Accept or a bare channel receive " +
+		"without any select (or comma-ok receive) in the body: such loops cannot observe " +
+		"shutdown and strand their goroutine past Close (the accept-loop class)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			loop, ok := n.(*ast.ForStmt)
+			if !ok || loop.Cond != nil {
+				return true
+			}
+			checkLoop(pass, loop)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkLoop inspects one infinite loop body. The loop is compliant if
+// it contains any select statement (presumed to include a shutdown
+// case) or a comma-ok receive (which observes channel close). It is
+// flagged if, lacking both, it performs a blocking accept or a bare
+// receive.
+func checkLoop(pass *analysis.Pass, loop *ast.ForStmt) {
+	var (
+		hasSelect    bool
+		hasCommaOk   bool
+		firstBlocker ast.Node
+		blockerDesc  string
+	)
+
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.FuncLit:
+			return false // separate goroutine/closure: its own loop problem
+		case *ast.ForStmt:
+			if st != loop && st.Cond == nil {
+				return false // nested infinite loop is checked on its own
+			}
+		case *ast.SelectStmt:
+			hasSelect = true
+			return false
+		case *ast.AssignStmt:
+			// v, ok := <-ch observes close; the loop can exit.
+			if len(st.Lhs) == 2 && len(st.Rhs) == 1 {
+				if u, ok := st.Rhs[0].(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+					hasCommaOk = true
+					return false
+				}
+			}
+		case *ast.UnaryExpr:
+			if st.Op == token.ARROW && firstBlocker == nil {
+				firstBlocker = st
+				blockerDesc = "bare channel receive"
+			}
+		case *ast.CallExpr:
+			if isAccept(pass, st) && firstBlocker == nil {
+				firstBlocker = st
+				blockerDesc = "blocking Accept"
+			}
+		}
+		return true
+	})
+
+	if hasSelect || hasCommaOk || firstBlocker == nil {
+		return
+	}
+	pass.Reportf(firstBlocker.Pos(),
+		"infinite loop performs a %s with no select on a done/closed channel anywhere in the body: the loop cannot observe shutdown (see netcast.(*Server).acceptLoop for the compliant shape)",
+		blockerDesc)
+}
+
+// isAccept reports whether call invokes an Accept method on a
+// net.Listener (or anything implementing it).
+func isAccept(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Accept" {
+		return false
+	}
+	listener := analysis.LookupInterface(pass.Pkg, "net", "Listener")
+	if listener == nil {
+		// Package never links net; a method merely named Accept is
+		// not the accept-loop class.
+		return false
+	}
+	t := pass.TypesInfo.TypeOf(sel.X)
+	return t != nil && analysis.ImplementsOrIs(t, listener)
+}

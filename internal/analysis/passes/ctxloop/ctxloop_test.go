@@ -1,0 +1,12 @@
+package ctxloop_test
+
+import (
+	"testing"
+
+	"diversecast/internal/analysis/analysistest"
+	"diversecast/internal/analysis/passes/ctxloop"
+)
+
+func TestCtxloop(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxloop.Analyzer, "a")
+}

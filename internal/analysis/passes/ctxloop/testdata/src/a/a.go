@@ -1,0 +1,114 @@
+// Corpus for ctxloop: infinite loops that cannot observe shutdown.
+package a
+
+import "net"
+
+// Flagged: the PR-1 accept-loop class — Accept with no shutdown
+// select; Close() strands this goroutine (and a persistent error
+// busy-spins it).
+func acceptNaive(ln net.Listener, handle func(net.Conn)) {
+	for {
+		conn, err := ln.Accept() // want `blocking Accept`
+		if err != nil {
+			continue
+		}
+		go handle(conn)
+	}
+}
+
+// Clean: the netcast shape — a select on the closed channel decides
+// between retry and exit.
+func acceptWithShutdown(ln net.Listener, closed chan struct{}, handle func(net.Conn)) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-closed:
+				return
+			default:
+			}
+			continue
+		}
+		go handle(conn)
+	}
+}
+
+// Flagged: a bare receive in an infinite loop blocks forever once
+// producers stop; there is no way to signal the loop down.
+func drainNaive(ch chan int, sink func(int)) {
+	for {
+		v := <-ch // want `bare channel receive`
+		sink(v)
+	}
+}
+
+// Clean: comma-ok receive observes close.
+func drainCommaOk(ch chan int, sink func(int)) {
+	for {
+		v, ok := <-ch
+		if !ok {
+			return
+		}
+		sink(v)
+	}
+}
+
+// Clean: select with a done case.
+func drainSelect(ch chan int, done chan struct{}, sink func(int)) {
+	for {
+		select {
+		case v := <-ch:
+			sink(v)
+		case <-done:
+			return
+		}
+	}
+}
+
+// Clean: range over a channel terminates on close (not an infinite
+// for statement at all).
+func drainRange(ch chan int, sink func(int)) {
+	for v := range ch {
+		sink(v)
+	}
+}
+
+// Clean: a bounded loop is not a service loop.
+func drainN(ch chan int, n int, sink func(int)) {
+	for i := 0; i < n; i++ {
+		sink(<-ch)
+	}
+}
+
+// Clean: a method named Accept on a non-listener is not the class.
+type queue struct{}
+
+func (queue) Accept() int { return 0 }
+
+func notAListener(q queue, stop chan struct{}) {
+	for {
+		_ = q.Accept()
+		select {
+		case <-stop:
+			return
+		default:
+		}
+	}
+}
+
+// Flagged even for the non-listener Accept shape: the bare receive
+// in the nested helper loop below is its own finding.
+func nested(ch chan int, done chan struct{}) {
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		func() {
+			for {
+				<-ch // want `bare channel receive`
+			}
+		}()
+	}
+}

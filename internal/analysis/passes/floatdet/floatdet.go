@@ -1,0 +1,206 @@
+// Package floatdet flags floating-point accumulation performed while
+// ranging over a Go map.
+//
+// Map iteration order is deliberately randomized, and floating-point
+// addition is not associative, so a sum accumulated across a map
+// range differs from run to run in the low bits. This repository's
+// grouping-cost pipeline (internal/core, internal/stats) reconciles
+// costs bit-for-bit against Cost() — the property that makes the
+// DRP/CDS golden tests against the paper's Table 3 meaningful — and a
+// single map-order accumulation silently breaks it. Iterate over
+// sorted keys instead, or accumulate into integers.
+package floatdet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"diversecast/internal/analysis"
+)
+
+// Analyzer flags float accumulation under map iteration.
+var Analyzer = &analysis.Analyzer{
+	Name: "floatdet",
+	Doc: "flags float32/float64 accumulation (+=, -=, *=, /=, or x = x + y) into a variable " +
+		"declared outside a range-over-map loop: map order is randomized, so the " +
+		"floating-point result is nondeterministic and breaks exact cost reconciliation",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(rs.X)
+			if t == nil || !analysis.IsMap(t) {
+				return true
+			}
+			checkMapRange(pass, rs)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkMapRange inspects one range-over-map body for accumulation
+// into floats that outlive the loop.
+func checkMapRange(pass *analysis.Pass, rs *ast.RangeStmt) {
+	loopVars := rangeVarObjects(pass.TypesInfo, rs)
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		// A nested function literal is its own scope; accumulation
+		// there runs when the literal is called, not per iteration.
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		lhs, op, isAcc := accumulationTarget(pass.TypesInfo, as)
+		if !isAcc {
+			return true
+		}
+		t := pass.TypesInfo.TypeOf(lhs)
+		if t == nil || !analysis.IsFloat(t) {
+			return true
+		}
+		// Accumulating into a map/slice element indexed by the loop
+		// variables is per-key and therefore order-independent.
+		if indexedByLoopVar(pass.TypesInfo, lhs, loopVars) {
+			return true
+		}
+		obj := baseObject(pass.TypesInfo, lhs)
+		if obj == nil {
+			return true
+		}
+		// Only variables that outlive the loop accumulate across
+		// iterations in a nondeterministic order.
+		if obj.Pos() >= rs.Pos() && obj.Pos() < rs.End() {
+			return true
+		}
+		pass.Reportf(as.Pos(),
+			"%s %s into %s while ranging over a map: iteration order is randomized, so this floating-point result is nondeterministic; iterate over sorted keys instead",
+			opName(op), types.ExprString(lhs), t)
+		return true
+	})
+}
+
+// accumulationTarget reports whether as accumulates into its LHS:
+// either a compound assignment (+=, -=, *=, /=) or the spelled-out
+// form x = x + y / x = x - y. It returns the accumulated expression
+// and the operator.
+func accumulationTarget(info *types.Info, as *ast.AssignStmt) (ast.Expr, token.Token, bool) {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return nil, 0, false
+	}
+	lhs := as.Lhs[0]
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		return lhs, as.Tok, true
+	case token.ASSIGN:
+		be, ok := as.Rhs[0].(*ast.BinaryExpr)
+		if !ok {
+			return nil, 0, false
+		}
+		switch be.Op {
+		case token.ADD, token.SUB, token.MUL, token.QUO:
+		default:
+			return nil, 0, false
+		}
+		ls := types.ExprString(lhs)
+		if types.ExprString(be.X) == ls || (be.Op == token.ADD || be.Op == token.MUL) && types.ExprString(be.Y) == ls {
+			return lhs, be.Op, true
+		}
+	}
+	return nil, 0, false
+}
+
+func opName(op token.Token) string {
+	switch op {
+	case token.ADD_ASSIGN, token.ADD:
+		return "accumulates (+)"
+	case token.SUB_ASSIGN, token.SUB:
+		return "accumulates (-)"
+	case token.MUL_ASSIGN, token.MUL:
+		return "accumulates (*)"
+	case token.QUO_ASSIGN, token.QUO:
+		return "accumulates (/)"
+	}
+	return "accumulates"
+}
+
+// rangeVarObjects collects the objects bound by the range statement's
+// key and value variables.
+func rangeVarObjects(info *types.Info, rs *ast.RangeStmt) map[types.Object]bool {
+	objs := make(map[types.Object]bool)
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		if obj := info.Defs[id]; obj != nil {
+			objs[obj] = true
+		} else if obj := info.Uses[id]; obj != nil {
+			objs[obj] = true
+		}
+	}
+	return objs
+}
+
+// indexedByLoopVar reports whether lhs is an index expression whose
+// index mentions one of the loop variables (m[k] += ... is
+// deterministic per key).
+func indexedByLoopVar(info *types.Info, lhs ast.Expr, loopVars map[types.Object]bool) bool {
+	for {
+		switch e := lhs.(type) {
+		case *ast.ParenExpr:
+			lhs = e.X
+		case *ast.SelectorExpr:
+			lhs = e.X
+		case *ast.IndexExpr:
+			found := false
+			ast.Inspect(e.Index, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					if obj := info.Uses[id]; obj != nil && loopVars[obj] {
+						found = true
+					}
+				}
+				return !found
+			})
+			if found {
+				return true
+			}
+			lhs = e.X
+		default:
+			return false
+		}
+	}
+}
+
+// baseObject resolves the variable at the root of an lvalue
+// expression chain (x, x.f, x[i].f, (*x).f ...).
+func baseObject(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			if obj := info.Uses[v]; obj != nil {
+				return obj
+			}
+			return info.Defs[v]
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}

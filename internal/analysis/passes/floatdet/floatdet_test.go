@@ -1,0 +1,12 @@
+package floatdet_test
+
+import (
+	"testing"
+
+	"diversecast/internal/analysis/analysistest"
+	"diversecast/internal/analysis/passes/floatdet"
+)
+
+func TestFloatdet(t *testing.T) {
+	analysistest.Run(t, "testdata", floatdet.Analyzer, "a")
+}

@@ -1,0 +1,66 @@
+// Package floateq flags exact equality comparison between computed
+// floating-point values.
+//
+// The grouping-cost pipeline guarantees bit-for-bit reconciliation
+// only along one documented path (Aggregates-order accumulation);
+// everywhere else, two floats that are "the same quantity" computed
+// two ways differ in the low bits, and == silently becomes
+// always-false. Cost comparisons must go through an epsilon (compare
+// |a−b| against a tolerance) or the exact-reconciliation path.
+//
+// Comparisons against a constant (x == 0, phi != 1) are exempt: zero
+// and small-integer sentinels are exactly representable and comparing
+// against them is the established "field unset" idiom throughout the
+// config structs. Test files are exempt too — golden tests assert
+// exact reconciliation on purpose.
+package floateq
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"diversecast/internal/analysis"
+)
+
+// Analyzer flags computed-vs-computed float equality.
+var Analyzer = &analysis.Analyzer{
+	Name: "floateq",
+	Doc: "flags == and != between two non-constant floating-point expressions outside _test.go " +
+		"files: float equality on computed values is almost always wrong — use an epsilon or " +
+		"the documented exact-reconciliation path, or annotate a deliberate exact tie-break",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		name := pass.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			tx := pass.TypesInfo.TypeOf(be.X)
+			ty := pass.TypesInfo.TypeOf(be.Y)
+			if tx == nil || ty == nil || !analysis.IsFloat(tx) && !analysis.IsFloat(ty) {
+				return true
+			}
+			if isConstant(pass, be.X) || isConstant(pass, be.Y) {
+				return true
+			}
+			pass.Reportf(be.OpPos,
+				"%s between two computed floating-point values: low-bit drift makes exact equality meaningless; compare math.Abs(a-b) against an epsilon, or annotate a deliberate exact tie-break",
+				be.Op)
+			return true
+		})
+	}
+	return nil
+}
+
+func isConstant(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}

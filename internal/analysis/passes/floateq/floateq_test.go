@@ -1,0 +1,12 @@
+package floateq_test
+
+import (
+	"testing"
+
+	"diversecast/internal/analysis/analysistest"
+	"diversecast/internal/analysis/passes/floateq"
+)
+
+func TestFloateq(t *testing.T) {
+	analysistest.Run(t, "testdata", floateq.Analyzer, "a")
+}

@@ -1,0 +1,7 @@
+// Test files are exempt: golden tests assert exact reconciliation on
+// purpose (that determinism is the invariant floatdet protects).
+package a
+
+func exactGolden(got, want float64) bool {
+	return got == want // no diagnostic: _test.go files are exempt
+}

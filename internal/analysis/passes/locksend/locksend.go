@@ -1,0 +1,252 @@
+// Package locksend flags blocking operations performed while a
+// sync.Mutex or sync.RWMutex is held.
+//
+// This is the netcast shutdown-deadlock class fixed in PR 1: a caster
+// that performed a blocking channel send to a subscriber queue while
+// holding its subscriber-set mutex could deadlock against Close(),
+// which needs the same mutex to drop the slow subscriber. The safe
+// patterns — a select with a default (non-blocking send), or copying
+// the subscriber set out under the lock and sending after unlock —
+// are exactly what the analyzer accepts.
+package locksend
+
+import (
+	"go/ast"
+	"go/types"
+
+	"diversecast/internal/analysis"
+)
+
+// Analyzer flags blocking sends, net.Conn writes, and WaitGroup waits
+// under a held mutex.
+var Analyzer = &analysis.Analyzer{
+	Name: "locksend",
+	Doc: "flags blocking channel sends, net.Conn Write calls, and sync.WaitGroup.Wait calls " +
+		"made while a sync.Mutex/RWMutex is held: any of them can deadlock against a " +
+		"goroutine that needs the same lock to make progress (the netcast shutdown-deadlock class)",
+	Run: run,
+}
+
+// lock method names, resolved through go/types so promoted methods of
+// embedded mutexes match too.
+var (
+	lockMethods = map[string]bool{
+		"(*sync.Mutex).Lock":    true,
+		"(*sync.RWMutex).Lock":  true,
+		"(*sync.RWMutex).RLock": true,
+	}
+	unlockMethods = map[string]bool{
+		"(*sync.Mutex).Unlock":    true,
+		"(*sync.RWMutex).Unlock":  true,
+		"(*sync.RWMutex).RUnlock": true,
+	}
+	waitMethods = map[string]bool{
+		"(*sync.WaitGroup).Wait": true,
+	}
+)
+
+func run(pass *analysis.Pass) error {
+	conn := analysis.LookupInterface(pass.Pkg, "net", "Conn")
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				// Each function starts lock-free; goroutine and
+				// closure bodies encountered inside are analyzed by
+				// their own Inspect visit.
+				scanBlock(pass, conn, body.List, nil)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// held tracks the lock expressions (rendered as source text) known to
+// be held at a program point. The tracking is lexical, not
+// control-flow precise: within one statement list, Lock/Unlock calls
+// update the set in order; nested blocks (if/for/switch/select
+// bodies) see a copy, so an early-return unlock inside a branch does
+// not leak into the fall-through path. defer Unlock leaves the lock
+// held for the remainder of the enclosing function — which is exactly
+// the truth.
+type held []string
+
+func (h held) copyOf() held { return append(held(nil), h...) }
+
+func (h held) without(expr string) held {
+	for i := len(h) - 1; i >= 0; i-- {
+		if h[i] == expr {
+			return append(h[:i:i], h[i+1:]...)
+		}
+	}
+	return h
+}
+
+// scanBlock walks one statement list, threading the held-lock state
+// through it and flagging blocking operations while locks are held.
+func scanBlock(pass *analysis.Pass, conn *types.Interface, stmts []ast.Stmt, h held) held {
+	for _, s := range stmts {
+		h = scanStmt(pass, conn, s, h)
+	}
+	return h
+}
+
+func scanStmt(pass *analysis.Pass, conn *types.Interface, s ast.Stmt, h held) held {
+	switch st := s.(type) {
+	case *ast.ExprStmt:
+		if expr, kind := lockCall(pass, st.X); kind == lockAcquire {
+			return append(h, expr)
+		} else if kind == lockRelease {
+			return h.without(expr)
+		}
+		checkExpr(pass, conn, st.X, h)
+
+	case *ast.DeferStmt:
+		// defer mu.Unlock() releases at function exit, so the lock
+		// stays held for the remainder of this scan. Other deferred
+		// calls run lock-free (at return the scan state no longer
+		// applies); don't descend.
+
+	case *ast.SendStmt:
+		if len(h) > 0 {
+			pass.Reportf(st.Pos(),
+				"blocking channel send while holding %s: a full buffer deadlocks every goroutine that needs this lock; use a select with default, or send after unlocking", h[len(h)-1])
+		}
+
+	case *ast.AssignStmt:
+		for _, r := range st.Rhs {
+			checkExpr(pass, conn, r, h)
+		}
+
+	case *ast.ReturnStmt:
+		for _, r := range st.Results {
+			checkExpr(pass, conn, r, h)
+		}
+
+	case *ast.IfStmt:
+		if st.Init != nil {
+			h = scanStmt(pass, conn, st.Init, h)
+		}
+		checkExpr(pass, conn, st.Cond, h)
+		scanBlock(pass, conn, st.Body.List, h.copyOf())
+		if st.Else != nil {
+			scanStmt(pass, conn, st.Else, h.copyOf())
+		}
+
+	case *ast.BlockStmt:
+		h = scanBlock(pass, conn, st.List, h)
+
+	case *ast.ForStmt:
+		scanBlock(pass, conn, st.Body.List, h.copyOf())
+
+	case *ast.RangeStmt:
+		scanBlock(pass, conn, st.Body.List, h.copyOf())
+
+	case *ast.SwitchStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				scanBlock(pass, conn, cc.Body, h.copyOf())
+			}
+		}
+
+	case *ast.TypeSwitchStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				scanBlock(pass, conn, cc.Body, h.copyOf())
+			}
+		}
+
+	case *ast.SelectStmt:
+		// A select chooses among ready cases: its sends are either
+		// non-blocking (default present) or bounded by a peer case
+		// (e.g. shutdown). Scan only the clause bodies.
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				scanBlock(pass, conn, cc.Body, h.copyOf())
+			}
+		}
+
+	case *ast.GoStmt:
+		// The spawned goroutine does not inherit the parent's locks;
+		// its body is scanned independently by run's Inspect.
+
+	case *ast.LabeledStmt:
+		h = scanStmt(pass, conn, st.Stmt, h)
+	}
+	return h
+}
+
+type lockKind int
+
+const (
+	lockNone lockKind = iota
+	lockAcquire
+	lockRelease
+)
+
+// lockCall classifies a call expression as a mutex acquire/release
+// and returns the receiver expression's source text as identity.
+func lockCall(pass *analysis.Pass, e ast.Expr) (string, lockKind) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return "", lockNone
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", lockNone
+	}
+	full := analysis.MethodFullName(pass.TypesInfo, sel)
+	switch {
+	case lockMethods[full]:
+		return types.ExprString(sel.X), lockAcquire
+	case unlockMethods[full]:
+		return types.ExprString(sel.X), lockRelease
+	}
+	return "", lockNone
+}
+
+// checkExpr flags blocking calls (WaitGroup.Wait, net.Conn.Write)
+// appearing anywhere inside an expression evaluated under a lock.
+// Function literals inside the expression are skipped: they run
+// later, on their own goroutine's lock state.
+func checkExpr(pass *analysis.Pass, conn *types.Interface, e ast.Expr, h held) {
+	if len(h) == 0 || e == nil {
+		return
+	}
+	lock := h[len(h)-1]
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		full := analysis.MethodFullName(pass.TypesInfo, sel)
+		if waitMethods[full] {
+			pass.Reportf(call.Pos(),
+				"%s.Wait() while holding %s: goroutines being waited on may need the lock to finish; wait after unlocking", types.ExprString(sel.X), lock)
+			return true
+		}
+		if sel.Sel.Name == "Write" && conn != nil {
+			if t := pass.TypesInfo.TypeOf(sel.X); t != nil && analysis.ImplementsOrIs(t, conn) {
+				pass.Reportf(call.Pos(),
+					"net.Conn write to %s while holding %s: a slow peer stalls every goroutine that needs this lock; enqueue under the lock and write outside it", types.ExprString(sel.X), lock)
+			}
+		}
+		return true
+	})
+}

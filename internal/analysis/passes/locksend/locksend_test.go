@@ -1,0 +1,12 @@
+package locksend_test
+
+import (
+	"testing"
+
+	"diversecast/internal/analysis/analysistest"
+	"diversecast/internal/analysis/passes/locksend"
+)
+
+func TestLocksend(t *testing.T) {
+	analysistest.Run(t, "testdata", locksend.Analyzer, "a")
+}

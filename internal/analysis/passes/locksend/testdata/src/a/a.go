@@ -1,0 +1,145 @@
+// Corpus for locksend: blocking operations under a held mutex.
+package a
+
+import (
+	"net"
+	"sync"
+)
+
+type frame struct{ b []byte }
+
+// caster mirrors netcast's caster: a subscriber set guarded by a
+// mutex, with per-subscriber outbound queues.
+type caster struct {
+	mu   sync.Mutex
+	subs map[chan frame]struct{}
+	wg   sync.WaitGroup
+}
+
+// Flagged: the exact PR-1 netcast deadlock — a blocking send to a
+// subscriber queue while holding the subscriber-set lock. A full
+// queue blocks here forever while Close() waits on mu.
+func (c *caster) sendBlocking(f frame) {
+	c.mu.Lock()
+	for ch := range c.subs {
+		ch <- f // want `blocking channel send while holding c\.mu`
+	}
+	c.mu.Unlock()
+}
+
+// Clean: the PR-1 fix — non-blocking send via select with default;
+// laggards are collected and dropped after unlock.
+func (c *caster) sendNonBlocking(f frame) {
+	c.mu.Lock()
+	var drop []chan frame
+	for ch := range c.subs {
+		select {
+		case ch <- f:
+		default:
+			drop = append(drop, ch)
+		}
+	}
+	c.mu.Unlock()
+	for _, ch := range drop {
+		delete(c.subs, ch)
+	}
+}
+
+// Clean: copy the set under the lock, send after unlocking.
+func (c *caster) sendAfterUnlock(f frame) {
+	c.mu.Lock()
+	chans := make([]chan frame, 0, len(c.subs))
+	for ch := range c.subs {
+		chans = append(chans, ch)
+	}
+	c.mu.Unlock()
+	for _, ch := range chans {
+		ch <- f
+	}
+}
+
+// Clean: an early-return unlock inside a branch must not make the
+// fall-through path look unlocked (and vice versa).
+func (c *caster) addThenSignal(ch chan frame, closed bool, sig chan struct{}) bool {
+	c.mu.Lock()
+	if closed {
+		c.mu.Unlock()
+		return false
+	}
+	c.subs[ch] = struct{}{}
+	c.mu.Unlock()
+	sig <- struct{}{}
+	return true
+}
+
+// Flagged: WaitGroup.Wait under the lock — the waited-on goroutines
+// may need the same lock to finish.
+func (c *caster) closeWait() {
+	c.mu.Lock()
+	c.wg.Wait() // want `Wait\(\) while holding c\.mu`
+	c.mu.Unlock()
+}
+
+// Clean: wait after unlocking.
+func (c *caster) closeThenWait() {
+	c.mu.Lock()
+	c.subs = nil
+	c.mu.Unlock()
+	c.wg.Wait()
+}
+
+// Flagged: defer Unlock holds the lock to function end, so the send
+// below is under it.
+func (c *caster) deferredSend(ch chan frame, f frame) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ch <- f // want `blocking channel send while holding c\.mu`
+}
+
+type server struct {
+	mu    sync.RWMutex
+	conns []net.Conn
+}
+
+// Flagged: a socket write under the (read-)lock stalls every writer
+// waiting for the lock behind a slow peer.
+func (s *server) broadcast(b []byte) {
+	s.mu.RLock()
+	for _, conn := range s.conns {
+		conn.Write(b) // want `net\.Conn write to conn while holding s\.mu`
+	}
+	s.mu.RUnlock()
+}
+
+// Clean: snapshot under the lock, write outside it.
+func (s *server) broadcastSafe(b []byte) {
+	s.mu.RLock()
+	conns := append([]net.Conn(nil), s.conns...)
+	s.mu.RUnlock()
+	for _, conn := range conns {
+		conn.Write(b)
+	}
+}
+
+// Clean: a goroutine launched under the lock does not hold it.
+func (s *server) async(ch chan frame, f frame) {
+	s.mu.Lock()
+	go func() {
+		ch <- f
+	}()
+	s.mu.Unlock()
+}
+
+// embedded mirrors types that embed their mutex; promoted Lock/Unlock
+// must be tracked the same way.
+type embedded struct {
+	sync.Mutex
+	out chan frame
+}
+
+// Flagged: promoted-lock send.
+func (e *embedded) push(f frame) {
+	e.Lock()
+	e.out <- f // want `blocking channel send while holding e`
+	e.Unlock()
+}

@@ -1,0 +1,120 @@
+// Package obsnames enforces the obs metric-registration conventions.
+//
+// The obs registry is get-or-create keyed by (name, labels): a typo'd
+// or dynamically built metric name silently forks a new time series
+// instead of feeding the existing one, and a registration inside a
+// hot loop pays the registry mutex plus map lookups per iteration
+// when the handle should be resolved once at startup (the
+// serverMetrics/casterMetrics pattern in netcast).
+package obsnames
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+
+	"diversecast/internal/analysis"
+)
+
+// Analyzer enforces literal snake_case metric names registered
+// outside loops.
+var Analyzer = &analysis.Analyzer{
+	Name: "obsnames",
+	Doc: "flags obs.Registry Counter/Gauge/Histogram registrations whose metric name is not a " +
+		"compile-time string constant in snake_case, and registrations inside loops: dynamic " +
+		"names fork silent new series, and per-iteration registration pays the registry lock " +
+		"on a hot path — resolve handles once at startup",
+	Run: run,
+}
+
+var registerMethods = map[string]bool{
+	"Counter":   true,
+	"Gauge":     true,
+	"Histogram": true,
+}
+
+var snakeCase = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)*$`)
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		var loopDepth int
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ForStmt:
+				loopDepth++
+				if st.Init != nil {
+					ast.Inspect(st.Init, walk)
+				}
+				ast.Inspect(st.Body, walk)
+				loopDepth--
+				return false
+			case *ast.RangeStmt:
+				loopDepth++
+				ast.Inspect(st.Body, walk)
+				loopDepth--
+				return false
+			case *ast.FuncLit:
+				// A closure registered as a callback may run in a loop
+				// we cannot see; conversely a loop around a closure
+				// definition does not re-register per iteration.
+				saved := loopDepth
+				loopDepth = 0
+				ast.Inspect(st.Body, walk)
+				loopDepth = saved
+				return false
+			case *ast.CallExpr:
+				checkCall(pass, st, loopDepth > 0)
+			}
+			return true
+		}
+		ast.Inspect(f, walk)
+	}
+	return nil
+}
+
+// checkCall validates one potential registration call.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, inLoop bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !registerMethods[sel.Sel.Name] || len(call.Args) < 1 {
+		return
+	}
+	if !isObsRegistry(pass.TypesInfo.TypeOf(sel.X)) {
+		return
+	}
+	method := sel.Sel.Name
+	if inLoop {
+		pass.Reportf(call.Pos(),
+			"obs metric registered via %s inside a loop: registration takes the registry lock and map lookups per iteration; resolve the handle once at startup (see netcast's casterMetrics)", method)
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		pass.Reportf(call.Args[0].Pos(),
+			"obs metric name passed to %s is not a compile-time string constant: dynamic names silently fork new time series on typos; use a literal name and put variability in labels", method)
+		return
+	}
+	name := constant.StringVal(tv.Value)
+	if !snakeCase.MatchString(name) {
+		pass.Reportf(call.Args[0].Pos(),
+			"obs metric name %q is not snake_case (want %s): exposition-format consumers key on canonical names", name, snakeCase)
+	}
+}
+
+// isObsRegistry reports whether t is (a pointer to) the obs package's
+// Registry type. Matching is by package name + type name so the
+// analyzer's own testdata can supply a stub obs package.
+func isObsRegistry(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Registry" && obj.Pkg() != nil && obj.Pkg().Name() == "obs"
+}

@@ -1,0 +1,12 @@
+package obsnames_test
+
+import (
+	"testing"
+
+	"diversecast/internal/analysis/analysistest"
+	"diversecast/internal/analysis/passes/obsnames"
+)
+
+func TestObsnames(t *testing.T) {
+	analysistest.Run(t, "testdata", obsnames.Analyzer, "a")
+}

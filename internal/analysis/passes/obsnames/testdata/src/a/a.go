@@ -1,0 +1,79 @@
+// Corpus for obsnames: metric-registration conventions.
+package a
+
+import (
+	"strconv"
+
+	"obs"
+)
+
+const goodName = "frames_sent_total"
+
+// Clean: literal snake_case names, registered once at startup with
+// variability in labels — the netcast casterMetrics pattern.
+func registerGood(r *obs.Registry, channel int) (*obs.Counter, *obs.Gauge, *obs.Histogram) {
+	ch := strconv.Itoa(channel)
+	c := r.Counter("netcast_frames_sent_total", "frames enqueued", "channel", ch)
+	g := r.Gauge("netcast_subscribers", "current subscribers", "channel", ch)
+	h := r.Histogram("cds_refine_seconds", "refinement latency", 0, 10, 100)
+	return c, g, h
+}
+
+// Clean: a named constant is still a compile-time constant.
+func registerConst(r *obs.Registry) *obs.Counter {
+	return r.Counter(goodName, "frames enqueued")
+}
+
+// Flagged: a dynamically built name forks a new series per distinct
+// value instead of labeling one series.
+func registerDynamic(r *obs.Registry, channel int) *obs.Counter {
+	return r.Counter("frames_"+strconv.Itoa(channel), "per-channel frames") // want `not a compile-time string constant`
+}
+
+// Flagged: non-snake-case names break exposition-format consumers.
+func registerCamel(r *obs.Registry) *obs.Counter {
+	return r.Counter("framesSentTotal", "frames enqueued") // want `not snake_case`
+}
+
+// Flagged: leading underscore / uppercase.
+func registerBadShapes(r *obs.Registry) {
+	r.Gauge("_hidden", "leading underscore") // want `not snake_case`
+	r.Counter("Frames_Total", "uppercase")   // want `not snake_case`
+}
+
+// Flagged: registration inside a loop pays the registry lock per
+// iteration; resolve handles once at startup.
+func registerInLoop(r *obs.Registry, n int) {
+	for i := 0; i < n; i++ {
+		r.Counter("netcast_ticks_total", "ticks").Inc() // want `inside a loop`
+	}
+}
+
+// Flagged: range loops count too.
+func registerInRange(r *obs.Registry, chans []int) {
+	for range chans {
+		r.Gauge("netcast_subscribers", "subs") // want `inside a loop`
+	}
+}
+
+// Clean: a closure defined inside a loop registers when called, not
+// per loop iteration.
+func registerClosure(r *obs.Registry, n int) []func() *obs.Counter {
+	var fns []func() *obs.Counter
+	for i := 0; i < n; i++ {
+		fns = append(fns, func() *obs.Counter {
+			return r.Counter("lazy_total", "registered lazily")
+		})
+	}
+	return fns
+}
+
+// Clean: a Counter method on an unrelated type is not a
+// registration.
+type shelf struct{}
+
+func (shelf) Counter(name string) int { return len(name) }
+
+func notARegistry(s shelf) int {
+	return s.Counter("whatever you LIKE")
+}

@@ -1,0 +1,25 @@
+// Package obs is a minimal stub of diversecast/internal/obs for the
+// obsnames corpus: the analyzer matches registrations by package name
+// ("obs") and receiver type name (Registry), so the corpus does not
+// need the real implementation.
+package obs
+
+type Registry struct{}
+
+type Counter struct{}
+
+func (*Counter) Inc() {}
+
+type Gauge struct{}
+
+type Histogram struct{}
+
+func (r *Registry) Counter(name, help string, labels ...string) *Counter { return nil }
+
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge { return nil }
+
+func (r *Registry) Histogram(name, help string, lo, hi float64, bins int, labels ...string) *Histogram {
+	return nil
+}
+
+func Default() *Registry { return nil }

@@ -1,0 +1,24 @@
+// Package passes registers the diverselint analyzer suite: every
+// invariant the repository machine-checks, in one list shared by the
+// cmd/diverselint driver and the integration tests.
+package passes
+
+import (
+	"diversecast/internal/analysis"
+	"diversecast/internal/analysis/passes/ctxloop"
+	"diversecast/internal/analysis/passes/floatdet"
+	"diversecast/internal/analysis/passes/floateq"
+	"diversecast/internal/analysis/passes/locksend"
+	"diversecast/internal/analysis/passes/obsnames"
+)
+
+// All returns the full diverselint suite in stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		ctxloop.Analyzer,
+		floatdet.Analyzer,
+		floateq.Analyzer,
+		locksend.Analyzer,
+		obsnames.Analyzer,
+	}
+}

@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// A Finding is one diagnostic from one analyzer, positioned and
+// suppression-resolved.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+	// Suppressed marks findings matched by a //diverselint:ignore
+	// directive; Reason carries the directive's justification.
+	Suppressed bool
+	Reason     string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Pos, f.Message, f.Analyzer)
+}
+
+// Run applies every analyzer to every package and returns the merged
+// findings sorted by position. Suppressed findings are included
+// (marked) so drivers can count or display them; malformed
+// suppression directives are reported as findings of the pseudo
+// analyzer "ignorespec".
+func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		byLine := make(map[string]map[int][]*directive) // filename -> line -> directives
+		for _, f := range pkg.Files {
+			lines, malformed := parseDirectives(fset, f)
+			name := fset.Position(f.Pos()).Filename
+			byLine[name] = lines
+			for _, d := range malformed {
+				findings = append(findings, Finding{
+					Analyzer: "ignorespec",
+					Pos:      d.pos,
+					Message:  "malformed //diverselint:ignore directive: need an analyzer list and a reason",
+				})
+			}
+		}
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			pass.Report = func(d Diagnostic) {
+				pos := fset.Position(d.Pos)
+				fd := Finding{Analyzer: a.Name, Pos: pos, Message: d.Message}
+				for _, dir := range byLine[pos.Filename][pos.Line] {
+					if dir.matches(a.Name) {
+						fd.Suppressed = true
+						fd.Reason = dir.reason
+						break
+					}
+				}
+				findings = append(findings, fd)
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}

@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression directives.
+//
+// A finding is suppressed by a comment of the form
+//
+//	//diverselint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// placed either on the flagged line itself (end-of-line comment) or
+// on the line immediately above it. The reason is mandatory: an
+// ignore without a justification is itself reported as a finding, so
+// every suppression in the tree documents why the invariant does not
+// apply. The analyzer list may be "all".
+//
+// The prefix is deliberately not staticcheck's //lint:ignore —
+// staticcheck validates the check names in those directives, and the
+// two tools run side by side in CI.
+
+const ignorePrefix = "diverselint:ignore"
+
+// A directive is one parsed //diverselint:ignore comment.
+type directive struct {
+	pos       token.Position // of the comment
+	analyzers map[string]bool
+	reason    string
+}
+
+func (d *directive) matches(analyzer string) bool {
+	return d.analyzers["all"] || d.analyzers[analyzer]
+}
+
+// parseDirectives extracts ignore directives from a file, keyed by
+// the line they suppress. A directive on line N suppresses findings
+// on line N and, when it is the only thing on its line, also on line
+// N+1. Malformed directives (no analyzer, or no reason) are returned
+// separately so the driver can report them.
+func parseDirectives(fset *token.FileSet, f *ast.File) (byLine map[int][]*directive, malformed []*directive) {
+	byLine = make(map[int][]*directive)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			if !strings.HasPrefix(text, ignorePrefix) {
+				continue
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+			pos := fset.Position(c.Pos())
+			fields := strings.Fields(rest)
+			d := &directive{pos: pos, analyzers: make(map[string]bool)}
+			if len(fields) >= 1 {
+				for _, name := range strings.Split(fields[0], ",") {
+					if name != "" {
+						d.analyzers[name] = true
+					}
+				}
+				d.reason = strings.TrimSpace(strings.TrimPrefix(rest, fields[0]))
+			}
+			if len(d.analyzers) == 0 || d.reason == "" {
+				malformed = append(malformed, d)
+				continue
+			}
+			byLine[pos.Line] = append(byLine[pos.Line], d)
+			byLine[pos.Line+1] = append(byLine[pos.Line+1], d)
+		}
+	}
+	return byLine, malformed
+}

@@ -189,6 +189,7 @@ func (c *Cache) victim(now float64) *Entry {
 	bestScore := math.Inf(1)
 	for _, e := range c.entries {
 		s := c.policy.Score(*e, now)
+		//diverselint:ignore floateq deliberate exact tie-break: an epsilon here would make the "ties break on position" ordering intransitive
 		if s < bestScore || (s == bestScore && best != nil && e.Pos < best.Pos) {
 			best, bestScore = e, s
 		}

@@ -172,6 +172,7 @@ func (d *DRP) allocate(db *Database, k int, wantTrace bool) (*Allocation, *Trace
 	}
 	pq := pqueue.New(func(a, b splitEntry) bool {
 		ka, kb := key(a), key(b)
+		//diverselint:ignore floateq deliberate exact tie-break: comparator needs a strict weak order, an epsilon would break transitivity
 		if ka != kb {
 			return ka > kb
 		}

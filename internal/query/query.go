@@ -260,6 +260,7 @@ func AffinityOrder(a *core.Allocation, training []Query) func(channel int, group
 				}
 				w := weight(tail, pos)
 				f := db.Item(pos).Freq
+				//diverselint:ignore floateq deliberate exact tie-break: affinity weights are whole counts, equality is exact by construction
 				if w > bestW || (w == bestW && f > bestF) {
 					best, bestW, bestF = pos, w, f
 				}

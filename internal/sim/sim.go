@@ -60,6 +60,7 @@ var (
 func New() *Simulator {
 	return &Simulator{
 		pending: pqueue.New(func(a, b event) bool {
+			//diverselint:ignore floateq deliberate exact tie-break: only bit-identical timestamps are "simultaneous"; an epsilon would reorder distinct events
 			if a.at != b.at {
 				return a.at < b.at
 			}
