@@ -6,7 +6,7 @@
 GO ?= go
 DIVERSELINT = bin/diverselint
 
-.PHONY: verify build test race vet lint bench
+.PHONY: verify build test race vet lint bench microbench
 
 verify: vet lint race
 
@@ -40,5 +40,16 @@ $(DIVERSELINT): FORCE
 .PHONY: FORCE
 FORCE:
 
+# bench runs the tracked benchmark families through cmd/bcastbench and
+# writes the machine-readable report the PR trajectory is recorded in.
+# BENCH_OUT/BENCH_FLAGS override the artifact path and runner flags
+# (CI uses BENCH_FLAGS="-quick").
+BENCH_OUT ?= BENCH_3.json
+BENCH_FLAGS ?=
 bench:
+	$(GO) run ./cmd/bcastbench -out $(BENCH_OUT) $(BENCH_FLAGS)
+
+# microbench is the raw go-test benchmark harness (every family,
+# human-readable output, nothing written to disk).
+microbench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

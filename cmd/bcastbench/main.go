@@ -1,0 +1,290 @@
+// Command bcastbench runs the repository's tracked benchmark families
+// and writes a machine-readable JSON report (BENCH_<pr>.json) so the
+// performance trajectory is recorded alongside the code it measures.
+//
+// The families mirror the go-test benchmarks (same names, same
+// configurations) but run through testing.Benchmark so a single
+// command produces one self-describing artifact:
+//
+//   - CDSScale: the production-scale CDS grid (N up to 10k, K up to
+//     64) comparing the naive full rescan against the incremental
+//     candidate table, plus the derived naive/incremental speedups.
+//   - Tables2to4: the paper's worked example (DRP + CDS, cost 22.29).
+//   - Figure6/Figure7: the execution-time comparisons over K and N
+//     with GOPT pinned to Workers: 1 — timing figures measure
+//     algorithmic cost, so the parallel evaluation fabric must not
+//     fold wall-clock by the benchmark machine's core count.
+//
+// Examples:
+//
+//	bcastbench -out BENCH_3.json
+//	bcastbench -quick -benchtime 1x   # CI: smallest honest signal
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"diversecast/internal/core"
+	"diversecast/internal/gopt"
+	"diversecast/internal/workload"
+)
+
+// benchResult is one benchmark's measurements; Metrics carries the
+// custom b.ReportMetric values (cost, Wb_s).
+type benchResult struct {
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// report is the top-level JSON document. Derived holds quantities
+// computed across results — currently the naive/incremental speedup
+// per CDSScale cell.
+type report struct {
+	GeneratedAt string             `json:"generated_at"`
+	GoVersion   string             `json:"go_version"`
+	GOOS        string             `json:"goos"`
+	GOARCH      string             `json:"goarch"`
+	NumCPU      int                `json:"num_cpu"`
+	BenchTime   string             `json:"bench_time"`
+	Quick       bool               `json:"quick"`
+	Results     []benchResult      `json:"results"`
+	Derived     map[string]float64 `json:"derived,omitempty"`
+}
+
+func (r *report) record(name string, br testing.BenchmarkResult) {
+	res := benchResult{
+		Name:        name,
+		Iterations:  br.N,
+		NsPerOp:     float64(br.NsPerOp()),
+		BytesPerOp:  br.AllocedBytesPerOp(),
+		AllocsPerOp: br.AllocsPerOp(),
+	}
+	if len(br.Extra) > 0 {
+		res.Metrics = make(map[string]float64, len(br.Extra))
+		for k, v := range br.Extra {
+			res.Metrics[k] = v
+		}
+	}
+	r.Results = append(r.Results, res)
+	fmt.Fprintf(os.Stderr, "%-48s %12.0f ns/op\n", name, res.NsPerOp)
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "bcastbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("bcastbench", flag.ContinueOnError)
+	fs.SetOutput(out)
+	outPath := fs.String("out", "BENCH_3.json", "report path ('-' for stdout)")
+	quick := fs.Bool("quick", false, "reduced grid: skip N=10000 and the GOPT timing columns")
+	benchTime := fs.String("benchtime", "", "per-benchmark time or iteration budget (default 3x, 1x with -quick)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	bt := *benchTime
+	if bt == "" {
+		bt = "3x"
+		if *quick {
+			bt = "1x"
+		}
+	}
+	// testing.Benchmark reads the -test.benchtime flag value that
+	// testing.Init registers; setting it here budgets every family.
+	testing.Init()
+	if err := flag.Set("test.benchtime", bt); err != nil {
+		return fmt.Errorf("benchtime %q: %w", bt, err)
+	}
+
+	rep := &report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		BenchTime:   bt,
+		Quick:       *quick,
+		Derived:     make(map[string]float64),
+	}
+
+	if err := cdsScale(rep, *quick); err != nil {
+		return err
+	}
+	if err := tables2to4(rep); err != nil {
+		return err
+	}
+	if err := figureTimings(rep, *quick); err != nil {
+		return err
+	}
+
+	doc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	doc = append(doc, '\n')
+	if *outPath == "-" {
+		_, err = out.Write(doc)
+		return err
+	}
+	return os.WriteFile(*outPath, doc, 0o644)
+}
+
+// randomAllocation mirrors the core test helper: a deterministic
+// uniform assignment used as the CDSScale refinement start.
+func randomAllocation(db *core.Database, k, seed int) (*core.Allocation, error) {
+	rng := rand.New(rand.NewSource(int64(seed)))
+	channel := make([]int, db.Len())
+	for i := range channel {
+		channel[i] = rng.Intn(k)
+	}
+	return core.NewAllocation(db, k, channel)
+}
+
+// cdsScale runs the CDSScale grid and derives per-cell speedups.
+// MaxMoves pins the amount of optimization work per op exactly like
+// BenchmarkCDSScale (keep the constant in sync with bench_test.go).
+func cdsScale(rep *report, quick bool) error {
+	const maxMoves = 200
+	sizes := []int{120, 1000, 10000}
+	if quick {
+		sizes = []int{120, 1000}
+	}
+	for _, n := range sizes {
+		db := workload.Config{N: n, Theta: 0.8, Phi: 2, Seed: 1}.MustGenerate()
+		for _, k := range []int{6, 16, 64} {
+			a, err := randomAllocation(db, k, 7)
+			if err != nil {
+				return err
+			}
+			perStrategy := make(map[core.CDSStrategy]float64, 2)
+			for _, strat := range []core.CDSStrategy{core.StrategyNaive, core.StrategyIncremental} {
+				cds := &core.CDS{Strategy: strat, MaxMoves: maxMoves}
+				var benchErr error
+				br := testing.Benchmark(func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						if _, err := cds.Refine(a); err != nil {
+							benchErr = err
+							b.Fatal(err)
+						}
+					}
+				})
+				if benchErr != nil {
+					return benchErr
+				}
+				name := fmt.Sprintf("CDSScale/N=%d/K=%d/%s", n, k, strat)
+				rep.record(name, br)
+				perStrategy[strat] = float64(br.NsPerOp())
+			}
+			if incr := perStrategy[core.StrategyIncremental]; incr > 0 {
+				rep.Derived[fmt.Sprintf("cds_speedup/N=%d/K=%d", n, k)] =
+					perStrategy[core.StrategyNaive] / incr
+			}
+		}
+	}
+	return nil
+}
+
+// tables2to4 reproduces the paper's worked example end to end and
+// reports the refined cost (the paper's 22.29).
+func tables2to4(rep *report) error {
+	db := core.PaperExampleDatabase()
+	var benchErr error
+	br := testing.Benchmark(func(b *testing.B) {
+		var cost float64
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			a, err := core.NewDRPExampleConsistent().Allocate(db, core.PaperExampleK)
+			if err != nil {
+				benchErr = err
+				b.Fatal(err)
+			}
+			refined, err := core.NewCDS().Refine(a)
+			if err != nil {
+				benchErr = err
+				b.Fatal(err)
+			}
+			cost = core.Cost(refined)
+		}
+		b.ReportMetric(cost, "cost")
+	})
+	if benchErr != nil {
+		return benchErr
+	}
+	rep.record("Tables2to4", br)
+	return nil
+}
+
+// timeAllocator benchmarks one allocator on db/k, reporting the
+// resulting waiting time as Wb_s exactly like the go-test harness.
+func timeAllocator(rep *report, name string, alg core.Allocator, db *core.Database, k int) error {
+	var benchErr error
+	br := testing.Benchmark(func(b *testing.B) {
+		var wb float64
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			a, err := alg.Allocate(db, k)
+			if err != nil {
+				benchErr = err
+				b.Fatal(err)
+			}
+			wb = core.WaitingTime(a, workload.PaperBandwidth)
+		}
+		b.ReportMetric(wb, "Wb_s")
+	})
+	if benchErr != nil {
+		return benchErr
+	}
+	rep.record(name, br)
+	return nil
+}
+
+// figureTimings runs the paper's execution-time comparisons
+// (Figures 6 and 7). GOPT is serial (Workers: 1) for comparability
+// and skipped entirely under -quick: at 600 generations it dwarfs the
+// rest of the run without informing the CDS trajectory.
+func figureTimings(rep *report, quick bool) error {
+	serialGOPT := func() core.Allocator {
+		return &gopt.GOPT{PopulationSize: 120, Generations: 600, Stagnation: 80, Polish: true, Seed: 11, Workers: 1}
+	}
+	fig6DB := workload.PaperDefaults(11).MustGenerate()
+	for _, k := range []int{4, 6, 8, 10} {
+		if err := timeAllocator(rep, fmt.Sprintf("Figure6/K=%d/DRP-CDS", k), core.NewDRPCDS(), fig6DB, k); err != nil {
+			return err
+		}
+		if quick {
+			continue
+		}
+		if err := timeAllocator(rep, fmt.Sprintf("Figure6/K=%d/GOPT", k), serialGOPT(), fig6DB, k); err != nil {
+			return err
+		}
+	}
+	for _, n := range []int{60, 120, 180} {
+		db := workload.Config{N: n, Theta: 0.8, Phi: 2, Seed: 11}.MustGenerate()
+		if err := timeAllocator(rep, fmt.Sprintf("Figure7/N=%d/DRP-CDS", n), core.NewDRPCDS(), db, 6); err != nil {
+			return err
+		}
+		if quick {
+			continue
+		}
+		if err := timeAllocator(rep, fmt.Sprintf("Figure7/N=%d/GOPT", n), serialGOPT(), db, 6); err != nil {
+			return err
+		}
+	}
+	return nil
+}

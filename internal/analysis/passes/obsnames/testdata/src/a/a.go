@@ -68,6 +68,21 @@ func registerClosure(r *obs.Registry, n int) []func() *obs.Counter {
 	return fns
 }
 
+// Clean: worker-pool gauges registered once when the pool spins up —
+// the genetic/experiments evaluation-fabric pattern. Pool size is a
+// label value, never part of the name.
+func registerWorkerPool(r *obs.Registry, workers int) (*obs.Gauge, *obs.Gauge) {
+	w := r.Gauge("genetic_eval_workers", "fitness workers", "pool", strconv.Itoa(workers))
+	q := r.Gauge("genetic_eval_queue_depth", "pending fitness batches")
+	return w, q
+}
+
+// Flagged: baking the pool size into the gauge name forks one series
+// per configuration instead of labeling a single series.
+func registerWorkerPoolDynamic(r *obs.Registry, workers int) *obs.Gauge {
+	return r.Gauge("eval_workers_"+strconv.Itoa(workers), "fitness workers") // want `not a compile-time string constant`
+}
+
 // Clean: a Counter method on an unrelated type is not a
 // registration.
 type shelf struct{}

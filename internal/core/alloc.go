@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 )
 
 // Allocation assigns every item of a database to one of K broadcast
@@ -13,6 +14,11 @@ type Allocation struct {
 	db      *Database
 	k       int
 	channel []int // channel[pos] = channel index in [0,K)
+	// members[c] lists the database positions on channel c in
+	// ascending order; maintained by move() so per-channel scans
+	// (CDS move selection, aggregate reconciliation, channel waiting
+	// time) avoid the O(N) membership filter per channel.
+	members [][]int
 }
 
 // Errors returned by allocation constructors and validators.
@@ -41,7 +47,25 @@ func NewAllocation(db *Database, k int, channel []int) (*Allocation, error) {
 			return nil, fmt.Errorf("%w: item at %d on channel %d, K=%d", ErrChannelRange, pos, c, k)
 		}
 	}
+	a.buildMembers()
 	return a, nil
+}
+
+// buildMembers (re)derives the per-channel position lists from the
+// channel vector. Appending in ascending pos order keeps each list
+// sorted.
+func (a *Allocation) buildMembers() {
+	counts := make([]int, a.k)
+	for _, c := range a.channel {
+		counts[c]++
+	}
+	a.members = make([][]int, a.k)
+	for c, n := range counts {
+		a.members[c] = make([]int, 0, n)
+	}
+	for pos, c := range a.channel {
+		a.members[c] = append(a.members[c], pos)
+	}
 }
 
 // Database returns the database this allocation partitions.
@@ -61,14 +85,23 @@ func (a *Allocation) Assignment() []int {
 }
 
 // Groups returns, per channel, the database positions assigned to it,
-// in ascending position order.
+// in ascending position order. The returned lists are copies; see
+// ChannelPositions for an allocation-free view.
 func (a *Allocation) Groups() [][]int {
 	groups := make([][]int, a.k)
-	for pos, c := range a.channel {
-		groups[c] = append(groups[c], pos)
+	for c, m := range a.members {
+		groups[c] = append([]int(nil), m...)
 	}
 	return groups
 }
+
+// ChannelPositions returns the database positions currently assigned
+// to channel c, in ascending order, without copying. The returned
+// slice is a read-only view into the allocation's internal index: it
+// must not be modified and is only valid until the allocation is next
+// mutated. Hot per-channel loops (CDS scans, adaptive replanning) use
+// it to avoid both the O(N) membership filter and a per-call copy.
+func (a *Allocation) ChannelPositions(c int) []int { return a.members[c] }
 
 // GroupItems returns, per channel, the items assigned to it.
 func (a *Allocation) GroupItems() [][]Item {
@@ -122,13 +155,34 @@ func (a *Allocation) aggregatesInto(agg []GroupAgg) {
 func (a *Allocation) Clone() *Allocation {
 	channel := make([]int, len(a.channel))
 	copy(channel, a.channel)
-	return &Allocation{db: a.db, k: a.k, channel: channel}
+	members := make([][]int, len(a.members))
+	for c, m := range a.members {
+		members[c] = append(make([]int, 0, len(m)), m...)
+	}
+	return &Allocation{db: a.db, k: a.k, channel: channel, members: members}
 }
 
-// move reassigns the item at database position pos to channel dest.
+// move reassigns the item at database position pos to channel dest,
+// keeping the per-channel position lists sorted: O(log n) search plus
+// an O(n) shift within the two touched lists (n = group size).
 // It is unexported: external mutation goes through CDS or explicit
 // reconstruction, keeping Allocation effectively immutable to callers.
-func (a *Allocation) move(pos, dest int) { a.channel[pos] = dest }
+func (a *Allocation) move(pos, dest int) {
+	src := a.channel[pos]
+	if src == dest {
+		return
+	}
+	a.channel[pos] = dest
+	m := a.members[src]
+	i := sort.SearchInts(m, pos)
+	a.members[src] = append(m[:i], m[i+1:]...)
+	m = a.members[dest]
+	j := sort.SearchInts(m, pos)
+	m = append(m, 0)
+	copy(m[j+1:], m[j:])
+	m[j] = pos
+	a.members[dest] = m
+}
 
 // Validate re-checks the structural invariants. It is cheap and used by
 // property tests after every transformation.
@@ -143,6 +197,26 @@ func (a *Allocation) Validate() error {
 		if c < 0 || c >= a.k {
 			return fmt.Errorf("%w: item at %d on channel %d, K=%d", ErrChannelRange, pos, c, a.k)
 		}
+	}
+	// The position index must mirror the channel vector: every list
+	// sorted, every entry on the right channel, N entries in total.
+	total := 0
+	for c, m := range a.members {
+		for i, pos := range m {
+			if i > 0 && m[i-1] >= pos {
+				return fmt.Errorf("core: channel %d position list out of order at %d", c, i)
+			}
+			if pos < 0 || pos >= len(a.channel) {
+				return fmt.Errorf("core: channel %d position list holds out-of-range position %d", c, pos)
+			}
+			if a.channel[pos] != c {
+				return fmt.Errorf("core: position %d indexed on channel %d but assigned to %d", pos, c, a.channel[pos])
+			}
+		}
+		total += len(m)
+	}
+	if total != len(a.channel) {
+		return fmt.Errorf("core: position index covers %d of %d items", total, len(a.channel))
 	}
 	return nil
 }

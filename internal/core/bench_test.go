@@ -69,6 +69,42 @@ func BenchmarkCDSRefine(b *testing.B) {
 	}
 }
 
+// BenchmarkCDSScale is the production-scale CDS grid (N up to 10k,
+// K up to 64) comparing the naive full rescan against the incremental
+// candidate table. Both strategies apply bit-identical moves (the
+// differential trace tests prove it), so the ns/op ratio is pure
+// selection-machinery cost. MaxMoves pins the number of applied moves
+// so every (N, K) cell measures the same amount of optimization work
+// regardless of where the local optimum lies; BENCH_*.json tracks the
+// numbers across PRs. 200 moves is still far short of a full
+// refinement at N=10k (which runs to a local optimum, typically
+// thousands of moves), so the ratio here understates the end-to-end
+// speedup: the incremental table's one-time build cost is amortized
+// over fewer moves than in real use. -short skips the N=10k column.
+func BenchmarkCDSScale(b *testing.B) {
+	const maxMoves = 200
+	for _, n := range []int{120, 1000, 10000} {
+		if n == 10000 && testing.Short() {
+			continue
+		}
+		db := benchDB(b, n)
+		for _, k := range []int{6, 16, 64} {
+			a := randomAllocation(b, db, k, 7)
+			for _, strat := range []CDSStrategy{StrategyNaive, StrategyIncremental} {
+				b.Run(fmt.Sprintf("N=%d/K=%d/%s", n, k, strat), func(b *testing.B) {
+					cds := &CDS{Strategy: strat, MaxMoves: maxMoves}
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						if _, err := cds.Refine(a); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
 func BenchmarkMoveReduction(b *testing.B) {
 	db := benchDB(b, 100)
 	a := randomAllocation(b, db, 8, 3)

@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // CDS is the paper's Cost-Diminishing Selection mechanism (Section
 // 3.2): a steepest-descent local search over single-item moves.
@@ -12,9 +15,14 @@ import "fmt"
 //	Δc = f_x(Z_p − Z_q) + z_x(F_p − F_q) − 2 f_x z_x,
 //
 // applies the move with the maximum strictly positive Δc, and repeats
-// until no move reduces the cost — the local optimum. A single
-// iteration is O(K·N) move evaluations (within the paper's stated
-// O(K²N) bound).
+// until no move reduces the cost — the local optimum. The naive
+// strategy pays O(K·N) move evaluations per applied move (within the
+// paper's stated O(K²N) bound); the incremental strategy exploits
+// that a move only changes two groups' aggregates to reselect in
+// O(N + (|D_p|+|D_q|+R)·K), where R is the number of items whose
+// cached best destination AND cached runner-up are both invalidated
+// by the move (see DESIGN.md §2). Both strategies select bit-for-bit
+// identical moves.
 type CDS struct {
 	// MaxMoves bounds the number of applied moves; 0 means no bound
 	// beyond Epsilon-driven termination. Cost strictly decreases by
@@ -25,6 +33,39 @@ type CDS struct {
 	// against floating-point non-termination. Zero selects a default
 	// scaled to the problem (1e-12 × initial cost, floored at 1e-300).
 	Epsilon float64
+	// Strategy picks the move-selection engine. The zero value is
+	// StrategyIncremental: the differential trace tests pin both
+	// engines to identical output, so the faster one is the default.
+	Strategy CDSStrategy
+}
+
+// CDSStrategy selects how CDS finds the best move each iteration.
+// Both strategies produce move-for-move identical refinements (same
+// tie-break order, same floating-point bits); they differ only in
+// work per iteration.
+type CDSStrategy int
+
+const (
+	// StrategyIncremental (the default) maintains a per-item best-
+	// destination candidate table and recomputes only the entries a
+	// move can invalidate.
+	StrategyIncremental CDSStrategy = iota
+	// StrategyNaive rescans every (item, destination) pair per
+	// iteration — the paper's literal algorithm, kept as the oracle
+	// for differential tests and benchmarks.
+	StrategyNaive
+)
+
+// String returns the strategy name ("incremental" or "naive").
+func (s CDSStrategy) String() string {
+	switch s {
+	case StrategyIncremental:
+		return "incremental"
+	case StrategyNaive:
+		return "naive"
+	default:
+		return fmt.Sprintf("CDSStrategy(%d)", int(s))
+	}
 }
 
 var _ Refiner = (*CDS)(nil)
@@ -56,13 +97,26 @@ func (c *CDS) RefineWithTrace(a *Allocation) (*Allocation, []Move, error) {
 	return c.refine(a, true)
 }
 
+// moveSelector finds the best single-item move for the current
+// allocation state. next returns the move with the maximum Δc under
+// the canonical scan order (groups by channel index, items by
+// database position within the group, destinations by channel index;
+// strictly-larger-wins tie-break) and whether any strictly positive
+// candidate exists. applied notifies the selector after a move has
+// been applied and the aggregates reconciled.
+type moveSelector interface {
+	next() (Move, bool)
+	applied(Move)
+	// counts reports selection sweeps and full per-item candidate
+	// recomputations, flushed to obs counters once per refinement.
+	counts() (scans, recomputed int64)
+}
+
 func (c *CDS) refine(a *Allocation, wantTrace bool) (*Allocation, []Move, error) {
 	if err := a.Validate(); err != nil {
 		return nil, nil, fmt.Errorf("core: CDS input: %w", err)
 	}
 	cur := a.Clone()
-	db := cur.Database()
-	k := cur.K()
 	agg := cur.Aggregates()
 
 	eps := c.Epsilon
@@ -72,6 +126,16 @@ func (c *CDS) refine(a *Allocation, wantTrace bool) (*Allocation, []Move, error)
 		} else {
 			eps = 1e-300
 		}
+	}
+
+	var sel moveSelector
+	switch c.Strategy {
+	case StrategyNaive:
+		sel = &naiveSelector{cur: cur, agg: agg}
+	case StrategyIncremental:
+		sel = newIncrementalSelector(cur, agg)
+	default:
+		return nil, nil, fmt.Errorf("core: CDS: unknown strategy %v", c.Strategy)
 	}
 
 	start := timeNow()
@@ -85,30 +149,7 @@ func (c *CDS) refine(a *Allocation, wantTrace bool) (*Allocation, []Move, error)
 			break
 		}
 
-		// Scan all (item, destination) pairs in the paper's order —
-		// groups by channel index, items by database position within
-		// the group, destinations by channel index — keeping only a
-		// strictly larger Δc, so the selected move is deterministic.
-		best := Move{Reduction: 0}
-		found := false
-		for p := 0; p < k; p++ {
-			for pos := 0; pos < db.Len(); pos++ {
-				if cur.ChannelOf(pos) != p {
-					continue
-				}
-				it := db.Item(pos)
-				for q := 0; q < k; q++ {
-					if q == p {
-						continue
-					}
-					dc := MoveReduction(it, agg[p], agg[q])
-					if dc > best.Reduction {
-						best = Move{Pos: pos, From: p, To: q, Reduction: dc}
-						found = true
-					}
-				}
-			}
-		}
+		best, found := sel.next()
 		if !found || best.Reduction <= eps {
 			break
 		}
@@ -116,27 +157,20 @@ func (c *CDS) refine(a *Allocation, wantTrace bool) (*Allocation, []Move, error)
 		cur.move(best.Pos, best.To)
 		// Reconcile instead of tracking incrementally: rebuild the two
 		// touched groups from the allocation in the same accumulation
-		// order Aggregates uses. Untouched groups were exact before the
-		// move, so by induction agg stays bit-for-bit equal to a fresh
-		// Aggregates() call, and the trace's CostBefore/CostAfter stay
-		// exactly Cost(cur) instead of drifting away from it (one
-		// subtraction at a time) over long refinements. O(N) per
-		// applied move, dominated by the O(K·N) scan above.
-		agg[best.From], agg[best.To] = GroupAgg{}, GroupAgg{}
-		for pos := 0; pos < db.Len(); pos++ {
-			c := cur.ChannelOf(pos)
-			if c != best.From && c != best.To {
-				continue
-			}
-			it := db.Item(pos)
-			agg[c].F += it.Freq
-			agg[c].Z += it.Size
-			agg[c].N++
-		}
+		// order Aggregates uses (ascending position within the group).
+		// Untouched groups were exact before the move, so by induction
+		// agg stays bit-for-bit equal to a fresh Aggregates() call, and
+		// the trace's CostBefore/CostAfter stay exactly Cost(cur)
+		// instead of drifting away from it (one subtraction at a time)
+		// over long refinements. O(|D_p|+|D_q|) per applied move via
+		// the per-channel position lists.
+		reconcileGroup(cur, agg, best.From)
+		reconcileGroup(cur, agg, best.To)
 		var newCost float64
 		for _, g := range agg {
 			newCost += g.Cost()
 		}
+		sel.applied(best)
 
 		applied++
 		if wantTrace {
@@ -148,6 +182,569 @@ func (c *CDS) refine(a *Allocation, wantTrace bool) (*Allocation, []Move, error)
 	}
 	cdsRefinements.Inc()
 	cdsMoves.Add(int64(applied))
+	scans, recomputed := sel.counts()
+	cdsScans.Add(scans)
+	cdsCandidatesRecomputed.Add(recomputed)
 	cdsSeconds.Observe(timeNow().Sub(start).Seconds())
 	return cur, moves, nil
 }
+
+// reconcileGroup rebuilds agg[g] from the allocation. Accumulating
+// over the group's position list in ascending order is the same
+// per-group order Aggregates uses, so the result is bit-for-bit what
+// a full recomputation would produce.
+func reconcileGroup(cur *Allocation, agg []GroupAgg, g int) {
+	db := cur.Database()
+	agg[g] = GroupAgg{}
+	for _, pos := range cur.ChannelPositions(g) {
+		it := db.Item(pos)
+		agg[g].F += it.Freq
+		agg[g].Z += it.Size
+		agg[g].N++
+	}
+}
+
+// naiveSelector is the paper's literal selection: every (item,
+// destination) pair is re-evaluated each iteration. The per-channel
+// position lists spare it the former O(K·N) membership filter, but
+// the scan itself remains O(K·N) evaluations.
+type naiveSelector struct {
+	cur   *Allocation
+	agg   []GroupAgg
+	scans int64
+}
+
+func (s *naiveSelector) next() (Move, bool) {
+	db := s.cur.Database()
+	k := s.cur.K()
+	s.scans++
+	// Scan all (item, destination) pairs in the paper's order —
+	// groups by channel index, items by database position within
+	// the group, destinations by channel index — keeping only a
+	// strictly larger Δc, so the selected move is deterministic.
+	best := Move{Reduction: 0}
+	found := false
+	for p := 0; p < k; p++ {
+		for _, pos := range s.cur.ChannelPositions(p) {
+			it := db.Item(pos)
+			for q := 0; q < k; q++ {
+				if q == p {
+					continue
+				}
+				dc := MoveReduction(it, s.agg[p], s.agg[q])
+				if dc > best.Reduction {
+					best = Move{Pos: pos, From: p, To: q, Reduction: dc}
+					found = true
+				}
+			}
+		}
+	}
+	return best, found
+}
+
+func (s *naiveSelector) applied(Move) {}
+
+func (s *naiveSelector) counts() (int64, int64) { return s.scans, 0 }
+
+// cdsCandidate is a (destination channel, Δc) pair under the current
+// aggregates. dest is -1 (and dc −Inf) for the "no destination"
+// sentinel (K == 1, or the runner-up slot when K == 2).
+type cdsCandidate struct {
+	dest int
+	dc   float64
+}
+
+// better reports whether candidate a beats candidate b under the
+// canonical CDS order: strictly larger Δc wins, and equal Δc is won
+// by the smaller destination index (the naive scan visits
+// destinations ascending and keeps only strictly larger values).
+// This is the lexicographic strict order on (−dc, dest) — total on
+// candidates with distinct destinations and transitive always — so
+// the ≻-maximum of any candidate set is exactly the entry the naive
+// ascending scan would keep, no matter in which sequence the set is
+// merged.
+func better(a, b cdsCandidate) bool {
+	//diverselint:ignore floateq deliberate exact tie-break: equal Δc must resolve by destination index exactly like the naive ascending scan; an epsilon would select different moves
+	if a.dc == b.dc {
+		return a.dest < b.dest
+	}
+	return a.dc > b.dc
+}
+
+// The candidate table is one item's cached view of its move
+// candidates: up to three exact (destination, Δc) entries in
+// ≻-descending order plus a bound pair that dominates every
+// destination the entry list does not name. The entries let most
+// moves resolve an invalidated best in O(1); the bound is what keeps
+// the resolution sound without rescanning. Slots hold (dest −1, Δc
+// −Inf) when absent, so a slot never compares equal to a real channel
+// index and the merge sweep needs no length field.
+//
+// Invariants, per item (see DESIGN.md §2):
+//   - listed entries are exact: the very float bits MoveReduction
+//     produces under the current aggregates, consecutive from the
+//     ≻-maximum down;
+//   - every destination not named by an entry is ⪯ bound under the
+//     better order, and every listed entry is ≻ bound. After a full
+//     recompute the bound is the exact 4th-best value.
+//
+// The layout is hybrid: cdsHot packs exactly the fields the per-move
+// merge sweep reads — the bound Δc for the admission test, the best
+// Δc for the champion fold, and all four destination ids for the
+// staleness test — into one 32-byte record (two per cache line), while
+// the runner-up Δc values, needed only on the rare repair paths, live
+// in cold side arrays. The sweep is memory-bound at scale, so bytes
+// per item per move is the figure of merit.
+type cdsHot struct {
+	bdc        float64 // bound Δc
+	e0dc       float64 // best entry Δc
+	d0, d1, d2 int32   // entry destinations, −1 when absent
+	bdest      int32   // bound destination, −1 for the −Inf sentinel
+}
+
+// cdsDelta holds, for one source group p, the aggregate differences
+// of Eq. (4) toward a move's two touched groups F and T:
+// zf = Z_p−Z_F, ff = F_p−F_F, zt = Z_p−Z_T, ft = F_p−F_T.
+type cdsDelta struct {
+	zf, ff, zt, ft float64
+}
+
+// cdsItem caches the item constants of Eq. (4): frequency, size, and
+// the term 2·fₓ·zₓ computed with exactly the expression MoveReduction
+// uses (left-associated 2*f*z), so substituting it reproduces
+// MoveReduction's float bits while sparing two multiplies per
+// evaluated destination.
+type cdsItem struct {
+	f, z, tfz float64
+}
+
+// incrementalSelector maintains the candidate cache. A move D_p → D_q
+// only changes agg[p] and agg[q], so after a move: items inside p or
+// q recompute over all K destinations, and every other item folds
+// just the two freshly evaluated Δc toward p and q into its cached
+// entry list (see applied). The depth-3 list absorbs repeated
+// invalidations of the same popular destination group — the pattern
+// steepest descent produces — so full rescans stay rare.
+//
+// The selection sweep is folded into the same passes: applied visits
+// every item exactly once (touched groups via recompute, the rest via
+// the merge loop), so it tracks the global champion as it goes and
+// next returns it in O(1).
+type incrementalSelector struct {
+	cur *Allocation
+	agg []GroupAgg
+	fzt []cdsItem
+	// aggZ and aggF shadow agg[q].Z and agg[q].F in flat slices so the
+	// two hot loops stream 16 bytes per destination instead of the
+	// whole GroupAgg; applied refreshes the two touched entries.
+	aggZ, aggF []float64
+	// chq shadows cur.channel as int32 (applied updates the moved
+	// item's entry), halving the sweep's channel-stream bytes.
+	chq []int32
+	hot []cdsHot
+	// e1dc and e2dc are the runner-up entries' Δc (cold).
+	e1dc, e2dc []float64
+	// delta is per-move scratch: for each group p, the aggregate
+	// differences toward the move's two touched groups, hoisted out of
+	// the sweep (they are per-(group, move) constants). Hoisting a
+	// subexpression does not change its float bits.
+	delta []cdsDelta
+	// dzs/dfs are per-source-group scratch for scanTop4: the aggregate
+	// differences Z_p−Z_q and F_p−F_q toward every destination, filled
+	// once per source group and shared by every member's scan.
+	dzs, dfs   []float64
+	champ      Move
+	champFound bool
+	scans      int64
+	recomputed int64
+}
+
+func newIncrementalSelector(cur *Allocation, agg []GroupAgg) *incrementalSelector {
+	n := cur.Database().Len()
+	s := &incrementalSelector{
+		cur:   cur,
+		agg:   agg,
+		fzt:   make([]cdsItem, n),
+		aggZ:  make([]float64, len(agg)),
+		aggF:  make([]float64, len(agg)),
+		chq:   make([]int32, n),
+		hot:   make([]cdsHot, n),
+		e1dc:  make([]float64, n),
+		e2dc:  make([]float64, n),
+		delta: make([]cdsDelta, len(agg)),
+		dzs:   make([]float64, len(agg)),
+		dfs:   make([]float64, len(agg)),
+	}
+	for i, it := range cur.db.items {
+		s.fzt[i] = cdsItem{f: it.Freq, z: it.Size, tfz: 2 * it.Freq * it.Size}
+	}
+	for q, g := range agg {
+		s.aggZ[q], s.aggF[q] = g.Z, g.F
+	}
+	for pos, p := range cur.channel {
+		s.chq[pos] = int32(p)
+	}
+	// Initial build, one delta fill per group shared by its members.
+	for p := range agg {
+		s.fillDeltas(p)
+		for _, pos := range cur.ChannelPositions(p) {
+			s.scanTop4(pos)
+		}
+	}
+	// Initial champion sweep; applied keeps it current afterwards.
+	champ := Move{Reduction: 0}
+	found := false
+	for pos, p32 := range s.chq {
+		h := &s.hot[pos]
+		cd := h.e0dc
+		if cd > champ.Reduction {
+			champ = Move{Pos: pos, From: int(p32), To: int(h.d0), Reduction: cd}
+			found = true
+			continue
+		}
+		//diverselint:ignore floateq deliberate exact tie-break: equal Δc across items must resolve by (channel, position) exactly like the naive scan order
+		if found && cd == champ.Reduction && int(p32) < champ.From {
+			// Positions ascend in this sweep, so only a strictly
+			// smaller channel can steal the tie.
+			champ = Move{Pos: pos, From: int(p32), To: int(h.d0), Reduction: cd}
+		}
+	}
+	s.champ, s.champFound = champ, found
+	return s
+}
+
+// fillDeltas loads the scanTop4 scratch with the aggregate
+// differences from source group p toward every destination q:
+// dzs[q] = Z_p−Z_q, dfs[q] = F_p−F_q — the exact subexpressions of
+// MoveReduction, hoisted so that every member of group p shares one
+// fill. Slot p itself is poked to (−Inf, 0) so its Δc evaluates to
+// −Inf (item frequencies are validated strictly positive and finite)
+// and q == p is excluded branchlessly, exactly as a +Inf aggregate
+// would exclude it.
+func (s *incrementalSelector) fillDeltas(p int) {
+	aggZs, aggFs := s.aggZ, s.aggF
+	dzs, dfs := s.dzs, s.dfs
+	dfs = dfs[:len(dzs)] // bounds-check elimination
+	apZ, apF := aggZs[p], aggFs[p]
+	for q := range aggZs {
+		dzs[q] = apZ - aggZs[q]
+		dfs[q] = apF - aggFs[q]
+	}
+	dzs[p], dfs[p] = math.Inf(-1), 0
+}
+
+// recompute rebuilds the top-4 of the item at pos over all K−1
+// destinations: three exact entries plus the 4th-best as the bound.
+func (s *incrementalSelector) recompute(pos int) {
+	s.fillDeltas(int(s.chq[pos]))
+	s.scanTop4(pos)
+}
+
+// scanTop4 rebuilds the top-4 of the item at pos from the deltas
+// fillDeltas prepared for the item's current group. The scan visits
+// destinations ascending with strict comparisons only — an equal Δc
+// never displaces an earlier (smaller) destination — which is exactly
+// the ≻-top-4.
+func (s *incrementalSelector) scanTop4(pos int) {
+	it := s.fzt[pos]
+	f, z, tfz := it.f, it.z, it.tfz
+	dzs, dfs := s.dzs, s.dfs
+	dfs = dfs[:len(dzs)] // bounds-check elimination in the scan below
+	negInf := math.Inf(-1)
+	d0, d1, d2, d3 := int32(-1), int32(-1), int32(-1), int32(-1)
+	v0, v1, v2, v3 := negInf, negInf, negInf, negInf
+	for q := range dzs {
+		// MoveReduction with the aggregate differences and the 2·f·z
+		// term precomputed; same expression, same bits.
+		dc := f*dzs[q] + z*dfs[q] - tfz
+		if dc > v3 {
+			q32 := int32(q)
+			if dc > v2 {
+				if dc > v1 {
+					if dc > v0 {
+						d3, v3 = d2, v2
+						d2, v2 = d1, v1
+						d1, v1 = d0, v0
+						d0, v0 = q32, dc
+					} else {
+						d3, v3 = d2, v2
+						d2, v2 = d1, v1
+						d1, v1 = q32, dc
+					}
+				} else {
+					d3, v3 = d2, v2
+					d2, v2 = q32, dc
+				}
+			} else {
+				d3, v3 = q32, dc
+			}
+		}
+	}
+	s.hot[pos] = cdsHot{bdc: v3, e0dc: v0, d0: d0, d1: d1, d2: d2, bdest: d3}
+	s.e1dc[pos], s.e2dc[pos] = v1, v2
+	s.recomputed++
+}
+
+func (s *incrementalSelector) next() (Move, bool) {
+	// The champion is maintained by the constructor and by applied;
+	// the per-selection sweep cost lives there. The counter still
+	// tallies one logical scan per selection for comparability with
+	// the naive strategy.
+	s.scans++
+	return s.champ, s.champFound
+}
+
+func (s *incrementalSelector) applied(m Move) {
+	from, to := m.From, m.To
+	// refine reconciled agg before notifying us; refresh the shadows.
+	s.aggZ[from], s.aggF[from] = s.agg[from].Z, s.agg[from].F
+	s.aggZ[to], s.aggF[to] = s.agg[to].Z, s.agg[to].F
+	s.chq[m.Pos] = int32(to)
+	// The champion is rebuilt from scratch during this pass: every
+	// item is visited exactly once (touched groups below, everything
+	// else in the merge loop), and the fold uses the full canonical
+	// comparator (Δc desc, channel asc, position asc) because the
+	// three phases do not visit positions in one ascending sequence.
+	champDc := 0.0
+	champPos, champFrom, champTo := 0, 0, 0
+	found := false
+	// Items now in either touched group (including the moved item, now
+	// in m.To): their own group's aggregates changed, so every cached
+	// Δc of theirs is stale — full recompute.
+	s.fillDeltas(from)
+	for _, pos := range s.cur.ChannelPositions(from) {
+		s.scanTop4(pos)
+		h := &s.hot[pos]
+		if cd := h.e0dc; cd > champDc {
+			champDc, champFrom, champPos, champTo = cd, from, pos, int(h.d0)
+			found = true
+		}
+		// No tie clause: within one group positions ascend, and the
+		// second touched group is handled with the full comparator
+		// below only if it could tie — see the tie folds below.
+	}
+	s.fillDeltas(to)
+	for _, pos := range s.cur.ChannelPositions(to) {
+		s.scanTop4(pos)
+		h := &s.hot[pos]
+		cd := h.e0dc
+		if cd > champDc {
+			champDc, champFrom, champPos, champTo = cd, to, pos, int(h.d0)
+			found = true
+			continue
+		}
+		if found && foldTie(cd, to, pos, champDc, champFrom, champPos) {
+			champDc, champFrom, champPos, champTo = cd, to, pos, int(h.d0)
+		}
+	}
+	// Every other item: only its Δc toward from and to changed.
+	// Entries pointing at a touched group drop out of the item's list
+	// (their old values retain no entry status); what remains is still
+	// the exact ≻-descending top of the unchanged destinations,
+	// because anything unlisted was already ⪯ bound. Merging the
+	// remainder with the two fresh values in ≻ order yields exact
+	// placements for as long as each merged value strictly beats the
+	// bound — below that, an unlisted destination could outrank it.
+	chq := s.chq
+	// Equalized lengths let the compiler drop the per-item bounds
+	// checks in the sweep.
+	fzts := s.fzt[:len(chq)]
+	hots := s.hot[:len(chq)]
+	e1dcs, e2dcs := s.e1dc[:len(chq)], s.e2dc[:len(chq)]
+	aggZs, aggFs := s.aggZ, s.aggF
+	fZ, fF := aggZs[from], aggFs[from]
+	tZ, tF := aggZs[to], aggFs[to]
+	deltas := s.delta
+	for p := range aggZs {
+		deltas[p] = cdsDelta{
+			zf: aggZs[p] - fZ, ff: aggFs[p] - fF,
+			zt: aggZs[p] - tZ, ft: aggFs[p] - tF,
+		}
+	}
+	f32, t32 := int32(from), int32(to)
+	negInf := math.Inf(-1)
+	for pos, p32 := range chq {
+		if p32 == f32 || p32 == t32 {
+			continue
+		}
+		d := deltas[p32]
+		it := fzts[pos]
+		// MoveReduction toward each touched group with the aggregate
+		// differences and the 2·f·z term precomputed; same expression,
+		// same bits.
+		dcF := it.f*d.zf + it.z*d.ff - it.tfz
+		dcT := it.f*d.zt + it.z*d.ft - it.tfz
+		h := &hots[pos]
+		if dcF < h.bdc && dcT < h.bdc {
+			// Both fresh values fall strictly below the bound on Δc
+			// alone, so neither can enter the list — no candidate
+			// construction or destination tie-break needed. At most
+			// the list loses entries that point at a touched group.
+			// Absent slots hold dest −1 and never match a channel.
+			a0, a1, a2 := h.d0, h.d1, h.d2
+			if a0 != f32 && a0 != t32 && a1 != f32 && a1 != t32 && a2 != f32 && a2 != t32 {
+				// Nothing changes for this item.
+				if cd := h.e0dc; cd > champDc {
+					champDc, champFrom, champPos, champTo = cd, int(p32), pos, int(a0)
+					found = true
+				} else if found && foldTie(h.e0dc, int(p32), pos, champDc, champFrom, champPos) {
+					champDc, champFrom, champPos, champTo = h.e0dc, int(p32), pos, int(a0)
+				}
+				continue
+			}
+			// Filter-only: drop the touched entries. The survivors
+			// remain the exact consecutive ≻-top of all destinations —
+			// the touched groups' fresh values fall below the bound and
+			// hence below every survivor — and the old bound still
+			// covers everything unlisted, including those fresh values.
+			var sd [3]int32
+			var sv [3]float64
+			j := 0
+			if a0 >= 0 && a0 != f32 && a0 != t32 {
+				sd[j], sv[j] = a0, h.e0dc
+				j++
+			}
+			if a1 >= 0 && a1 != f32 && a1 != t32 {
+				sd[j], sv[j] = a1, e1dcs[pos]
+				j++
+			}
+			if a2 >= 0 && a2 != f32 && a2 != t32 {
+				sd[j], sv[j] = a2, e2dcs[pos]
+				j++
+			}
+			if j == 0 {
+				// Every listed entry was invalidated; the new maximum
+				// may hide behind any unlisted destination.
+				s.recompute(pos)
+			} else {
+				for ; j < 3; j++ {
+					sd[j], sv[j] = -1, negInf
+				}
+				h.e0dc, h.d0, h.d1, h.d2 = sv[0], sd[0], sd[1], sd[2]
+				e1dcs[pos], e2dcs[pos] = sv[1], sv[2]
+			}
+			if cd := h.e0dc; cd > champDc {
+				champDc, champFrom, champPos, champTo = cd, int(p32), pos, int(h.d0)
+				found = true
+			} else if found && foldTie(cd, int(p32), pos, champDc, champFrom, champPos) {
+				champDc, champFrom, champPos, champTo = cd, int(p32), pos, int(h.d0)
+			}
+			continue
+		}
+		hi := cdsCandidate{dest: from, dc: dcF}
+		lo := cdsCandidate{dest: to, dc: dcT}
+		if better(lo, hi) {
+			hi, lo = lo, hi
+		}
+		eD := [3]int32{h.d0, h.d1, h.d2}
+		eV := [3]float64{h.e0dc, e1dcs[pos], e2dcs[pos]}
+		en := 1
+		if eD[1] >= 0 {
+			en = 2
+			if eD[2] >= 0 {
+				en = 3
+			}
+		}
+		bound := cdsCandidate{dest: int(h.bdest), dc: h.bdc}
+		if !better(hi, bound) {
+			// Reached only when a fresh Δc ties the bound exactly but
+			// loses the destination tie-break; if no listed entry is
+			// touched either, nothing changes.
+			if eD[0] != f32 && eD[0] != t32 && eD[1] != f32 && eD[1] != t32 &&
+				eD[2] != f32 && eD[2] != t32 {
+				if cd := eV[0]; cd > champDc {
+					champDc, champFrom, champPos, champTo = cd, int(p32), pos, int(eD[0])
+					found = true
+				} else if found && foldTie(cd, int(p32), pos, champDc, champFrom, champPos) {
+					champDc, champFrom, champPos, champTo = cd, int(p32), pos, int(eD[0])
+				}
+				continue
+			}
+		}
+		// General fold: merge the untouched listed entries with
+		// {hi, lo} in ≻ order, placing up to three exact entries
+		// while they strictly beat the old bound. A fourth merged
+		// value that still beats the bound becomes the new bound
+		// (it dominates everything dropped); otherwise the old bound
+		// keeps covering the remainder.
+		ei, fi, out := 0, 0, 0
+		ne := [3]cdsCandidate{{-1, negInf}, {-1, negInf}, {-1, negInf}}
+		newBound := bound
+		for out < 4 {
+			for ei < en {
+				d := eD[ei]
+				if d == f32 || d == t32 {
+					ei++
+					continue
+				}
+				break
+			}
+			var c cdsCandidate
+			switch {
+			case ei < en && fi < 2:
+				fc := hi
+				if fi == 1 {
+					fc = lo
+				}
+				c = cdsCandidate{dest: int(eD[ei]), dc: eV[ei]}
+				if better(c, fc) {
+					ei++
+				} else {
+					c = fc
+					fi++
+				}
+			case ei < en:
+				c = cdsCandidate{dest: int(eD[ei]), dc: eV[ei]}
+				ei++
+			case fi < 2:
+				c = hi
+				if fi == 1 {
+					c = lo
+				}
+				fi++
+			default:
+				c = cdsCandidate{dest: -1, dc: negInf} // exhausted; fails the bound check
+			}
+			if !better(c, bound) {
+				break
+			}
+			if out < 3 {
+				ne[out] = c
+			} else {
+				newBound = c
+			}
+			out++
+		}
+		if out == 0 {
+			// The old best was invalidated and the fresh values fall
+			// at or below the bound: the new maximum may hide behind
+			// any unlisted destination.
+			s.recompute(pos)
+		} else {
+			*h = cdsHot{
+				bdc: newBound.dc, e0dc: ne[0].dc,
+				d0: int32(ne[0].dest), d1: int32(ne[1].dest), d2: int32(ne[2].dest),
+				bdest: int32(newBound.dest),
+			}
+			e1dcs[pos], e2dcs[pos] = ne[1].dc, ne[2].dc
+		}
+		if cd := h.e0dc; cd > champDc {
+			champDc, champFrom, champPos, champTo = cd, int(p32), pos, int(h.d0)
+			found = true
+		} else if found && foldTie(cd, int(p32), pos, champDc, champFrom, champPos) {
+			champDc, champFrom, champPos, champTo = cd, int(p32), pos, int(h.d0)
+		}
+	}
+	s.champ = Move{Pos: champPos, From: champFrom, To: champTo, Reduction: champDc}
+	s.champFound = found
+}
+
+// foldTie reports whether an item with best reduction dc in group p at
+// position pos steals a champion tie: same Δc, canonically earlier
+// (smaller channel, then smaller position) than the current champion.
+func foldTie(dc float64, p, pos int, champDc float64, champFrom, champPos int) bool {
+	//diverselint:ignore floateq deliberate exact tie-break: equal Δc across items must resolve by (channel, position) exactly like the naive scan order
+	return dc == champDc && (p < champFrom || (p == champFrom && pos < champPos))
+}
+
+func (s *incrementalSelector) counts() (int64, int64) { return s.scans, s.recomputed }

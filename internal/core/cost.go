@@ -50,11 +50,9 @@ func ChannelWaitingTime(a *Allocation, c int, b float64) float64 {
 		return 0
 	}
 	var download float64 // Σ f_j z_j over the channel
-	for pos, ch := range a.channel {
-		if ch == c {
-			it := a.db.Item(pos)
-			download += it.Freq * it.Size
-		}
+	for _, pos := range a.ChannelPositions(c) {
+		it := a.db.Item(pos)
+		download += it.Freq * it.Size
 	}
 	return agg.Z/(2*b) + download/(b*agg.F)
 }

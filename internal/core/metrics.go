@@ -18,6 +18,10 @@ var (
 		"CDS refinement runs")
 	cdsMoves = obs.Default().Counter("core_cds_moves_total",
 		"single-item moves applied across all CDS refinements")
+	cdsScans = obs.Default().Counter("core_cds_scans_total",
+		"CDS move-selection sweeps (one per iteration, both strategies)")
+	cdsCandidatesRecomputed = obs.Default().Counter("core_cds_candidates_recomputed_total",
+		"full per-item candidate recomputations by the incremental CDS strategy")
 )
 
 // timeNow is stubbed in tests.

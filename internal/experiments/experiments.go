@@ -8,6 +8,9 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"diversecast/internal/baseline"
@@ -37,6 +40,14 @@ type Config struct {
 	GOPTGenerations int
 	GOPTStagnation  int
 	GOPTPolish      bool
+	// Workers bounds the sweep worker pool for the quality figures
+	// (2–5): the (x-point × seed) grid is embarrassingly parallel and
+	// every cell is folded back in deterministic (x, seed) order, so
+	// results are identical for any pool size. 0 uses GOMAXPROCS, 1
+	// runs serially. The execution-time figures (6–7) ignore it and
+	// always run serially — wall-clock measurements on a loaded
+	// machine would be noise, not data.
+	Workers int
 }
 
 // Default returns the full-scale configuration used to regenerate the
@@ -84,6 +95,9 @@ func (c Config) Validate() error {
 	if len(c.Seeds) == 0 {
 		return fmt.Errorf("experiments: need at least one seed")
 	}
+	if c.Workers < 0 {
+		return fmt.Errorf("experiments: Workers must be >= 0, got %d", c.Workers)
+	}
 	return nil
 }
 
@@ -92,8 +106,12 @@ func (c Config) Validate() error {
 var AlgorithmNames = []string{"VFK", "DRP", "DRP-CDS", "GOPT"}
 
 // allocators builds one instance of each comparison algorithm; GOPT's
-// randomness is derived from the replication seed.
-func (c Config) allocators(seed int64) map[string]core.Allocator {
+// randomness is derived from the replication seed. gaWorkers bounds
+// GOPT's fitness worker pool: quality sweeps pass 0 (use every core —
+// the result is identical), timing sweeps pass 1 (serial, so the
+// measured wall-clock is single-thread work, comparable across
+// machines and runs).
+func (c Config) allocators(seed int64, gaWorkers int) map[string]core.Allocator {
 	return map[string]core.Allocator{
 		"VFK":     baseline.NewVFK(),
 		"DRP":     core.NewDRP(),
@@ -104,6 +122,7 @@ func (c Config) allocators(seed int64) map[string]core.Allocator {
 			Stagnation:     c.GOPTStagnation,
 			Polish:         c.GOPTPolish,
 			Seed:           seed,
+			Workers:        gaWorkers,
 		},
 	}
 }
@@ -128,7 +147,10 @@ type Figure struct {
 
 // sweepWait runs the four algorithms over the given per-point
 // workload configurations and records mean analytical waiting time
-// (Eq. 2) across seeds.
+// (Eq. 2) across seeds. The (x-point × seed) grid is evaluated on a
+// bounded worker pool; each cell writes its own slot and the fold
+// into per-x accumulators happens serially in (x, seed) order, so the
+// figure is bit-identical to a fully serial sweep.
 func (c Config) sweepWait(id, title, xlabel string, xs []float64, mk func(x float64, seed int64) (workload.Config, int)) (*Figure, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
@@ -138,23 +160,55 @@ func (c Config) sweepWait(id, title, xlabel string, xs []float64, mk func(x floa
 		YLabel:     "average waiting time (s)",
 		Algorithms: AlgorithmNames,
 	}
-	for _, x := range xs {
+
+	type cell struct {
+		values map[string]float64
+		err    error
+	}
+	cells := make([]cell, len(xs)*len(c.Seeds))
+	workers := c.sweepWorkers(len(cells))
+	// Parallelize at the outermost level only: with several cells per
+	// core in flight, letting each GOPT also fan out would just
+	// oversubscribe the scheduler. A serial sweep (workers == 1)
+	// instead hands GOPT the whole machine.
+	gaWorkers := 1
+	if workers == 1 {
+		gaWorkers = 0
+	}
+	runCells(workers, cells, func(idx int) {
+		xi, si := idx/len(c.Seeds), idx%len(c.Seeds)
+		x, seed := xs[xi], c.Seeds[si]
+		wcfg, k := mk(x, seed)
+		db, err := wcfg.Generate()
+		if err != nil {
+			cells[idx].err = fmt.Errorf("experiments: %s at %v: %w", id, x, err)
+			return
+		}
+		algs := c.allocators(seed, gaWorkers)
+		values := make(map[string]float64, len(AlgorithmNames))
+		for _, name := range AlgorithmNames {
+			a, err := algs[name].Allocate(db, k)
+			if err != nil {
+				cells[idx].err = fmt.Errorf("experiments: %s at %v: %s: %w", id, x, name, err)
+				return
+			}
+			values[name] = core.WaitingTime(a, c.Bandwidth)
+		}
+		cells[idx].values = values
+	})
+
+	for xi, x := range xs {
 		accs := make(map[string]*stats.Accumulator, len(AlgorithmNames))
 		for _, name := range AlgorithmNames {
 			accs[name] = &stats.Accumulator{}
 		}
-		for _, seed := range c.Seeds {
-			wcfg, k := mk(x, seed)
-			db, err := wcfg.Generate()
-			if err != nil {
-				return nil, fmt.Errorf("experiments: %s at %v: %w", id, x, err)
+		for si := range c.Seeds {
+			cl := cells[xi*len(c.Seeds)+si]
+			if cl.err != nil {
+				return nil, cl.err
 			}
-			for name, alg := range c.allocators(seed) {
-				a, err := alg.Allocate(db, k)
-				if err != nil {
-					return nil, fmt.Errorf("experiments: %s at %v: %s: %w", id, x, name, err)
-				}
-				accs[name].Add(core.WaitingTime(a, c.Bandwidth))
+			for _, name := range AlgorithmNames {
+				accs[name].Add(cl.values[name])
 			}
 		}
 		row := Row{X: x, Values: make(map[string]float64, len(accs))}
@@ -164,6 +218,52 @@ func (c Config) sweepWait(id, title, xlabel string, xs []float64, mk func(x floa
 		fig.Rows = append(fig.Rows, row)
 	}
 	return fig, nil
+}
+
+// sweepWorkers resolves the configured pool size against the grid.
+func (c Config) sweepWorkers(cellCount int) int {
+	workers := c.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cellCount {
+		workers = cellCount
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// runCells executes run(i) for every cell index on a pool of the
+// given width. Cells only write their own slot, so any width yields
+// the same cells.
+func runCells[T any](workers int, cells []T, run func(idx int)) {
+	sweepWorkers.Set(int64(workers))
+	if workers <= 1 {
+		for i := range cells {
+			run(i)
+		}
+		return
+	}
+	sweepQueueDepth.Set(int64(len(cells)))
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(cells) {
+					return
+				}
+				run(i)
+				sweepQueueDepth.Dec()
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // Figure2 sweeps the channel count K from 4 to 10 (paper Figure 2).
@@ -209,6 +309,11 @@ func Figure5(c Config) (*Figure, error) {
 var TimedAlgorithms = []string{"DRP-CDS", "GOPT"}
 
 // sweepTime measures mean wall-clock allocation time in milliseconds.
+//
+// Timing sweeps are pinned serial regardless of Config.Workers, and
+// GOPT's own worker pool is pinned to 1: Figures 6–7 plot execution
+// time, and concurrent cells would contend for cores and inflate each
+// other's wall-clock. Only the quality figures parallelize.
 func (c Config) sweepTime(id, title, xlabel string, xs []float64, mk func(x float64, seed int64) (workload.Config, int)) (*Figure, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
@@ -229,7 +334,7 @@ func (c Config) sweepTime(id, title, xlabel string, xs []float64, mk func(x floa
 			if err != nil {
 				return nil, fmt.Errorf("experiments: %s at %v: %w", id, x, err)
 			}
-			algs := c.allocators(seed)
+			algs := c.allocators(seed, 1)
 			for _, name := range TimedAlgorithms {
 				start := time.Now()
 				if _, err := algs[name].Allocate(db, k); err != nil {

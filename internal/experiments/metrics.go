@@ -1,0 +1,13 @@
+package experiments
+
+import "diversecast/internal/obs"
+
+// Sweep-fabric instrumentation on the process-wide registry: pool
+// width and remaining cells of the in-flight quality sweep. Handles
+// resolved once at package init.
+var (
+	sweepWorkers = obs.Default().Gauge("experiments_sweep_workers",
+		"worker-pool size of the most recent quality-figure sweep")
+	sweepQueueDepth = obs.Default().Gauge("experiments_sweep_queue_depth",
+		"sweep cells of the in-flight quality figure not yet completed")
+)

@@ -10,10 +10,16 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 )
 
 // Fitness scores a chromosome; higher is better. Implementations must
-// be deterministic for a given chromosome.
+// be deterministic for a given chromosome and, because evaluation is
+// fanned out over a worker pool when Config.Workers != 1, safe to
+// call from multiple goroutines concurrently (pure functions of the
+// gene slice trivially are).
 type Fitness func(genes []int) float64
 
 // Selection chooses parents from the scored population.
@@ -97,6 +103,15 @@ type Config struct {
 	Seeds [][]int
 	// Seed drives all randomness; runs are reproducible.
 	Seed int64
+	// Workers bounds the fitness-evaluation worker pool: 0 (the
+	// default) uses runtime.GOMAXPROCS(0), 1 evaluates serially on
+	// the calling goroutine. Chromosome generation stays serial on a
+	// single rng and results are written back by population index, so
+	// a run's Result is byte-identical for a given Seed regardless of
+	// Workers or GOMAXPROCS — only wall-clock changes. Timing-
+	// sensitive callers (the Figure 6–7 execution-time sweeps) pin
+	// Workers to 1 so single-thread ns/op curves stay meaningful.
+	Workers int
 }
 
 // ErrBadConfig wraps configuration validation failures.
@@ -148,6 +163,12 @@ func (c Config) withDefaults() (Config, error) {
 	if c.Stagnation < 0 {
 		return c, fmt.Errorf("%w: Stagnation=%d", ErrBadConfig, c.Stagnation)
 	}
+	if c.Workers < 0 {
+		return c, fmt.Errorf("%w: Workers=%d", ErrBadConfig, c.Workers)
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
 	for i, s := range c.Seeds {
 		if len(s) != c.Length {
 			return c, fmt.Errorf("%w: seed %d has length %d, want %d", ErrBadConfig, i, len(s), c.Length)
@@ -194,14 +215,20 @@ func Run(cfg Config, fitness Fitness) (*Result, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	res := &Result{}
 
-	evaluate := func(genes []int) float64 {
-		res.Evaluations++
-		return fitness(genes)
+	// evaluateAll scores a batch of chromosomes over the bounded
+	// worker pool, writing results by index: the returned slice is
+	// identical whatever the pool size or scheduling order.
+	evaluateAll := func(batch [][]int) []float64 {
+		res.Evaluations += len(batch)
+		return evalBatch(batch, fitness, cfg.Workers)
 	}
 
 	// Initial population: injected seeds first, the rest random.
+	// Generation is serial on the single rng; only evaluation fans
+	// out.
 	pop := make([]scored, cfg.PopulationSize)
-	for i := range pop {
+	initial := make([][]int, cfg.PopulationSize)
+	for i := range initial {
 		genes := make([]int, cfg.Length)
 		if i < len(cfg.Seeds) {
 			copy(genes, cfg.Seeds[i])
@@ -210,7 +237,10 @@ func Run(cfg Config, fitness Fitness) (*Result, error) {
 				genes[j] = rng.Intn(cfg.Alphabet)
 			}
 		}
-		pop[i] = scored{genes: genes, fitness: evaluate(genes)}
+		initial[i] = genes
+	}
+	for i, fit := range evaluateAll(initial) {
+		pop[i] = scored{genes: initial[i], fitness: fit}
 	}
 
 	best := scored{fitness: math.Inf(-1)}
@@ -230,13 +260,19 @@ func Run(cfg Config, fitness Fitness) (*Result, error) {
 	for gen := 0; gen < cfg.Generations; gen++ {
 		next := make([]scored, 0, cfg.PopulationSize)
 
-		// Elitism: carry the current top chromosomes unchanged.
+		// Elitism: carry the current top chromosomes unchanged (their
+		// fitness is known; they are not re-evaluated).
 		elite := topK(pop, cfg.Elitism)
 		for _, e := range elite {
 			next = append(next, scored{genes: append([]int(nil), e.genes...), fitness: e.fitness})
 		}
 
-		for len(next) < cfg.PopulationSize {
+		// Breed the full offspring batch serially on the rng —
+		// selection only reads the previous generation's scores, so
+		// no offspring fitness is needed mid-generation — then fan
+		// the batch out to the worker pool.
+		offspring := make([][]int, 0, cfg.PopulationSize-len(next))
+		for len(next)+len(offspring) < cfg.PopulationSize {
 			p1 := selectParent(cfg, pop, rng)
 			p2 := selectParent(cfg, pop, rng)
 			c1 := append([]int(nil), p1.genes...)
@@ -246,10 +282,13 @@ func Run(cfg Config, fitness Fitness) (*Result, error) {
 			}
 			mutate(cfg, c1, rng)
 			mutate(cfg, c2, rng)
-			next = append(next, scored{genes: c1, fitness: evaluate(c1)})
-			if len(next) < cfg.PopulationSize {
-				next = append(next, scored{genes: c2, fitness: evaluate(c2)})
+			offspring = append(offspring, c1)
+			if len(next)+len(offspring) < cfg.PopulationSize {
+				offspring = append(offspring, c2)
 			}
+		}
+		for i, fit := range evaluateAll(offspring) {
+			next = append(next, scored{genes: offspring[i], fitness: fit})
 		}
 		pop = next
 		res.Generations = gen + 1
@@ -268,6 +307,50 @@ func Run(cfg Config, fitness Fitness) (*Result, error) {
 	res.Best = best.genes
 	res.BestFitness = best.fitness
 	return res, nil
+}
+
+// evalBatch scores genes[i] into out[i]. With workers > 1 a bounded
+// pool of goroutines pulls indices from an atomic cursor; each result
+// is written to its own slot, so the output (and therefore the whole
+// run) is independent of scheduling. The pool lives only for the
+// batch — a few microseconds of goroutine setup per generation,
+// irrelevant next to the O(PopulationSize × cost(fitness)) work it
+// parallelizes.
+func evalBatch(genes [][]int, fitness Fitness, workers int) []float64 {
+	out := make([]float64, len(genes))
+	if len(genes) == 0 {
+		return out
+	}
+	if workers > len(genes) {
+		workers = len(genes)
+	}
+	if workers <= 1 {
+		evalWorkers.Set(1)
+		for i, g := range genes {
+			out[i] = fitness(g)
+		}
+		return out
+	}
+	evalWorkers.Set(int64(workers))
+	evalQueueDepth.Set(int64(len(genes)))
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(genes) {
+					return
+				}
+				out[i] = fitness(genes[i])
+				evalQueueDepth.Dec()
+			}
+		}()
+	}
+	wg.Wait()
+	return out
 }
 
 // topK returns the k fittest population members (k small; simple

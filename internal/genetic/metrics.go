@@ -1,0 +1,14 @@
+package genetic
+
+import "diversecast/internal/obs"
+
+// Worker-pool fabric instrumentation on the process-wide registry:
+// how wide the fitness-evaluation pool currently runs and how much of
+// the in-flight batch is still queued. Handles are resolved once at
+// package init; the pool pays one atomic per event.
+var (
+	evalWorkers = obs.Default().Gauge("genetic_eval_workers",
+		"fitness worker-pool size of the most recent evaluation batch")
+	evalQueueDepth = obs.Default().Gauge("genetic_eval_queue_depth",
+		"fitness evaluations of the in-flight batch not yet completed")
+)

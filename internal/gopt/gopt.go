@@ -41,6 +41,12 @@ type GOPT struct {
 	SeedWithDRP bool
 	// Seed drives all randomness.
 	Seed int64
+	// Workers bounds the fitness-evaluation worker pool (see
+	// genetic.Config.Workers): 0 uses GOMAXPROCS, 1 evaluates
+	// serially. The allocation found is identical either way; the
+	// execution-time experiments (Figures 6–7) pin 1 so their
+	// single-thread timing curves stay meaningful.
+	Workers int
 }
 
 var _ core.Allocator = (*GOPT)(nil)
@@ -101,6 +107,7 @@ func (g *GOPT) AllocateWithStats(db *core.Database, k int) (*core.Allocation, *S
 		MutationRate:   g.MutationRate,
 		Stagnation:     stagnation,
 		Seed:           g.Seed,
+		Workers:        g.Workers,
 	}
 	if g.SeedWithDRP {
 		drp, err := core.NewDRP().Allocate(db, k)
