@@ -28,6 +28,7 @@ vet:
 # is not an error here).
 lint: $(DIVERSELINT)
 	./$(DIVERSELINT) -tests ./...
+	./$(DIVERSELINT) -audit ./...
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \

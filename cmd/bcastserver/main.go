@@ -119,7 +119,9 @@ func start(args []string, out io.Writer) (*app, error) {
 	if *metricsAddr != "" {
 		ln, err := net.Listen("tcp", *metricsAddr)
 		if err != nil {
-			srv.Close()
+			if cerr := srv.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "bcastserver: closing server after failed metrics listen:", cerr)
+			}
 			return nil, fmt.Errorf("metrics listen: %w", err)
 		}
 		mux := http.NewServeMux()

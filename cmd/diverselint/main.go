@@ -4,11 +4,23 @@
 //
 // Standalone:
 //
-//	diverselint [-tests] [-show-suppressed] [-only floatdet,locksend] [packages]
+//	diverselint [-tests] [-show-suppressed] [-json] [-only floatdet,locksend] [packages]
 //
 // with packages defaulting to ./... of the enclosing module. Exit
 // status is 1 when unsuppressed findings exist, 2 on operational
-// errors.
+// errors. -json replaces the line-oriented output with a single JSON
+// report (findings plus suppressed/unsuppressed counts) for CI
+// artifacts; the exit codes are unchanged.
+//
+// Audit mode:
+//
+//	diverselint -audit [packages]
+//
+// walks every //diverselint:ignore directive in the matched packages
+// (test files included) without type-checking, prints the suppression
+// inventory, and fails (exit 1) on any directive that is malformed or
+// names an unknown analyzer — so the tree's escape hatches stay
+// documented and spellable.
 //
 // As a go vet tool (the unitchecker protocol):
 //
@@ -27,9 +39,13 @@ package main
 
 import (
 	"crypto/sha256"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"go/parser"
+	"go/token"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"diversecast/internal/analysis"
@@ -49,6 +65,8 @@ func run(args []string) int {
 		testsFlag      = fs.Bool("tests", false, "also lint _test.go files of each package (standalone mode)")
 		showSuppressed = fs.Bool("show-suppressed", false, "also print suppressed findings (marked, not counted)")
 		onlyFlag       = fs.String("only", "", "comma-separated analyzer subset to run")
+		jsonFlag       = fs.Bool("json", false, "emit one JSON report on stdout instead of lines (standalone mode)")
+		auditFlag      = fs.Bool("audit", false, "audit //diverselint:ignore directives instead of linting")
 	)
 	fs.Parse(args)
 
@@ -87,10 +105,13 @@ func run(args []string) int {
 	}
 
 	rest := fs.Args()
+	if *auditFlag {
+		return audit(rest)
+	}
 	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
 		return unitcheck(rest[0], analyzers)
 	}
-	return standalone(rest, analyzers, *testsFlag, *showSuppressed)
+	return standalone(rest, analyzers, *testsFlag, *showSuppressed, *jsonFlag)
 }
 
 func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
@@ -115,7 +136,7 @@ func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
 
 // standalone loads the module around the working directory and lints
 // the matching packages.
-func standalone(patterns []string, analyzers []*analysis.Analyzer, tests, showSuppressed bool) int {
+func standalone(patterns []string, analyzers []*analysis.Analyzer, tests, showSuppressed, jsonOut bool) int {
 	cwd, err := os.Getwd()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "diverselint:", err)
@@ -153,6 +174,9 @@ func standalone(patterns []string, analyzers []*analysis.Analyzer, tests, showSu
 		fmt.Fprintln(os.Stderr, "diverselint:", err)
 		return 2
 	}
+	if jsonOut {
+		return emitJSON(findings)
+	}
 	unsuppressed := 0
 	for _, f := range findings {
 		if f.Suppressed {
@@ -166,6 +190,132 @@ func standalone(patterns []string, analyzers []*analysis.Analyzer, tests, showSu
 	}
 	if unsuppressed > 0 {
 		fmt.Fprintf(os.Stderr, "diverselint: %d finding(s)\n", unsuppressed)
+		return 1
+	}
+	return 0
+}
+
+// jsonFinding is the machine-readable form of one finding; the report
+// wraps every finding (suppressed included) plus the two counts CI
+// dashboards trend.
+type jsonFinding struct {
+	Analyzer   string `json:"analyzer"`
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Column     int    `json:"column"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+	Reason     string `json:"reason,omitempty"`
+}
+
+type jsonReport struct {
+	Findings     []jsonFinding `json:"findings"`
+	Unsuppressed int           `json:"unsuppressed"`
+	Suppressed   int           `json:"suppressed"`
+}
+
+func emitJSON(findings []analysis.Finding) int {
+	rep := jsonReport{Findings: []jsonFinding{}}
+	for _, f := range findings {
+		rep.Findings = append(rep.Findings, jsonFinding{
+			Analyzer:   f.Analyzer,
+			File:       f.Pos.Filename,
+			Line:       f.Pos.Line,
+			Column:     f.Pos.Column,
+			Message:    f.Message,
+			Suppressed: f.Suppressed,
+			Reason:     f.Reason,
+		})
+		if f.Suppressed {
+			rep.Suppressed++
+		} else {
+			rep.Unsuppressed++
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "diverselint:", err)
+		return 2
+	}
+	if rep.Unsuppressed > 0 {
+		return 1
+	}
+	return 0
+}
+
+// audit walks every //diverselint:ignore directive in the matched
+// packages — parse-only, test files included — prints the inventory,
+// and fails on directives that are malformed or name analyzers that
+// do not exist (a typo there silently un-suppresses nothing and
+// suppresses nothing: it deserves to break the build).
+func audit(patterns []string) int {
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "diverselint:", err)
+		return 2
+	}
+	mod, err := analysis.FindModule(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "diverselint:", err)
+		return 2
+	}
+	paths, err := mod.ExpandPatterns(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "diverselint:", err)
+		return 2
+	}
+	known := map[string]bool{"all": true}
+	for _, a := range passes.All() {
+		known[a.Name] = true
+	}
+	resolve := mod.Resolver()
+	fset := token.NewFileSet()
+	total, violations := 0, 0
+	for _, p := range paths {
+		dir, ok := resolve(p)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "diverselint: cannot resolve package %s\n", p)
+			return 2
+		}
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "diverselint:", err)
+			return 2
+		}
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil,
+				parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "diverselint:", err)
+				return 2
+			}
+			valid, malformed := analysis.FileSuppressions(fset, f)
+			for _, m := range malformed {
+				violations++
+				fmt.Printf("%s: malformed //diverselint:ignore: need an analyzer list and a reason\n", m.Pos)
+			}
+			for _, s := range valid {
+				total++
+				ok := true
+				for _, name := range s.Analyzers {
+					if !known[name] {
+						violations++
+						ok = false
+						fmt.Printf("%s: //diverselint:ignore names unknown analyzer %q (use -list)\n", s.Pos, name)
+					}
+				}
+				if ok {
+					fmt.Printf("%s: %s: %s\n", s.Pos, strings.Join(s.Analyzers, ","), s.Reason)
+				}
+			}
+		}
+	}
+	fmt.Fprintf(os.Stderr, "diverselint: audit: %d suppression(s), %d violation(s)\n", total, violations)
+	if violations > 0 {
 		return 1
 	}
 	return 0

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -121,4 +122,181 @@ func (f *fan) send(v int) {
 	if !strings.Contains(out.String(), "blocking channel send while holding") {
 		t.Fatalf("go vet failed without the locksend diagnostic: %v\n%s", err, out.String())
 	}
+}
+
+// buildTool compiles the diverselint binary into a temp dir and
+// returns its path.
+func buildTool(t *testing.T) string {
+	t.Helper()
+	gobin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go command not on PATH")
+	}
+	tool := filepath.Join(t.TempDir(), "diverselint")
+	if out, err := exec.Command(gobin, "build", "-o", tool, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building diverselint: %v\n%s", err, out)
+	}
+	return tool
+}
+
+// writeModule lays out a throwaway single-package module and returns
+// its directory.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "mod")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// runTool executes the built binary in dir and returns its exit code
+// with combined output.
+func runTool(t *testing.T, tool, dir string, args ...string) (int, string) {
+	t.Helper()
+	cmd := exec.Command(tool, args...)
+	cmd.Dir = dir
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	err := cmd.Run()
+	code := 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("running %s: %v\n%s", tool, err, out.String())
+		}
+		code = ee.ExitCode()
+	}
+	return code, out.String()
+}
+
+// TestJSONReport checks that -json emits a machine-readable report
+// with the documented exit codes: 1 with the finding present, 0 once
+// it is suppressed.
+func TestJSONReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary; skipped in -short")
+	}
+	tool := buildTool(t)
+	modDir := writeModule(t, map[string]string{
+		"go.mod": "module example.com/bad\n\ngo 1.24\n",
+		"bad.go": `package bad
+
+import "sync"
+
+var mu sync.Mutex
+
+func leak(bad bool) {
+	mu.Lock()
+	if bad {
+		return
+	}
+	mu.Unlock()
+}
+`,
+	})
+
+	code, out := runTool(t, tool, modDir, "-json", "./...")
+	if code != 1 {
+		t.Fatalf("-json with a finding: exit %d, want 1\n%s", code, out)
+	}
+	var rep struct {
+		Findings []struct {
+			Analyzer   string `json:"analyzer"`
+			Line       int    `json:"line"`
+			Suppressed bool   `json:"suppressed"`
+		} `json:"findings"`
+		Unsuppressed int `json:"unsuppressed"`
+		Suppressed   int `json:"suppressed"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out)
+	}
+	if rep.Unsuppressed != 1 || len(rep.Findings) != 1 || rep.Findings[0].Analyzer != "lockbalance" {
+		t.Fatalf("want one unsuppressed lockbalance finding, got %+v", rep)
+	}
+
+	// Suppress it: the report must still carry the finding (marked),
+	// and the exit code must drop to 0.
+	suppressed := strings.Replace(readFile(t, filepath.Join(modDir, "bad.go")),
+		"\tmu.Lock()",
+		"\t//diverselint:ignore lockbalance fixture keeps the lock on purpose\n\tmu.Lock()", 1)
+	if err := os.WriteFile(filepath.Join(modDir, "bad.go"), []byte(suppressed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out = runTool(t, tool, modDir, "-json", "./...")
+	if code != 0 {
+		t.Fatalf("-json with only a suppressed finding: exit %d, want 0\n%s", code, out)
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out)
+	}
+	if rep.Unsuppressed != 0 || rep.Suppressed != 1 || len(rep.Findings) != 1 || !rep.Findings[0].Suppressed {
+		t.Fatalf("want one suppressed finding in the report, got %+v", rep)
+	}
+}
+
+// TestAuditMode checks that -audit inventories valid directives and
+// fails on unknown analyzer names and missing reasons.
+func TestAuditMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary; skipped in -short")
+	}
+	tool := buildTool(t)
+
+	dirty := writeModule(t, map[string]string{
+		"go.mod": "module example.com/sup\n\ngo 1.24\n",
+		"sup.go": `package sup
+
+//diverselint:ignore lockbalance fixture demonstrates the leak on purpose
+var a = 0
+
+//diverselint:ignore nosuchpass typo'd analyzer name
+var b = 1
+
+//diverselint:ignore floateq
+var c = 2
+`,
+	})
+	code, out := runTool(t, tool, dirty, "-audit", "./...")
+	if code != 1 {
+		t.Fatalf("-audit with violations: exit %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, `unknown analyzer "nosuchpass"`) {
+		t.Fatalf("missing unknown-analyzer violation:\n%s", out)
+	}
+	if !strings.Contains(out, "malformed //diverselint:ignore") {
+		t.Fatalf("missing malformed-directive violation:\n%s", out)
+	}
+
+	clean := writeModule(t, map[string]string{
+		"go.mod": "module example.com/sup\n\ngo 1.24\n",
+		"sup.go": `package sup
+
+//diverselint:ignore lockbalance fixture demonstrates the leak on purpose
+var a = 0
+`,
+	})
+	code, out = runTool(t, tool, clean, "-audit", "./...")
+	if code != 0 {
+		t.Fatalf("-audit on a clean tree: exit %d, want 0\n%s", code, out)
+	}
+	if !strings.Contains(out, "fixture demonstrates the leak on purpose") {
+		t.Fatalf("inventory does not list the suppression reason:\n%s", out)
+	}
+}
+
+func readFile(t *testing.T, path string) string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
 }

@@ -92,6 +92,54 @@ func MethodFullName(info *types.Info, sel *ast.SelectorExpr) string {
 	return fn.FullName()
 }
 
+// A LockOp classifies a call's effect on a mutex.
+type LockOp int
+
+const (
+	LockNone    LockOp = iota // not a mutex operation
+	LockAcquire               // Lock or RLock
+	LockRelease               // Unlock or RUnlock
+)
+
+// lock method full names, resolved through go/types so promoted
+// methods of embedded mutexes match too. Shared by the locksend and
+// lockbalance passes.
+var (
+	lockAcquireMethods = map[string]bool{
+		"(*sync.Mutex).Lock":    true,
+		"(*sync.RWMutex).Lock":  true,
+		"(*sync.RWMutex).RLock": true,
+	}
+	lockReleaseMethods = map[string]bool{
+		"(*sync.Mutex).Unlock":    true,
+		"(*sync.RWMutex).Unlock":  true,
+		"(*sync.RWMutex).RUnlock": true,
+	}
+)
+
+// ClassifyLockCall classifies e as a sync.Mutex/RWMutex acquire or
+// release. recv is the receiver expression's source text (the lock's
+// identity for held-set tracking), method the method name
+// (Lock/RLock/Unlock/RUnlock).
+func ClassifyLockCall(info *types.Info, e ast.Expr) (recv, method string, op LockOp) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return "", "", LockNone
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", LockNone
+	}
+	full := MethodFullName(info, sel)
+	switch {
+	case lockAcquireMethods[full]:
+		return types.ExprString(sel.X), sel.Sel.Name, LockAcquire
+	case lockReleaseMethods[full]:
+		return types.ExprString(sel.X), sel.Sel.Name, LockRelease
+	}
+	return "", "", LockNone
+}
+
 // LookupInterface finds the named interface type (e.g. path "net",
 // name "Conn") in pkg's transitive imports. It returns nil when the
 // package or name is absent — callers degrade gracefully rather than

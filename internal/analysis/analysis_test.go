@@ -60,11 +60,12 @@ func lintModule(t *testing.T, root string) []analysis.Finding {
 	return findings
 }
 
-// TestReintroducedBugClassesAreCaught reconstructs the two PR-1 bug
-// shapes the acceptance criteria name — the netcast lock-held send
-// and a map-order cost accumulation — and asserts the suite flags
-// both (this is the tripwire that makes `make lint` fail if either is
-// ever reintroduced).
+// TestReintroducedBugClassesAreCaught reconstructs the PR-1 bug
+// shapes the acceptance criteria name — the netcast lock-held send,
+// a map-order cost accumulation, the stranded writeLoop goroutine,
+// an early-return lock leak, wall-clock cost jitter, and a dropped
+// hot-path error — and asserts the suite flags every one (this is
+// the tripwire that makes `make lint` fail if any is reintroduced).
 func TestReintroducedBugClassesAreCaught(t *testing.T) {
 	root := writeModule(t, map[string]string{
 		"go.mod": testGoMod,
@@ -85,6 +86,50 @@ func (ca *caster) send(body []byte) {
 	ca.mu.Unlock()
 }
 `,
+		// The stranded writeLoop, byte for byte the PR-1 shape: the
+		// goroutine ranges a channel nothing in the package closes.
+		"netcast/client.go": `package netcast
+
+type client struct {
+	out  chan []byte
+	last []byte
+}
+
+func (c *client) start() {
+	go c.writeLoop()
+}
+
+func (c *client) writeLoop() {
+	for m := range c.out {
+		c.last = m
+	}
+}
+`,
+		"netcast/registry.go": `package netcast
+
+import "sync"
+
+type registry struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (r *registry) bump(bad bool) error {
+	r.mu.Lock()
+	if bad {
+		return errStop
+	}
+	r.n++
+	r.mu.Unlock()
+	return nil
+}
+
+var errStop = &stopErr{}
+
+type stopErr struct{}
+
+func (*stopErr) Error() string { return "stop" }
+`,
 		"core/cost.go": `package core
 
 func Cost(groups map[int]struct{ F, Z float64 }) float64 {
@@ -95,9 +140,42 @@ func Cost(groups map[int]struct{ F, Z float64 }) float64 {
 	return total
 }
 `,
+		"core/jitter.go": `package core
+
+import "time"
+
+func Jitter(xs []float64) float64 {
+	t := 0.0
+	for range xs {
+		t += float64(time.Now().UnixNano())
+	}
+	return t
+}
+`,
+		"wire/wire.go": `package wire
+
+import "errors"
+
+func WriteJSON(v any) error { return errors.New("short write") }
+`,
+		"core/emit.go": `package core
+
+import "example.com/m/wire"
+
+func Emit(v any) {
+	wire.WriteJSON(v)
+}
+`,
 	})
 	findings := lintModule(t, root)
-	want := map[string]bool{"locksend": false, "floatdet": false}
+	want := map[string]bool{
+		"locksend":    false,
+		"floatdet":    false,
+		"goroleak":    false,
+		"lockbalance": false,
+		"detrand":     false,
+		"errdrop":     false,
+	}
 	for _, f := range findings {
 		if f.Suppressed {
 			t.Errorf("unexpected suppression: %s", f)

@@ -1,0 +1,556 @@
+// Package cfg builds per-function control-flow graphs and runs
+// forward dataflow analyses over them — the flow-sensitive layer under
+// the diverselint passes that check *path* properties (lock balance,
+// goroutine joinability, determinism taint) rather than per-line
+// syntax.
+//
+// The builder is a small, dependency-free analogue of
+// golang.org/x/tools/go/cfg: a function body becomes basic blocks of
+// ast.Nodes in execution order, with edges for if/for/range/switch/
+// select/goto/labeled-branch control flow. Two repo-specific choices:
+//
+//   - Every function has a single virtual Exit block. return
+//     statements and no-return calls (panic, os.Exit, t.Fatal — see
+//     NoReturn) edge straight to it, with the routing node recorded as
+//     Block.Term, so "on every path to return/panic" is literally "at
+//     every predecessor of Exit".
+//   - defer statements appear as ordinary nodes in flow order. A
+//     deferred call is guaranteed to run at function exit on every
+//     path that passes its registration, which is exactly the shape
+//     the lock-balance transfer function needs (defer mu.Unlock()
+//     balances every exit downstream of it, and only those).
+//
+// Statements inside function literals are NOT part of the enclosing
+// function's graph: a closure runs on its own goroutine's schedule
+// and lock state, so passes build a separate graph per FuncLit.
+package cfg
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// A Graph is the control-flow graph of one function body.
+type Graph struct {
+	// Entry is the block control enters first. Exit is the single
+	// virtual sink every return/panic/fall-off-the-end reaches; it
+	// holds no nodes.
+	Entry, Exit *Block
+
+	// Blocks lists every block (including unreachable ones, which
+	// keep dead code from crashing analyses) in creation order —
+	// deterministic for a given body.
+	Blocks []*Block
+
+	selectComm map[ast.Stmt]bool
+}
+
+// A Block is one straight-line run of nodes.
+type Block struct {
+	Index int
+	// Kind is a human-readable tag ("entry", "for.body", ...) used by
+	// Format and the tests.
+	Kind string
+	// Nodes are the block's statements and control expressions in
+	// execution order. Condition expressions (if/for cond, switch
+	// tag) and range statements appear as their own nodes so transfer
+	// functions observe every evaluated expression.
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+	// Term is the node that routes this block directly to Exit: a
+	// *ast.ReturnStmt, or the *ast.CallExpr of a no-return call. It
+	// is nil for ordinary blocks and for the implicit
+	// fall-off-the-end edge.
+	Term ast.Node
+}
+
+// IsSelectComm reports whether s is the communication clause of a
+// select case. A send there is non-blocking by construction (the
+// select chose a ready case), so lock-order passes exempt it.
+func (g *Graph) IsSelectComm(s ast.Stmt) bool { return g.selectComm[s] }
+
+// Reach returns the set of blocks reachable from Entry.
+func (g *Graph) Reach() map[*Block]bool {
+	seen := make(map[*Block]bool)
+	var walk func(b *Block)
+	walk = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(g.Entry)
+	return seen
+}
+
+// HasReachableCycle reports whether any cycle is reachable from Entry
+// (i.e. the function contains a loop that can actually run).
+func (g *Graph) HasReachableCycle() bool {
+	const (
+		white = iota // unvisited
+		grey         // on the DFS stack
+		black        // done
+	)
+	color := make(map[*Block]int)
+	var walk func(b *Block) bool
+	walk = func(b *Block) bool {
+		color[b] = grey
+		for _, s := range b.Succs {
+			switch color[s] {
+			case grey:
+				return true
+			case white:
+				if walk(s) {
+					return true
+				}
+			}
+		}
+		color[b] = black
+		return false
+	}
+	return walk(g.Entry)
+}
+
+// Options configures graph construction.
+type Options struct {
+	// NoReturn reports whether a call never returns to its caller
+	// (panic, os.Exit, log.Fatalf, testing.T Fatal/Skip...). Such
+	// calls get an edge to Exit with the call as Term. Nil recognizes
+	// only the syntactic builtin panic.
+	NoReturn func(*ast.CallExpr) bool
+}
+
+// NoReturn returns a types-aware no-return classifier: the builtin
+// panic, os.Exit, runtime.Goexit, log.Fatal*/Panic*, and the
+// testing.T/B/F Fatal*/Skip*/FailNow family.
+func NoReturn(info *types.Info) func(*ast.CallExpr) bool {
+	return func(call *ast.CallExpr) bool {
+		var obj types.Object
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			obj = info.Uses[fun]
+		case *ast.SelectorExpr:
+			obj = info.Uses[fun.Sel]
+		default:
+			return false
+		}
+		if b, ok := obj.(*types.Builtin); ok {
+			return b.Name() == "panic"
+		}
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return false
+		}
+		name := fn.Name()
+		switch fn.Pkg().Path() {
+		case "os":
+			return name == "Exit"
+		case "runtime":
+			return name == "Goexit"
+		case "log":
+			return strings.HasPrefix(name, "Fatal") || strings.HasPrefix(name, "Panic")
+		case "testing":
+			switch name {
+			case "Fatal", "Fatalf", "FailNow", "Skip", "Skipf", "SkipNow":
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// New builds the control-flow graph of one function body.
+func New(body *ast.BlockStmt, opt Options) *Graph {
+	b := &builder{
+		g:        &Graph{selectComm: make(map[ast.Stmt]bool)},
+		noReturn: opt.NoReturn,
+		named:    make(map[string]*Block),
+	}
+	if b.noReturn == nil {
+		b.noReturn = func(call *ast.CallExpr) bool {
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			return ok && id.Name == "panic"
+		}
+	}
+	b.g.Entry = b.newBlock("entry")
+	b.g.Exit = b.newBlock("exit")
+	b.cur = b.g.Entry
+	b.stmtList(body.List)
+	// Falling off the end of the body returns.
+	b.edge(b.cur, b.g.Exit)
+	return b.g
+}
+
+type builder struct {
+	g        *Graph
+	noReturn func(*ast.CallExpr) bool
+	cur      *Block
+
+	// targets is the stack of enclosing breakable/continuable
+	// constructs.
+	targets *target
+	// named maps label names to their blocks (goto targets); keyed by
+	// name since the parser runs with SkipObjectResolution.
+	named map[string]*Block
+	// pendingLabel is the label of the LabeledStmt being built, to be
+	// claimed by the next loop/switch/select.
+	pendingLabel string
+	// fall is the fallthrough target inside a switch clause.
+	fall *Block
+}
+
+type target struct {
+	prev  *target
+	label string
+	brk   *Block
+	cont  *Block // nil for switch/select
+}
+
+func (b *builder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.g.Blocks), Kind: kind}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+func (b *builder) add(n ast.Node) {
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+// startDead begins a fresh block with no predecessors — the code
+// following a return/goto/panic, unreachable unless something jumps
+// to it (a label).
+func (b *builder) startDead(kind string) {
+	b.cur = b.newBlock(kind)
+}
+
+// labelBlock returns (creating on first use) the block a label names.
+func (b *builder) labelBlock(name string) *Block {
+	if blk, ok := b.named[name]; ok {
+		return blk
+	}
+	blk := b.newBlock("label." + name)
+	b.named[name] = blk
+	return blk
+}
+
+// claimLabel consumes the pending label of the enclosing LabeledStmt.
+func (b *builder) claimLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *builder) findBreak(label string) *Block {
+	for t := b.targets; t != nil; t = t.prev {
+		if label == "" || t.label == label {
+			return t.brk
+		}
+	}
+	return nil
+}
+
+func (b *builder) findContinue(label string) *Block {
+	for t := b.targets; t != nil; t = t.prev {
+		if t.cont != nil && (label == "" || t.label == label) {
+			return t.cont
+		}
+	}
+	return nil
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok && b.noReturn(call) {
+			b.cur.Term = call
+			b.edge(b.cur, b.g.Exit)
+			b.startDead("dead")
+		}
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.cur.Term = s
+		b.edge(b.cur, b.g.Exit)
+		b.startDead("dead")
+
+	case *ast.BranchStmt:
+		label := ""
+		if s.Label != nil {
+			label = s.Label.Name
+		}
+		switch s.Tok {
+		case token.BREAK:
+			if t := b.findBreak(label); t != nil {
+				b.edge(b.cur, t)
+			}
+			b.startDead("dead")
+		case token.CONTINUE:
+			if t := b.findContinue(label); t != nil {
+				b.edge(b.cur, t)
+			}
+			b.startDead("dead")
+		case token.GOTO:
+			b.edge(b.cur, b.labelBlock(label))
+			b.startDead("dead")
+		case token.FALLTHROUGH:
+			if b.fall != nil {
+				b.edge(b.cur, b.fall)
+			}
+			b.startDead("dead")
+		}
+
+	case *ast.LabeledStmt:
+		lb := b.labelBlock(s.Label.Name)
+		b.edge(b.cur, lb)
+		b.cur = lb
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Cond)
+		cond := b.cur
+		done := b.newBlock("if.done")
+		then := b.newBlock("if.then")
+		b.edge(cond, then)
+		b.cur = then
+		b.stmt(s.Body)
+		b.edge(b.cur, done)
+		if s.Else != nil {
+			els := b.newBlock("if.else")
+			b.edge(cond, els)
+			b.cur = els
+			b.stmt(s.Else)
+			b.edge(b.cur, done)
+		} else {
+			b.edge(cond, done)
+		}
+		b.cur = done
+
+	case *ast.ForStmt:
+		label := b.claimLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		header := b.newBlock("for.header")
+		b.edge(b.cur, header)
+		if s.Cond != nil {
+			header.Nodes = append(header.Nodes, s.Cond)
+		}
+		body := b.newBlock("for.body")
+		done := b.newBlock("for.done")
+		var post *Block
+		cont := header
+		if s.Post != nil {
+			post = b.newBlock("for.post")
+			cont = post
+		}
+		b.edge(header, body)
+		if s.Cond != nil {
+			b.edge(header, done)
+		}
+		b.targets = &target{prev: b.targets, label: label, brk: done, cont: cont}
+		b.cur = body
+		b.stmt(s.Body)
+		b.targets = b.targets.prev
+		if post != nil {
+			b.edge(b.cur, post)
+			b.cur = post
+			b.stmt(s.Post)
+			b.edge(b.cur, header)
+		} else {
+			b.edge(b.cur, header)
+		}
+		b.cur = done
+
+	case *ast.RangeStmt:
+		label := b.claimLabel()
+		header := b.newBlock("range.loop")
+		header.Nodes = append(header.Nodes, s)
+		b.edge(b.cur, header)
+		body := b.newBlock("range.body")
+		done := b.newBlock("range.done")
+		b.edge(header, body)
+		b.edge(header, done)
+		b.targets = &target{prev: b.targets, label: label, brk: done, cont: header}
+		b.cur = body
+		b.stmt(s.Body)
+		b.targets = b.targets.prev
+		b.edge(b.cur, header)
+		b.cur = done
+
+	case *ast.SwitchStmt:
+		label := b.claimLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.switchBody(label, s.Body, nil)
+
+	case *ast.TypeSwitchStmt:
+		label := b.claimLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.switchBody(label, s.Body, s.Assign)
+
+	case *ast.SelectStmt:
+		label := b.claimLabel()
+		entry := b.cur
+		done := b.newBlock("select.done")
+		b.targets = &target{prev: b.targets, label: label, brk: done}
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			kind := "select.case"
+			if cc.Comm == nil {
+				kind = "select.default"
+			}
+			blk := b.newBlock(kind)
+			b.edge(entry, blk)
+			b.cur = blk
+			if cc.Comm != nil {
+				b.g.selectComm[cc.Comm] = true
+				b.stmt(cc.Comm)
+			}
+			b.stmtList(cc.Body)
+			b.edge(b.cur, done)
+		}
+		b.targets = b.targets.prev
+		// A select with no cases blocks forever: done keeps no edge
+		// from entry and the following code is unreachable — exactly
+		// the semantics of `select {}`.
+		b.cur = done
+
+	case *ast.DeclStmt, *ast.AssignStmt, *ast.SendStmt, *ast.IncDecStmt,
+		*ast.GoStmt, *ast.DeferStmt:
+		b.add(s)
+
+	case *ast.EmptyStmt:
+		// nothing
+	}
+}
+
+// switchBody builds the clause blocks of a switch or type switch.
+// assign is the type switch's assign/expr statement (added to the
+// entry block as the evaluated node), nil for expression switches.
+func (b *builder) switchBody(label string, body *ast.BlockStmt, assign ast.Stmt) {
+	if assign != nil {
+		b.add(assign)
+	}
+	entry := b.cur
+	done := b.newBlock("switch.done")
+	b.targets = &target{prev: b.targets, label: label, brk: done}
+
+	clauses := body.List
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		blocks[i] = b.newBlock("switch.case")
+		if cc.List == nil {
+			hasDefault = true
+			blocks[i].Kind = "switch.default"
+		}
+		for _, e := range cc.List {
+			blocks[i].Nodes = append(blocks[i].Nodes, e)
+		}
+		b.edge(entry, blocks[i])
+	}
+	if !hasDefault {
+		b.edge(entry, done)
+	}
+	savedFall := b.fall
+	for i, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		if i+1 < len(clauses) {
+			b.fall = blocks[i+1]
+		} else {
+			b.fall = nil
+		}
+		b.cur = blocks[i]
+		b.stmtList(cc.Body)
+		b.edge(b.cur, done)
+	}
+	b.fall = savedFall
+	b.targets = b.targets.prev
+	b.cur = done
+}
+
+// Format renders the graph for tests and debugging: one line per
+// block with its kind, nodes (single-line source), terminator marker
+// and successor indices.
+func (g *Graph) Format(fset *token.FileSet) string {
+	var sb strings.Builder
+	for _, blk := range g.Blocks {
+		// Skip empty unreachable filler blocks to keep the rendering
+		// focused (dead blocks after return/goto usually hold nothing).
+		if len(blk.Preds) == 0 && len(blk.Nodes) == 0 && blk != g.Entry && blk != g.Exit {
+			continue
+		}
+		fmt.Fprintf(&sb, "%d.%s:", blk.Index, blk.Kind)
+		for _, n := range blk.Nodes {
+			fmt.Fprintf(&sb, " [%s]", nodeString(fset, n))
+		}
+		if blk.Term != nil {
+			sb.WriteString(" term")
+		}
+		if len(blk.Succs) > 0 {
+			sb.WriteString(" ->")
+			for _, s := range blk.Succs {
+				fmt.Fprintf(&sb, " %d", s.Index)
+			}
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+func nodeString(fset *token.FileSet, n ast.Node) string {
+	// A RangeStmt node stands for the iteration header only (its body
+	// is separate blocks); render it without the body.
+	if r, ok := n.(*ast.RangeStmt); ok {
+		s := "range " + nodeString(fset, r.X)
+		if r.Key != nil {
+			vars := nodeString(fset, r.Key)
+			if r.Value != nil {
+				vars += ", " + nodeString(fset, r.Value)
+			}
+			s = vars + " " + r.Tok.String() + " " + s
+		}
+		return "for " + s
+	}
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, n); err != nil {
+		return fmt.Sprintf("%T", n)
+	}
+	return strings.Join(strings.Fields(buf.String()), " ")
+}

@@ -1,0 +1,240 @@
+package cfg_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"diversecast/internal/analysis/cfg"
+)
+
+// build parses src (one file with one function) and builds the CFG of
+// the first FuncDecl, with the syntactic panic classifier.
+func build(t *testing.T, src string) (*token.FileSet, *cfg.Graph) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", "package p\n"+src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			return fset, cfg.New(fd.Body, cfg.Options{})
+		}
+	}
+	t.Fatal("no function in source")
+	return nil, nil
+}
+
+// checkGraph compares the formatted graph against the hand-built
+// expectation.
+func checkGraph(t *testing.T, fset *token.FileSet, g *cfg.Graph, want string) {
+	t.Helper()
+	got := strings.TrimSpace(g.Format(fset))
+	want = strings.TrimSpace(want)
+	if got != want {
+		t.Errorf("graph mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func exitReachable(g *cfg.Graph) bool { return g.Reach()[g.Exit] }
+
+// TestGotoLoop: a goto cycle with no way out — the exit block must be
+// unreachable and the cycle visible.
+func TestGotoLoop(t *testing.T) {
+	fset, g := build(t, `
+func f() {
+	x := 0
+L:
+	x++
+	goto L
+}`)
+	checkGraph(t, fset, g, `
+0.entry: [x := 0] -> 2
+1.exit:
+2.label.L: [x++] -> 2`)
+	if exitReachable(g) {
+		t.Error("exit reachable through a goto-only loop")
+	}
+	if !g.HasReachableCycle() {
+		t.Error("goto cycle not detected")
+	}
+}
+
+// TestLabeledBreak: break with a label must jump past the OUTER loop,
+// not just the inner one.
+func TestLabeledBreak(t *testing.T) {
+	fset, g := build(t, `
+func f(xs [][]int) int {
+	s := 0
+outer:
+	for _, row := range xs {
+		for _, v := range row {
+			if v < 0 {
+				break outer
+			}
+			s += v
+		}
+	}
+	return s
+}`)
+	checkGraph(t, fset, g, `
+0.entry: [s := 0] -> 2
+1.exit:
+2.label.outer: -> 3
+3.range.loop: [for _, row := range xs] -> 4 5
+4.range.body: -> 6
+5.range.done: [return s] term -> 1
+6.range.loop: [for _, v := range row] -> 7 8
+7.range.body: [v < 0] -> 10 9
+8.range.done: -> 3
+9.if.done: [s += v] -> 6
+10.if.then: -> 5`)
+	if !exitReachable(g) {
+		t.Error("exit not reachable")
+	}
+}
+
+// TestSelect: comm clauses become marked branch statements; a
+// caseless select blocks forever, making the following code dead.
+func TestSelect(t *testing.T) {
+	fset, g := build(t, `
+func f(in chan int, quit chan struct{}, out chan int) {
+	for {
+		select {
+		case v := <-in:
+			out <- v
+		case <-quit:
+			return
+		}
+	}
+}`)
+	checkGraph(t, fset, g, `
+0.entry: -> 2
+1.exit:
+2.for.header: -> 3
+3.for.body: -> 6 7
+5.select.done: -> 2
+6.select.case: [v := <-in] [out <- v] -> 5
+7.select.case: [<-quit] [return] term -> 1`)
+	comms := 0
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if s, ok := n.(ast.Stmt); ok && g.IsSelectComm(s) {
+				comms++
+			}
+		}
+	}
+	if comms != 2 {
+		t.Errorf("got %d marked select comm statements, want 2", comms)
+	}
+
+	_, g2 := build(t, `
+func g(x *int) {
+	select {}
+	*x = 1
+}`)
+	if exitReachable(g2) {
+		t.Error("code after select{} should be unreachable")
+	}
+}
+
+// TestDeferUnlock: the defer is an ordinary node in flow order, and
+// both the early return and the fall-off-the-end path are exit
+// predecessors — the shape the lockbalance transfer relies on.
+func TestDeferUnlock(t *testing.T) {
+	fset, g := build(t, `
+func f(mu interface{ Lock(); Unlock() }, c bool, x *int) {
+	mu.Lock()
+	defer mu.Unlock()
+	if c {
+		return
+	}
+	*x = 2
+}`)
+	checkGraph(t, fset, g, `
+0.entry: [mu.Lock()] [defer mu.Unlock()] [c] -> 3 2
+1.exit:
+2.if.done: [*x = 2] -> 1
+3.if.then: [return] term -> 1`)
+	if got := len(g.Exit.Preds); got != 2 {
+		t.Errorf("exit has %d predecessors, want 2 (early return + fall-off)", got)
+	}
+}
+
+// TestPanicTerm: a panic call terminates its block with an edge to
+// exit and Term set to the call.
+func TestPanicTerm(t *testing.T) {
+	_, g := build(t, `
+func f(c bool, x *int) {
+	if c {
+		panic("boom")
+	}
+	*x = 1
+}`)
+	var panicBlocks int
+	for _, b := range g.Blocks {
+		if b.Term == nil || b == g.Exit {
+			continue
+		}
+		if call, ok := b.Term.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				panicBlocks++
+				hasExit := false
+				for _, s := range b.Succs {
+					hasExit = hasExit || s == g.Exit
+				}
+				if !hasExit {
+					t.Error("panic block has no edge to exit")
+				}
+			}
+		}
+	}
+	if panicBlocks != 1 {
+		t.Errorf("got %d panic-terminated blocks, want 1", panicBlocks)
+	}
+}
+
+// TestSwitchFallthrough: fallthrough edges into the next clause; a
+// switch without default can bypass every clause.
+func TestSwitchFallthrough(t *testing.T) {
+	_, g := build(t, `
+func f(x int) int {
+	n := 0
+	switch x {
+	case 1:
+		n = 1
+		fallthrough
+	case 2:
+		n += 2
+	}
+	return n
+}`)
+	if !exitReachable(g) {
+		t.Error("exit not reachable")
+	}
+	// The case-1 block must have an edge to the case-2 block
+	// (fallthrough), and the switch entry an edge to done (no default).
+	var case1, case2 *cfg.Block
+	for _, b := range g.Blocks {
+		if b.Kind == "switch.case" {
+			if case1 == nil {
+				case1 = b
+			} else {
+				case2 = b
+			}
+		}
+	}
+	if case1 == nil || case2 == nil {
+		t.Fatal("missing switch case blocks")
+	}
+	found := false
+	for _, s := range case1.Succs {
+		found = found || s == case2
+	}
+	if !found {
+		t.Error("fallthrough edge from case 1 to case 2 missing")
+	}
+}

@@ -1,0 +1,86 @@
+package cfg
+
+import (
+	"go/ast"
+)
+
+// A Lattice describes one forward dataflow problem: the fact domain
+// F, the entry fact, the join at control-flow merges, and the
+// per-node transfer function.
+//
+// Facts are shared between blocks, so Join and Transfer MUST NOT
+// mutate their inputs — return a fresh value (or the unchanged input)
+// instead. The domain must have finite height: the fixpoint loop
+// iterates until In facts stop changing under Join.
+type Lattice[F any] struct {
+	// Entry is the fact at function entry.
+	Entry F
+	// Join merges the facts of two incoming edges (must-analyses
+	// intersect, may-analyses union).
+	Join func(a, b F) F
+	// Transfer applies one node's effect to the incoming fact.
+	Transfer func(n ast.Node, f F) F
+	// Equal reports fact equality (fixpoint detection).
+	Equal func(a, b F) bool
+}
+
+// Facts is the fixpoint solution of one forward problem.
+type Facts[F any] struct {
+	lat Lattice[F]
+	// In is the fact at each reached block's entry.
+	In map[*Block]F
+	// Reached marks blocks reachable from Entry; unreached blocks
+	// (dead code) have no fact and should be skipped by reporters.
+	Reached map[*Block]bool
+}
+
+// Out folds the block's nodes over its entry fact, yielding the fact
+// at the block's end. Reporters that need the fact at an interior
+// node re-run Transfer themselves node by node from In[b].
+func (f *Facts[F]) Out(b *Block) F {
+	fact := f.In[b]
+	for _, n := range b.Nodes {
+		fact = f.lat.Transfer(n, fact)
+	}
+	return fact
+}
+
+// Forward runs the classic worklist iteration to a fixpoint and
+// returns the per-block entry facts. Only blocks reachable from
+// g.Entry participate; iteration order is deterministic (FIFO over
+// the deterministic successor lists), and so is the solution for any
+// commutative, associative Join.
+func Forward[F any](g *Graph, lat Lattice[F]) *Facts[F] {
+	f := &Facts[F]{
+		lat:     lat,
+		In:      make(map[*Block]F),
+		Reached: make(map[*Block]bool),
+	}
+	f.In[g.Entry] = lat.Entry
+	f.Reached[g.Entry] = true
+
+	queue := []*Block{g.Entry}
+	queued := map[*Block]bool{g.Entry: true}
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		queued[b] = false
+		out := f.Out(b)
+		for _, s := range b.Succs {
+			changed := false
+			if !f.Reached[s] {
+				f.Reached[s] = true
+				f.In[s] = out
+				changed = true
+			} else if j := lat.Join(f.In[s], out); !lat.Equal(j, f.In[s]) {
+				f.In[s] = j
+				changed = true
+			}
+			if changed && !queued[s] {
+				queued[s] = true
+				queue = append(queue, s)
+			}
+		}
+	}
+	return f
+}

@@ -1,0 +1,12 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"diversecast/internal/analysis/analysistest"
+	"diversecast/internal/analysis/passes/detrand"
+)
+
+func TestDetRand(t *testing.T) {
+	analysistest.Run(t, "testdata", detrand.Analyzer, "a")
+}

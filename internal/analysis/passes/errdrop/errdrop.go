@@ -1,0 +1,143 @@
+// Package errdrop flags discarded error returns on the broadcast hot
+// paths: calls into netcast, wire, and obs.
+//
+// Those three packages carry every byte between server and client
+// (netcast, wire) and every measurement the experiments report (obs).
+// An error dropped there does not crash anything — it silently
+// strands a subscriber mid-cycle or corrupts a metric series, which
+// is far harder to debug than a propagated failure. The pass flags
+// both spellings of the drop:
+//
+//	wire.WriteJSON(conn, msg)      // result ignored entirely
+//	_ = wire.WriteJSON(conn, msg)  // explicitly blanked
+//
+// Deferred calls are exempt (deferred cleanup has nowhere to send an
+// error), as are test files. A deliberate drop — a best-effort
+// shutdown courtesy, say — should carry an audited
+// //diverselint:ignore errdrop directive explaining why losing the
+// error is safe.
+package errdrop
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"diversecast/internal/analysis"
+)
+
+// Analyzer flags dropped errors from netcast/wire/obs calls.
+var Analyzer = &analysis.Analyzer{
+	Name: "errdrop",
+	Doc: "flags error returns from netcast, wire, and obs calls that are discarded or assigned " +
+		"to _ outside defer: a dropped error on the broadcast hot path strands subscribers or " +
+		"corrupts metrics silently; handle it, or suppress with an audited reason",
+	Run: run,
+}
+
+// hotPkgs are the import-path leaf names whose errors must not be
+// dropped.
+var hotPkgs = map[string]bool{
+	"netcast": true,
+	"wire":    true,
+	"obs":     true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.DeferStmt:
+				// Deferred cleanup has no caller to return to.
+				return false
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					if name, ok := hotErrCall(pass.TypesInfo, call); ok {
+						pass.Reportf(n.Pos(),
+							"error returned by %s is discarded: a hot-path failure here strands subscribers or corrupts metrics with no trace; handle it or log it", name)
+					}
+				}
+			case *ast.AssignStmt:
+				checkBlank(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkBlank flags `_` bound to an error result of a hot call.
+func checkBlank(pass *analysis.Pass, as *ast.AssignStmt) {
+	if len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	name, ok := hotErrCall(pass.TypesInfo, call)
+	if !ok {
+		return
+	}
+	results := resultTypes(pass.TypesInfo, call)
+	for i, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name != "_" || i >= len(results) || !isError(results[i]) {
+			continue
+		}
+		pass.Reportf(as.Pos(),
+			"error returned by %s is assigned to _: a hot-path failure here strands subscribers or corrupts metrics with no trace; handle it or log it", name)
+		return
+	}
+}
+
+// hotErrCall reports whether call targets a function in a hot package
+// whose results include an error, returning the call's source
+// spelling for the diagnostic.
+func hotErrCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	var fn *types.Func
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ = info.Uses[fun].(*types.Func)
+	case *ast.SelectorExpr:
+		fn, _ = info.Uses[fun.Sel].(*types.Func)
+	}
+	if fn == nil || fn.Pkg() == nil {
+		return "", false
+	}
+	path := fn.Pkg().Path()
+	if !hotPkgs[path[strings.LastIndex(path, "/")+1:]] {
+		return "", false
+	}
+	for _, t := range resultTypes(info, call) {
+		if isError(t) {
+			return types.ExprString(call.Fun), true
+		}
+	}
+	return "", false
+}
+
+// resultTypes flattens the call's result tuple.
+func resultTypes(info *types.Info, call *ast.CallExpr) []types.Type {
+	t := info.TypeOf(call)
+	if t == nil {
+		return nil
+	}
+	if tuple, ok := t.(*types.Tuple); ok {
+		out := make([]types.Type, tuple.Len())
+		for i := range out {
+			out[i] = tuple.At(i).Type()
+		}
+		return out
+	}
+	return []types.Type{t}
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isError(t types.Type) bool {
+	return t != nil && types.Identical(t, errorType)
+}

@@ -1,0 +1,249 @@
+// Package goroleak flags goroutines started with no join or cancel
+// signal — the PR-1 stranded-writeLoop class.
+//
+// The original bug: netcast spawned `go c.writeLoop()` where the loop
+// was `for m := range c.out { ... }` and nothing ever closed c.out, so
+// every disconnected client left a goroutine parked on the channel
+// forever. The fix closed the channel from Close(); this pass keeps
+// the class from coming back.
+//
+// Two checks, both over the goroutine body's CFG:
+//
+//  1. The function exit is unreachable from the entry (e.g. `for {}`
+//     with no return or break): the goroutine can NEVER be joined, so
+//     even a `defer wg.Done()` never runs. Always reported.
+//  2. The body contains a loop that blocks on an unsignaled channel —
+//     a range over a channel nothing in the package closes, or a
+//     bare `for` — AND the body shows no join/cancel evidence: no
+//     WaitGroup.Done, no context Done/Err check, no select, and no
+//     receive from a channel the package closes or sends to.
+//
+// The evidence scan is deliberately generous (any select counts, a
+// close or send anywhere in the package counts) so the pass errs
+// toward silence: a finding means nothing in the package could stop
+// or wait for this goroutine.
+package goroleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"diversecast/internal/analysis"
+	"diversecast/internal/analysis/cfg"
+)
+
+// Analyzer flags goroutines with no join or cancel path.
+var Analyzer = &analysis.Analyzer{
+	Name: "goroleak",
+	Doc: "flags goroutines with no join or cancel signal — no WaitGroup.Done, no context check, " +
+		"no select, and no receive from a channel the package ever closes or sends to: such a " +
+		"goroutine outlives shutdown parked on a channel forever (the netcast stranded-writeLoop class)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	sig := indexSignals(pass)
+	decls := indexFuncDecls(pass)
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue // test goroutines die with the test binary
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if body := goBody(pass, decls, gs.Call); body != nil {
+				check(pass, gs, body, sig)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// signals records, per package, which channel objects are ever closed
+// or sent to — a receive from one of those is a real wakeup path.
+type signals struct {
+	closed map[types.Object]bool
+	sent   map[types.Object]bool
+}
+
+func indexSignals(pass *analysis.Pass) signals {
+	sig := signals{closed: map[types.Object]bool{}, sent: map[types.Object]bool{}}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if id, ok := n.Fun.(*ast.Ident); ok && len(n.Args) == 1 {
+					if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "close" {
+						if obj := chanObj(pass, n.Args[0]); obj != nil {
+							sig.closed[obj] = true
+						}
+					}
+				}
+			case *ast.SendStmt:
+				if obj := chanObj(pass, n.Chan); obj != nil {
+					sig.sent[obj] = true
+				}
+			}
+			return true
+		})
+	}
+	return sig
+}
+
+// chanObj resolves a channel expression to the object it names — a
+// variable for `ch`, the field object for `c.out` — or nil for
+// anything more dynamic (map index, function result).
+func chanObj(pass *analysis.Pass, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := pass.TypesInfo.Uses[e]; obj != nil {
+			return obj
+		}
+		return pass.TypesInfo.Defs[e]
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[e.Sel]
+	}
+	return nil
+}
+
+func indexFuncDecls(pass *analysis.Pass) map[*types.Func]*ast.FuncDecl {
+	out := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					out[fn] = fd
+				}
+			}
+		}
+	}
+	return out
+}
+
+// goBody resolves the body a `go` statement will run: a literal
+// inline, or a same-package FuncDecl. Calls into other packages and
+// dynamic calls return nil and are skipped — their loops are that
+// package's responsibility.
+func goBody(pass *analysis.Pass, decls map[*types.Func]*ast.FuncDecl, call *ast.CallExpr) *ast.BlockStmt {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		return fun.Body
+	case *ast.Ident:
+		if fn, ok := pass.TypesInfo.Uses[fun].(*types.Func); ok {
+			if fd := decls[fn]; fd != nil {
+				return fd.Body
+			}
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			if fd := decls[fn]; fd != nil {
+				return fd.Body
+			}
+		}
+	}
+	return nil
+}
+
+func check(pass *analysis.Pass, gs *ast.GoStmt, body *ast.BlockStmt, sig signals) {
+	g := cfg.New(body, cfg.Options{NoReturn: cfg.NoReturn(pass.TypesInfo)})
+	if !g.Reach()[g.Exit] {
+		pass.Reportf(gs.Pos(),
+			"goroutine can never return: no path from its loop to the function exit, so no Wait or join ever completes; add a cancel case (context Done or a closable quit channel) so shutdown can reclaim it")
+		return
+	}
+	if hasJoinEvidence(pass, body, sig) {
+		return
+	}
+	if pos := suspiciousLoop(pass, body, sig); pos.IsValid() {
+		pass.Reportf(gs.Pos(),
+			"goroutine has no join or cancel signal (no WaitGroup.Done, context check, select, or receive from a channel this package closes or sends to): it can park forever on the loop at %s and leak past shutdown (the stranded-writeLoop class)",
+			pass.Fset.Position(pos))
+	}
+}
+
+// hasJoinEvidence reports whether anything in the body (closures
+// included) ties the goroutine's lifetime to the outside world.
+func hasJoinEvidence(pass *analysis.Pass, body *ast.BlockStmt, sig signals) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				switch analysis.MethodFullName(pass.TypesInfo, sel) {
+				case "(*sync.WaitGroup).Done",
+					"(context.Context).Done", "(context.Context).Err":
+					found = true
+				}
+			}
+		case *ast.SelectStmt:
+			// Any select is a deliberate multi-way wait; its cases
+			// (checked syntactically above for ctx/quit) bound blocking.
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				if obj := chanObj(pass, n.X); obj != nil && (sig.closed[obj] || sig.sent[obj]) {
+					found = true
+				}
+			}
+		case *ast.RangeStmt:
+			if obj := rangeChanObj(pass, n, sig); obj != nil && sig.closed[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// suspiciousLoop finds a loop (outside nested closures, which run on
+// their own goroutines) that can block or spin forever: a range over
+// a never-closed channel, or a bare `for`.
+func suspiciousLoop(pass *analysis.Pass, body *ast.BlockStmt, sig signals) token.Pos {
+	var pos token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if pos.IsValid() {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt:
+			if n.Cond == nil {
+				pos = n.Pos()
+			}
+		case *ast.RangeStmt:
+			if isChanRange(pass, n) {
+				obj := rangeChanObj(pass, n, sig)
+				if obj == nil || !sig.closed[obj] {
+					pos = n.Pos()
+				}
+			}
+		}
+		return !pos.IsValid()
+	})
+	return pos
+}
+
+func isChanRange(pass *analysis.Pass, r *ast.RangeStmt) bool {
+	t := pass.TypesInfo.TypeOf(r.X)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+func rangeChanObj(pass *analysis.Pass, r *ast.RangeStmt, sig signals) types.Object {
+	if !isChanRange(pass, r) {
+		return nil
+	}
+	return chanObj(pass, r.X)
+}

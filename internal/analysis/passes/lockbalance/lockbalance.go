@@ -1,0 +1,229 @@
+// Package lockbalance flags mutexes acquired but not released on
+// every path to return or panic.
+//
+// This is the flow-sensitive upgrade of locksend's "held mutex"
+// heuristic: a real held-set dataflow over the function's CFG. The
+// bug class is the early-return leak —
+//
+//	mu.Lock()
+//	if bad {
+//		return err // mu still held: every later caller deadlocks
+//	}
+//	mu.Unlock()
+//
+// The analysis is a forward must-analysis: the fact is the set of
+// locks held on EVERY path to a program point (join = intersection,
+// so a lock held on only one arm of a branch is never reported — that
+// conservatism is what keeps the pass at zero false positives on
+// correlated-condition code). `defer mu.Unlock()` is modeled as
+// balancing every exit downstream of its registration, which makes
+// the canonical `mu.Lock(); defer mu.Unlock()` prologue exactly
+// neutral.
+package lockbalance
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+
+	"diversecast/internal/analysis"
+	"diversecast/internal/analysis/cfg"
+)
+
+// Analyzer flags locks still held at a return or panic exit.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockbalance",
+	Doc: "flags a sync.Mutex/RWMutex Lock or RLock not matched by an Unlock on every path to " +
+		"return/panic: a leaked lock deadlocks every later critical section; unlock before the " +
+		"early exit or use defer",
+	Run: run,
+}
+
+// heldLock records one acquisition still outstanding: where it
+// happened and via which method (Lock vs RLock drives the suggested
+// release name).
+type heldLock struct {
+	pos    token.Pos
+	method string
+}
+
+// fact maps a lock's receiver-expression text to its outstanding
+// acquisition. Must-analysis: a key is present only if the lock is
+// held on every path reaching the point.
+type fact map[string]heldLock
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				// Each function (and each closure) balances its own
+				// acquisitions; nested literals are visited by their
+				// own Inspect step and excluded from this CFG.
+				checkFunc(pass, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	g := cfg.New(body, cfg.Options{NoReturn: cfg.NoReturn(pass.TypesInfo)})
+	facts := cfg.Forward(g, cfg.Lattice[fact]{
+		Entry: fact{},
+		Join:  intersect,
+		Transfer: func(n ast.Node, f fact) fact {
+			return transfer(pass, n, f)
+		},
+		Equal: equal,
+	})
+
+	// Every reached predecessor of Exit is one way out of the
+	// function; anything still in its must-held set leaks. Report at
+	// the acquisition site, once per site.
+	reported := make(map[token.Pos]bool)
+	for _, b := range g.Blocks {
+		if !facts.Reached[b] {
+			continue
+		}
+		exits := false
+		for _, s := range b.Succs {
+			exits = exits || s == g.Exit
+		}
+		if !exits {
+			continue
+		}
+		out := facts.Out(b)
+		keys := make([]string, 0, len(out))
+		for k := range out {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			h := out[k]
+			if reported[h.pos] {
+				continue
+			}
+			reported[h.pos] = true
+			pass.Reportf(h.pos,
+				"%s.%s() is not released on every path to %s: unlock before the early exit or use defer %s.%s()",
+				k, h.method, exitKind(b.Term), k, releaseName(h.method))
+		}
+	}
+}
+
+func exitKind(term ast.Node) string {
+	switch term.(type) {
+	case *ast.ReturnStmt:
+		return "return"
+	case *ast.CallExpr:
+		return "panic/exit"
+	default:
+		return "return" // fall-off-the-end
+	}
+}
+
+func releaseName(acquire string) string {
+	if acquire == "RLock" {
+		return "RUnlock"
+	}
+	return "Unlock"
+}
+
+func transfer(pass *analysis.Pass, n ast.Node, f fact) fact {
+	switch n := n.(type) {
+	case *ast.ExprStmt:
+		recv, method, op := analysis.ClassifyLockCall(pass.TypesInfo, n.X)
+		switch op {
+		case analysis.LockAcquire:
+			out := clone(f)
+			out[recv] = heldLock{pos: n.X.(*ast.CallExpr).Pos(), method: method}
+			return out
+		case analysis.LockRelease:
+			if _, ok := f[recv]; ok {
+				out := clone(f)
+				delete(out, recv)
+				return out
+			}
+		}
+
+	case *ast.DeferStmt:
+		// A deferred release is guaranteed to run at function exit on
+		// every path passing this registration: the balance
+		// obligation is discharged here, path-sensitively. Covers
+		// both `defer mu.Unlock()` and `defer func() { mu.Unlock() }()`.
+		released := deferredReleases(pass, n)
+		if len(released) > 0 {
+			out := clone(f)
+			for _, recv := range released {
+				delete(out, recv)
+			}
+			return out
+		}
+	}
+	return f
+}
+
+// deferredReleases collects the receiver texts of every unlock a
+// defer statement guarantees.
+func deferredReleases(pass *analysis.Pass, d *ast.DeferStmt) []string {
+	if recv, _, op := analysis.ClassifyLockCall(pass.TypesInfo, d.Call); op == analysis.LockRelease {
+		return []string{recv}
+	}
+	lit, ok := d.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return nil
+	}
+	var out []string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // a nested closure runs on its own schedule
+		}
+		if es, ok := n.(*ast.ExprStmt); ok {
+			if recv, _, op := analysis.ClassifyLockCall(pass.TypesInfo, es.X); op == analysis.LockRelease {
+				out = append(out, recv)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func clone(f fact) fact {
+	out := make(fact, len(f))
+	for k, v := range f {
+		out[k] = v
+	}
+	return out
+}
+
+func intersect(a, b fact) fact {
+	out := fact{}
+	for k, v := range a {
+		if _, ok := b[k]; ok {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func equal(a, b fact) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if _, ok := b[k]; !ok {
+			return false
+		}
+	}
+	return true
+}

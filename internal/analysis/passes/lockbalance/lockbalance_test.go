@@ -1,0 +1,12 @@
+package lockbalance_test
+
+import (
+	"testing"
+
+	"diversecast/internal/analysis/analysistest"
+	"diversecast/internal/analysis/passes/lockbalance"
+)
+
+func TestLockBalance(t *testing.T) {
+	analysistest.Run(t, "testdata", lockbalance.Analyzer, "a")
+}

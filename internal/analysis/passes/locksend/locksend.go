@@ -8,6 +8,14 @@
 // patterns — a select with a default (non-blocking send), or copying
 // the subscriber set out under the lock and sending after unlock —
 // are exactly what the analyzer accepts.
+//
+// Since the CFG layer landed, the held set is a real forward
+// dataflow over the function's control-flow graph (must-analysis,
+// join = ordered intersection) instead of the original lexical scan:
+// a lock released on every arm of a branch is released after the
+// merge, a lock held across a loop stays held on the back edge, and
+// `defer mu.Unlock()` keeps the lock held to function exit — which is
+// exactly the truth the original heuristic only approximated.
 package locksend
 
 import (
@@ -15,6 +23,7 @@ import (
 	"go/types"
 
 	"diversecast/internal/analysis"
+	"diversecast/internal/analysis/cfg"
 )
 
 // Analyzer flags blocking sends, net.Conn writes, and WaitGroup waits
@@ -27,23 +36,9 @@ var Analyzer = &analysis.Analyzer{
 	Run: run,
 }
 
-// lock method names, resolved through go/types so promoted methods of
-// embedded mutexes match too.
-var (
-	lockMethods = map[string]bool{
-		"(*sync.Mutex).Lock":    true,
-		"(*sync.RWMutex).Lock":  true,
-		"(*sync.RWMutex).RLock": true,
-	}
-	unlockMethods = map[string]bool{
-		"(*sync.Mutex).Unlock":    true,
-		"(*sync.RWMutex).Unlock":  true,
-		"(*sync.RWMutex).RUnlock": true,
-	}
-	waitMethods = map[string]bool{
-		"(*sync.WaitGroup).Wait": true,
-	}
-)
+var waitMethods = map[string]bool{
+	"(*sync.WaitGroup).Wait": true,
+}
 
 func run(pass *analysis.Pass) error {
 	conn := analysis.LookupInterface(pass.Pkg, "net", "Conn")
@@ -62,7 +57,7 @@ func run(pass *analysis.Pass) error {
 				// Each function starts lock-free; goroutine and
 				// closure bodies encountered inside are analyzed by
 				// their own Inspect visit.
-				scanBlock(pass, conn, body.List, nil)
+				checkFunc(pass, conn, body)
 			}
 			return true
 		})
@@ -70,164 +65,97 @@ func run(pass *analysis.Pass) error {
 	return nil
 }
 
-// held tracks the lock expressions (rendered as source text) known to
-// be held at a program point. The tracking is lexical, not
-// control-flow precise: within one statement list, Lock/Unlock calls
-// update the set in order; nested blocks (if/for/switch/select
-// bodies) see a copy, so an early-return unlock inside a branch does
-// not leak into the fall-through path. defer Unlock leaves the lock
-// held for the remainder of the enclosing function — which is exactly
-// the truth.
+// held is the ordered stack of locks known to be held on every path
+// to a program point (innermost last — diagnostics name the most
+// recent acquisition).
 type held []string
 
-func (h held) copyOf() held { return append(held(nil), h...) }
-
-func (h held) without(expr string) held {
-	for i := len(h) - 1; i >= 0; i-- {
-		if h[i] == expr {
-			return append(h[:i:i], h[i+1:]...)
+func checkFunc(pass *analysis.Pass, conn *types.Interface, body *ast.BlockStmt) {
+	g := cfg.New(body, cfg.Options{NoReturn: cfg.NoReturn(pass.TypesInfo)})
+	facts := cfg.Forward(g, cfg.Lattice[held]{
+		Entry: held{},
+		Join:  intersect,
+		Transfer: func(n ast.Node, h held) held {
+			return transfer(pass, n, h)
+		},
+		Equal: equal,
+	})
+	for _, b := range g.Blocks {
+		if !facts.Reached[b] {
+			continue
+		}
+		h := facts.In[b]
+		for _, n := range b.Nodes {
+			checkNode(pass, conn, g, n, h)
+			h = transfer(pass, n, h)
 		}
 	}
-	return h
 }
 
-// scanBlock walks one statement list, threading the held-lock state
-// through it and flagging blocking operations while locks are held.
-func scanBlock(pass *analysis.Pass, conn *types.Interface, stmts []ast.Stmt, h held) held {
-	for _, s := range stmts {
-		h = scanStmt(pass, conn, s, h)
-	}
-	return h
-}
-
-func scanStmt(pass *analysis.Pass, conn *types.Interface, s ast.Stmt, h held) held {
-	switch st := s.(type) {
-	case *ast.ExprStmt:
-		if expr, kind := lockCall(pass, st.X); kind == lockAcquire {
-			return append(h, expr)
-		} else if kind == lockRelease {
-			return h.without(expr)
-		}
-		checkExpr(pass, conn, st.X, h)
-
-	case *ast.DeferStmt:
-		// defer mu.Unlock() releases at function exit, so the lock
-		// stays held for the remainder of this scan. Other deferred
-		// calls run lock-free (at return the scan state no longer
-		// applies); don't descend.
-
-	case *ast.SendStmt:
-		if len(h) > 0 {
-			pass.Reportf(st.Pos(),
-				"blocking channel send while holding %s: a full buffer deadlocks every goroutine that needs this lock; use a select with default, or send after unlocking", h[len(h)-1])
-		}
-
-	case *ast.AssignStmt:
-		for _, r := range st.Rhs {
-			checkExpr(pass, conn, r, h)
-		}
-
-	case *ast.ReturnStmt:
-		for _, r := range st.Results {
-			checkExpr(pass, conn, r, h)
-		}
-
-	case *ast.IfStmt:
-		if st.Init != nil {
-			h = scanStmt(pass, conn, st.Init, h)
-		}
-		checkExpr(pass, conn, st.Cond, h)
-		scanBlock(pass, conn, st.Body.List, h.copyOf())
-		if st.Else != nil {
-			scanStmt(pass, conn, st.Else, h.copyOf())
-		}
-
-	case *ast.BlockStmt:
-		h = scanBlock(pass, conn, st.List, h)
-
-	case *ast.ForStmt:
-		scanBlock(pass, conn, st.Body.List, h.copyOf())
-
-	case *ast.RangeStmt:
-		scanBlock(pass, conn, st.Body.List, h.copyOf())
-
-	case *ast.SwitchStmt:
-		for _, c := range st.Body.List {
-			if cc, ok := c.(*ast.CaseClause); ok {
-				scanBlock(pass, conn, cc.Body, h.copyOf())
-			}
-		}
-
-	case *ast.TypeSwitchStmt:
-		for _, c := range st.Body.List {
-			if cc, ok := c.(*ast.CaseClause); ok {
-				scanBlock(pass, conn, cc.Body, h.copyOf())
-			}
-		}
-
-	case *ast.SelectStmt:
-		// A select chooses among ready cases: its sends are either
-		// non-blocking (default present) or bounded by a peer case
-		// (e.g. shutdown). Scan only the clause bodies.
-		for _, c := range st.Body.List {
-			if cc, ok := c.(*ast.CommClause); ok {
-				scanBlock(pass, conn, cc.Body, h.copyOf())
-			}
-		}
-
-	case *ast.GoStmt:
-		// The spawned goroutine does not inherit the parent's locks;
-		// its body is scanned independently by run's Inspect.
-
-	case *ast.LabeledStmt:
-		h = scanStmt(pass, conn, st.Stmt, h)
-	}
-	return h
-}
-
-type lockKind int
-
-const (
-	lockNone lockKind = iota
-	lockAcquire
-	lockRelease
-)
-
-// lockCall classifies a call expression as a mutex acquire/release
-// and returns the receiver expression's source text as identity.
-func lockCall(pass *analysis.Pass, e ast.Expr) (string, lockKind) {
-	call, ok := e.(*ast.CallExpr)
+func transfer(pass *analysis.Pass, n ast.Node, h held) held {
+	es, ok := n.(*ast.ExprStmt)
 	if !ok {
-		return "", lockNone
+		return h
 	}
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok {
-		return "", lockNone
+	recv, _, op := analysis.ClassifyLockCall(pass.TypesInfo, es.X)
+	switch op {
+	case analysis.LockAcquire:
+		return append(h[:len(h):len(h)], recv)
+	case analysis.LockRelease:
+		for i := len(h) - 1; i >= 0; i-- {
+			if h[i] == recv {
+				out := append(held(nil), h[:i]...)
+				return append(out, h[i+1:]...)
+			}
+		}
 	}
-	full := analysis.MethodFullName(pass.TypesInfo, sel)
-	switch {
-	case lockMethods[full]:
-		return types.ExprString(sel.X), lockAcquire
-	case unlockMethods[full]:
-		return types.ExprString(sel.X), lockRelease
-	}
-	return "", lockNone
+	// Note: a deferred Unlock deliberately has no effect — the lock
+	// stays held for the remainder of the function, which is the
+	// truth the analysis needs.
+	return h
 }
 
-// checkExpr flags blocking calls (WaitGroup.Wait, net.Conn.Write)
-// appearing anywhere inside an expression evaluated under a lock.
-// Function literals inside the expression are skipped: they run
-// later, on their own goroutine's lock state.
-func checkExpr(pass *analysis.Pass, conn *types.Interface, e ast.Expr, h held) {
-	if len(h) == 0 || e == nil {
+// checkNode flags blocking operations in one CFG node given the locks
+// held on entry to it.
+func checkNode(pass *analysis.Pass, conn *types.Interface, g *cfg.Graph, n ast.Node, h held) {
+	if len(h) == 0 {
 		return
 	}
 	lock := h[len(h)-1]
-	ast.Inspect(e, func(n ast.Node) bool {
-		if _, ok := n.(*ast.FuncLit); ok {
+	switch n := n.(type) {
+	case *ast.SendStmt:
+		// A send that is a select communication clause is either
+		// non-blocking (default present) or bounded by a peer case
+		// (e.g. shutdown); plain sends block until a receiver drains.
+		if !g.IsSelectComm(n) {
+			pass.Reportf(n.Pos(),
+				"blocking channel send while holding %s: a full buffer deadlocks every goroutine that needs this lock; use a select with default, or send after unlocking", lock)
+		}
+
+	case *ast.DeferStmt, *ast.GoStmt:
+		// Deferred calls run at exit, after this scan's state no
+		// longer applies; a spawned goroutine does not inherit the
+		// parent's locks.
+
+	default:
+		checkExprs(pass, conn, n, lock)
+	}
+}
+
+// checkExprs flags blocking calls (WaitGroup.Wait, net.Conn.Write)
+// appearing anywhere inside a node's expressions. Function literals
+// are skipped: they run later, on their own goroutine's lock state.
+func checkExprs(pass *analysis.Pass, conn *types.Interface, n ast.Node, lock string) {
+	// A RangeStmt node stands for the iteration header only; its body
+	// belongs to other blocks.
+	if r, ok := n.(*ast.RangeStmt); ok {
+		n = r.X
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
 			return false
 		}
-		call, ok := n.(*ast.CallExpr)
+		call, ok := x.(*ast.CallExpr)
 		if !ok {
 			return true
 		}
@@ -249,4 +177,31 @@ func checkExpr(pass *analysis.Pass, conn *types.Interface, e ast.Expr, h held) {
 		}
 		return true
 	})
+}
+
+func intersect(a, b held) held {
+	inB := make(map[string]int, len(b))
+	for _, k := range b {
+		inB[k]++
+	}
+	out := held{}
+	for _, k := range a {
+		if inB[k] > 0 {
+			inB[k]--
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+func equal(a, b held) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

@@ -6,8 +6,12 @@ package passes
 import (
 	"diversecast/internal/analysis"
 	"diversecast/internal/analysis/passes/ctxloop"
+	"diversecast/internal/analysis/passes/detrand"
+	"diversecast/internal/analysis/passes/errdrop"
 	"diversecast/internal/analysis/passes/floatdet"
 	"diversecast/internal/analysis/passes/floateq"
+	"diversecast/internal/analysis/passes/goroleak"
+	"diversecast/internal/analysis/passes/lockbalance"
 	"diversecast/internal/analysis/passes/locksend"
 	"diversecast/internal/analysis/passes/obsnames"
 )
@@ -16,8 +20,12 @@ import (
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		ctxloop.Analyzer,
+		detrand.Analyzer,
+		errdrop.Analyzer,
 		floatdet.Analyzer,
 		floateq.Analyzer,
+		goroleak.Analyzer,
+		lockbalance.Analyzer,
 		locksend.Analyzer,
 		obsnames.Analyzer,
 	}

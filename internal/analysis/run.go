@@ -30,7 +30,7 @@ func (f Finding) String() string {
 func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 	var findings []Finding
 	for _, pkg := range pkgs {
-		byLine := make(map[string]map[int][]*directive) // filename -> line -> directives
+		byLine := make(map[string]map[int][]*Suppression) // filename -> line -> directives
 		for _, f := range pkg.Files {
 			lines, malformed := parseDirectives(fset, f)
 			name := fset.Position(f.Pos()).Filename
@@ -38,7 +38,7 @@ func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Finding
 			for _, d := range malformed {
 				findings = append(findings, Finding{
 					Analyzer: "ignorespec",
-					Pos:      d.pos,
+					Pos:      d.Pos,
 					Message:  "malformed //diverselint:ignore directive: need an analyzer list and a reason",
 				})
 			}
@@ -55,9 +55,9 @@ func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Finding
 				pos := fset.Position(d.Pos)
 				fd := Finding{Analyzer: a.Name, Pos: pos, Message: d.Message}
 				for _, dir := range byLine[pos.Filename][pos.Line] {
-					if dir.matches(a.Name) {
+					if dir.Matches(a.Name) {
 						fd.Suppressed = true
-						fd.Reason = dir.reason
+						fd.Reason = dir.Reason
 						break
 					}
 				}

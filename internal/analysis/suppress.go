@@ -24,24 +24,30 @@ import (
 
 const ignorePrefix = "diverselint:ignore"
 
-// A directive is one parsed //diverselint:ignore comment.
-type directive struct {
-	pos       token.Position // of the comment
-	analyzers map[string]bool
-	reason    string
+// A Suppression is one parsed //diverselint:ignore directive. The
+// driver's -audit mode walks every directive in the module through
+// this type; the lint run itself uses the same records keyed by the
+// lines they cover.
+type Suppression struct {
+	Pos       token.Position // of the comment
+	Analyzers []string       // as written, in order; may contain "all"
+	Reason    string
 }
 
-func (d *directive) matches(analyzer string) bool {
-	return d.analyzers["all"] || d.analyzers[analyzer]
+// Matches reports whether the directive covers the named analyzer.
+func (s *Suppression) Matches(analyzer string) bool {
+	for _, a := range s.Analyzers {
+		if a == "all" || a == analyzer {
+			return true
+		}
+	}
+	return false
 }
 
-// parseDirectives extracts ignore directives from a file, keyed by
-// the line they suppress. A directive on line N suppresses findings
-// on line N and, when it is the only thing on its line, also on line
-// N+1. Malformed directives (no analyzer, or no reason) are returned
-// separately so the driver can report them.
-func parseDirectives(fset *token.FileSet, f *ast.File) (byLine map[int][]*directive, malformed []*directive) {
-	byLine = make(map[int][]*directive)
+// FileSuppressions extracts every ignore directive from a file.
+// Malformed directives (no analyzer, or no reason) are returned
+// separately so callers can report them.
+func FileSuppressions(fset *token.FileSet, f *ast.File) (valid, malformed []Suppression) {
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
 			text := strings.TrimPrefix(c.Text, "//")
@@ -50,24 +56,35 @@ func parseDirectives(fset *token.FileSet, f *ast.File) (byLine map[int][]*direct
 				continue
 			}
 			rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
-			pos := fset.Position(c.Pos())
-			fields := strings.Fields(rest)
-			d := &directive{pos: pos, analyzers: make(map[string]bool)}
-			if len(fields) >= 1 {
+			s := Suppression{Pos: fset.Position(c.Pos())}
+			if fields := strings.Fields(rest); len(fields) >= 1 {
 				for _, name := range strings.Split(fields[0], ",") {
 					if name != "" {
-						d.analyzers[name] = true
+						s.Analyzers = append(s.Analyzers, name)
 					}
 				}
-				d.reason = strings.TrimSpace(strings.TrimPrefix(rest, fields[0]))
+				s.Reason = strings.TrimSpace(strings.TrimPrefix(rest, fields[0]))
 			}
-			if len(d.analyzers) == 0 || d.reason == "" {
-				malformed = append(malformed, d)
+			if len(s.Analyzers) == 0 || s.Reason == "" {
+				malformed = append(malformed, s)
 				continue
 			}
-			byLine[pos.Line] = append(byLine[pos.Line], d)
-			byLine[pos.Line+1] = append(byLine[pos.Line+1], d)
+			valid = append(valid, s)
 		}
+	}
+	return valid, malformed
+}
+
+// parseDirectives keys a file's valid directives by the lines they
+// suppress: a directive on line N suppresses findings on line N and
+// on line N+1.
+func parseDirectives(fset *token.FileSet, f *ast.File) (byLine map[int][]*Suppression, malformed []Suppression) {
+	valid, malformed := FileSuppressions(fset, f)
+	byLine = make(map[int][]*Suppression)
+	for i := range valid {
+		s := &valid[i]
+		byLine[s.Pos.Line] = append(byLine[s.Pos.Line], s)
+		byLine[s.Pos.Line+1] = append(byLine[s.Pos.Line+1], s)
 	}
 	return byLine, malformed
 }

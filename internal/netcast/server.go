@@ -270,6 +270,7 @@ func (s *Server) handshake(conn net.Conn) {
 		return
 	}
 	if sub.Channel < 0 || sub.Channel >= len(s.casters) {
+		//diverselint:ignore errdrop best-effort rejection notice: the handshake is already failing and the socket closes immediately after, so there is no recovery if the client never sees it
 		_ = wire.WriteJSON(conn, wire.MsgError,
 			wire.ErrorBody{Message: fmt.Sprintf("channel %d outside [0,%d)", sub.Channel, len(s.casters))})
 		s.failHandshake(conn)

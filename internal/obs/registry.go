@@ -259,6 +259,7 @@ func mergeLE(labels, le string) string {
 func (r *Registry) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		//diverselint:ignore errdrop a failed metrics write means the scraper hung up mid-response; there is no caller to report to and the next scrape starts fresh
 		_ = r.WriteText(w)
 	})
 }
