@@ -14,10 +14,16 @@
 //     with GOPT pinned to Workers: 1 — timing figures measure
 //     algorithmic cost, so the parallel evaluation fabric must not
 //     fold wall-clock by the benchmark machine's core count.
+//   - TraceOverhead: the cost of the diversetrace probes on the CDS
+//     hot path, disabled and enabled, plus a microbenchmark pricing
+//     one disabled probe. The disabled path is gated at 2%: if the
+//     probes ever grow past a few atomic loads, the gate fails the
+//     bench target rather than letting always-on instrumentation tax
+//     every allocation.
 //
 // Examples:
 //
-//	bcastbench -out BENCH_3.json
+//	bcastbench -out BENCH_5.json
 //	bcastbench -quick -benchtime 1x   # CI: smallest honest signal
 package main
 
@@ -34,6 +40,7 @@ import (
 
 	"diversecast/internal/core"
 	"diversecast/internal/gopt"
+	"diversecast/internal/obs/trace"
 	"diversecast/internal/workload"
 )
 
@@ -91,7 +98,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("bcastbench", flag.ContinueOnError)
 	fs.SetOutput(out)
-	outPath := fs.String("out", "BENCH_3.json", "report path ('-' for stdout)")
+	outPath := fs.String("out", "BENCH_5.json", "report path ('-' for stdout)")
 	quick := fs.Bool("quick", false, "reduced grid: skip N=10000 and the GOPT timing columns")
 	benchTime := fs.String("benchtime", "", "per-benchmark time or iteration budget (default 3x, 1x with -quick)")
 	if err := fs.Parse(args); err != nil {
@@ -131,6 +138,9 @@ func run(args []string, out io.Writer) error {
 	if err := figureTimings(rep, *quick); err != nil {
 		return err
 	}
+	if err := traceOverhead(rep); err != nil {
+		return err
+	}
 
 	doc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -138,10 +148,21 @@ func run(args []string, out io.Writer) error {
 	}
 	doc = append(doc, '\n')
 	if *outPath == "-" {
-		_, err = out.Write(doc)
+		if _, err := out.Write(doc); err != nil {
+			return err
+		}
+	} else if err := os.WriteFile(*outPath, doc, 0o644); err != nil {
 		return err
 	}
-	return os.WriteFile(*outPath, doc, 0o644)
+	// The overhead gate runs after the artifact is written so a failing
+	// run still leaves the numbers on disk for inspection. -quick runs
+	// a single iteration per cell, too noisy to gate on.
+	if !*quick {
+		if pct := rep.Derived["trace_overhead_disabled_pct"]; pct > 2 {
+			return fmt.Errorf("disabled-tracer overhead %.3f%% exceeds the 2%% budget: the probe path must stay a few atomic loads", pct)
+		}
+	}
+	return nil
 }
 
 // randomAllocation mirrors the core test helper: a deterministic
@@ -287,4 +308,81 @@ func figureTimings(rep *report, quick bool) error {
 		}
 	}
 	return nil
+}
+
+// traceOverhead measures what the diversetrace probes cost the CDS hot
+// path. Two cells refine the same N=1000/K=16 start with the tracer
+// disabled and enabled; DisabledProbe prices one disabled Start/End
+// pair in isolation. The committed disabled-path number is analytic
+// rather than a difference of two noisy cell timings: one Refine with
+// MaxMoves moves executes at most MaxMoves+2 probes (the Enabled check
+// at entry, one per move, the final End), so
+// probe_ns x (MaxMoves+2) / cell_ns bounds the relative overhead
+// without subtracting near-equal measurements.
+func traceOverhead(rep *report) error {
+	const maxMoves = 200
+	db := workload.Config{N: 1000, Theta: 0.8, Phi: 2, Seed: 1}.MustGenerate()
+	a, err := randomAllocation(db, 16, 7)
+	if err != nil {
+		return err
+	}
+	cell := make(map[string]float64, 2)
+	for _, mode := range []string{"disabled", "enabled"} {
+		tr := trace.New(trace.Config{Capacity: 1 << 15})
+		if mode == "disabled" {
+			tr.Disable()
+		}
+		cds := &core.CDS{Strategy: core.StrategyIncremental, MaxMoves: maxMoves, Tracer: tr}
+		var benchErr error
+		br := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := cds.Refine(a); err != nil {
+					benchErr = err
+					b.Fatal(err)
+				}
+			}
+		})
+		if benchErr != nil {
+			return benchErr
+		}
+		rep.record("TraceOverhead/CDSScale/N=1000/K=16/"+mode, br)
+		cell[mode] = nsPerOp(br)
+	}
+
+	// One disabled probe: Start on a disabled tracer returns the
+	// inactive zero Span and End on it is a no-op — the whole pair is
+	// an atomic load plus branches. The family benchtime can be as low
+	// as one iteration, far below timer resolution for a nanosecond
+	// probe, so each op runs a fixed batch and the batch is divided
+	// back out.
+	const probeBatch = 1000
+	tr := trace.New(trace.Config{Capacity: 8})
+	tr.Disable()
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < probeBatch; j++ {
+				sp := tr.Start("bench_probe")
+				sp.End()
+			}
+		}
+	})
+	rep.record("TraceOverhead/DisabledProbe_x1000", br)
+	probe := nsPerOp(br) / probeBatch
+
+	if d := cell["disabled"]; d > 0 {
+		rep.Derived["trace_overhead_disabled_pct"] = probe * float64(maxMoves+2) / d * 100
+		rep.Derived["trace_overhead_enabled_pct"] = (cell["enabled"] - d) / d * 100
+	}
+	return nil
+}
+
+// nsPerOp keeps sub-nanosecond resolution; BenchmarkResult.NsPerOp
+// truncates to whole nanoseconds, useless for a probe that costs ~2ns.
+func nsPerOp(br testing.BenchmarkResult) float64 {
+	if br.N <= 0 {
+		return 0
+	}
+	return float64(br.T.Nanoseconds()) / float64(br.N)
 }

@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"diversecast/internal/experiments"
+	"diversecast/internal/obs/trace"
 )
 
 func main() {
@@ -34,8 +35,19 @@ func run(args []string, out io.Writer) error {
 	ablations := fs.Bool("ablations", false, "also/only regenerate the ablation experiments")
 	quick := fs.Bool("quick", false, "reduced configuration (smaller N, fewer seeds, smaller GA budget)")
 	csv := fs.Bool("csv", false, "emit CSV instead of a table")
+	traceOut := fs.String("trace", "", "write a Chrome trace_event JSON of the run to this file (open in chrome://tracing or Perfetto)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *traceOut != "" {
+		// Figures run many allocations back to back; keep a deep ring
+		// so the later figures do not evict the earlier spans.
+		trace.Default().Enable(trace.Config{Capacity: 1 << 18})
+		defer func() {
+			if err := writeTraceFile(*traceOut); err != nil {
+				fmt.Fprintln(out, "warning: trace export failed:", err)
+			}
+		}()
 	}
 
 	cfg := experiments.Default()
@@ -74,4 +86,18 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// writeTraceFile exports the process-wide tracer's ring to path as
+// Chrome trace_event JSON.
+func writeTraceFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteChrome(f, trace.Default().Snapshot()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

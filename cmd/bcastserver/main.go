@@ -19,12 +19,14 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"diversecast/internal/broadcast"
 	"diversecast/internal/cli"
 	"diversecast/internal/core"
 	"diversecast/internal/netcast"
 	"diversecast/internal/obs"
+	"diversecast/internal/obs/trace"
 )
 
 func main() {
@@ -45,9 +47,10 @@ func main() {
 // app bundles the broadcast server with its optional metrics endpoint
 // so main and the tests share one lifecycle.
 type app struct {
-	srv       *netcast.Server
-	metricsLn net.Listener
-	metricsSv *http.Server
+	srv         *netcast.Server
+	metricsLn   net.Listener
+	metricsSv   *http.Server
+	stopSampler func()
 }
 
 // Addr returns the broadcast listening address.
@@ -64,6 +67,9 @@ func (a *app) MetricsAddr() net.Addr {
 
 // Close stops the metrics endpoint and the broadcast server.
 func (a *app) Close() error {
+	if a.stopSampler != nil {
+		a.stopSampler()
+	}
 	if a.metricsSv != nil {
 		a.metricsSv.Close()
 	}
@@ -124,8 +130,14 @@ func start(args []string, out io.Writer) (*app, error) {
 			}
 			return nil, fmt.Errorf("metrics listen: %w", err)
 		}
+		// The observability endpoint activates the process-wide tracer
+		// (connection lifecycle spans land in its ring) and a periodic
+		// runtime sampler (goroutines, heap, GC pauses as gauges).
+		trace.Default().Enable(trace.Config{Capacity: 1 << 16})
+		ap.stopSampler = obs.StartRuntimeSampler(obs.Default(), 5*time.Second)
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", obs.Default().Handler())
+		mux.Handle("/debug/obstrace", obstraceHandler())
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -134,11 +146,29 @@ func start(args []string, out io.Writer) (*app, error) {
 		ap.metricsLn = ln
 		ap.metricsSv = &http.Server{Handler: mux}
 		go ap.metricsSv.Serve(ln)
-		fmt.Fprintf(out, "metrics on http://%s/metrics (pprof on /debug/pprof/)\n", ln.Addr())
+		fmt.Fprintf(out, "metrics on http://%s/metrics (trace snapshots on /debug/obstrace, pprof on /debug/pprof/)\n", ln.Addr())
 	}
 
 	fmt.Fprintf(out, "broadcasting on %s (%s, W_b = %.4fs, timescale %g)\n",
 		srv.Addr(), allocator.Name(), core.WaitingTime(a, *bandwidth), *timescale)
 	fmt.Fprint(out, p.Render(titles))
 	return ap, nil
+}
+
+// obstraceHandler serves a point-in-time snapshot of the process-wide
+// trace ring: Chrome trace_event JSON by default (load in
+// chrome://tracing or Perfetto), human-readable text with ?format=text.
+func obstraceHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		snap := trace.Default().Snapshot()
+		if req.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			//diverselint:ignore errdrop a failed snapshot write means the client hung up mid-response; the next request takes a fresh snapshot
+			_ = trace.WriteText(w, snap)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		//diverselint:ignore errdrop a failed snapshot write means the client hung up mid-response; the next request takes a fresh snapshot
+		_ = trace.WriteChrome(w, snap)
+	})
 }

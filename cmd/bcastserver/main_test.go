@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -137,6 +138,103 @@ func TestStartErrors(t *testing.T) {
 		if app, err := start(args, &out); err == nil {
 			app.Close()
 			t.Errorf("args %v should fail", args)
+		}
+	}
+}
+
+// TestObstraceEndpoint: the -metrics listener also serves trace-ring
+// snapshots on /debug/obstrace (Chrome JSON by default, text with
+// ?format=text) and the runtime sampler's gauges appear in /metrics.
+func TestObstraceEndpoint(t *testing.T) {
+	var out bytes.Buffer
+	app, err := start([]string{
+		"-addr", "127.0.0.1:0", "-paper", "-k", "5", "-timescale", "0.005",
+		"-metrics", "127.0.0.1:0",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+	if !strings.Contains(out.String(), "/debug/obstrace") {
+		t.Errorf("startup output does not announce the trace endpoint:\n%s", out.String())
+	}
+
+	// Tune a client so the ring holds netcast lifecycle records.
+	c, err := netcast.Tune(app.Addr().String(), 1, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.NextItem(time.Now().Add(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/obstrace", app.MetricsAddr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/obstrace: %s", resp.Status)
+	}
+	if got := resp.Header.Get("Content-Type"); !strings.Contains(got, "application/json") {
+		t.Errorf("content type = %q, want application/json", got)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+		Metadata map[string]any `json:"metadata"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v\n%s", err, body)
+	}
+	if id, _ := doc.Metadata["run_id"].(string); id == "" {
+		t.Fatal("metadata.run_id missing from snapshot")
+	}
+	var sawSubscribe bool
+	for _, ev := range doc.TraceEvents {
+		if ev.Name == "netcast_subscribe" {
+			sawSubscribe = true
+		}
+	}
+	if !sawSubscribe {
+		t.Errorf("snapshot has no netcast_subscribe event under a tuned client")
+	}
+
+	tr, err := http.Get(fmt.Sprintf("http://%s/debug/obstrace?format=text", app.MetricsAddr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbody, err := io.ReadAll(tr.Body)
+	tr.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Header.Get("Content-Type"); !strings.Contains(got, "text/plain") {
+		t.Errorf("text content type = %q", got)
+	}
+	if !strings.HasPrefix(string(tbody), "run ") {
+		t.Errorf("text snapshot does not open with the run header:\n%.200s", tbody)
+	}
+
+	// The runtime sampler rides along with -metrics.
+	mr, err := http.Get(fmt.Sprintf("http://%s/metrics", app.MetricsAddr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, err := io.ReadAll(mr.Body)
+	mr.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"runtime_goroutines", "runtime_heap_alloc_bytes"} {
+		if !strings.Contains(string(mbody), want) {
+			t.Errorf("/metrics missing runtime gauge %q", want)
 		}
 	}
 }

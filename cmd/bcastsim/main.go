@@ -23,6 +23,7 @@ import (
 	"diversecast/internal/core"
 	"diversecast/internal/hybrid"
 	"diversecast/internal/obs"
+	"diversecast/internal/obs/trace"
 	"diversecast/internal/ondemand"
 	"diversecast/internal/stats"
 	"diversecast/internal/workload"
@@ -54,6 +55,7 @@ func run(args []string, out io.Writer) error {
 	cachePolicy := fs.String("cache-policy", "", "client cache policy: lru, lfu, pix or cost (push mode only; empty = no cache)")
 	cacheCapacity := fs.Float64("cache-capacity", 0, "client cache capacity in size units (with -cache-policy)")
 	dumpStats := fs.Bool("stats", false, "dump the process metrics registry (Prometheus text format) on exit")
+	traceOut := fs.String("trace", "", "write a Chrome trace_event JSON of the run to this file (open in chrome://tracing or Perfetto)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -61,6 +63,22 @@ func run(args []string, out io.Writer) error {
 		defer func() {
 			fmt.Fprintln(out, "---- metrics ----")
 			_ = obs.Default().WriteText(out)
+		}()
+	}
+	if *traceOut != "" {
+		// Size the ring to the workload: the simulators emit two
+		// client events per request plus cycle spans, and the
+		// allocators a span per split/move — keep them all so the
+		// exported timeline is complete at default request counts.
+		capacity := 4*(*requests) + 8192
+		if capacity < 1<<14 {
+			capacity = 1 << 14
+		}
+		trace.Default().Enable(trace.Config{Capacity: capacity})
+		defer func() {
+			if err := writeTraceFile(out, *traceOut); err != nil {
+				fmt.Fprintln(out, "warning: trace export failed:", err)
+			}
 		}()
 	}
 
@@ -148,6 +166,26 @@ func run(args []string, out io.Writer) error {
 	if math.Abs(stats.RelativeError(res.Wait.Mean, analytic)) > 0.05 {
 		fmt.Fprintln(out, "warning: measured mean deviates more than 5% from the analytical model; increase -requests")
 	}
+	return nil
+}
+
+// writeTraceFile exports the process-wide tracer's ring to path as
+// Chrome trace_event JSON.
+func writeTraceFile(out io.Writer, path string) error {
+	snap := trace.Default().Snapshot()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteChrome(f, snap); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "trace:            %d records (%d dropped) -> %s\n",
+		len(snap.Records), snap.Dropped, path)
 	return nil
 }
 

@@ -2,9 +2,14 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"testing"
+
+	"diversecast/internal/obs/trace"
 )
 
 func TestRunClosedForm(t *testing.T) {
@@ -157,5 +162,62 @@ func TestRunModeErrors(t *testing.T) {
 		if err := run(full, &out); err == nil {
 			t.Errorf("args %v should fail", args)
 		}
+	}
+}
+
+// TestRunTraceExport: -trace writes a Chrome trace_event JSON file in
+// which the allocator's DRP splits, the CDS refinement moves, and the
+// simulator's per-cycle broadcast spans all carry the same run ID —
+// one file correlates the whole run on a single timeline.
+func TestRunTraceExport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.trace.json")
+	var out bytes.Buffer
+	err := run([]string{"-paper", "-k", "5", "-requests", "300", "-trace", path}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer trace.Default().Disable()
+	if !strings.Contains(out.String(), "trace:") {
+		t.Errorf("output missing trace summary line:\n%s", out.String())
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		Metadata map[string]any `json:"metadata"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	runID, _ := doc.Metadata["run_id"].(string)
+	if runID == "" {
+		t.Fatal("metadata.run_id missing")
+	}
+
+	counts := make(map[string]int)
+	for _, ev := range doc.TraceEvents {
+		counts[ev.Name]++
+		if ev.Phase == "M" {
+			continue // process_name metadata carries no run_id
+		}
+		if got, _ := ev.Args["run_id"].(string); got != runID {
+			t.Fatalf("event %s has run_id %q, want %q", ev.Name, got, runID)
+		}
+	}
+	for _, want := range []string{"drp_allocate", "drp_split", "cds_refine", "cds_move",
+		"broadcast_cycle", "client_tune_in", "client_served"} {
+		if counts[want] == 0 {
+			t.Errorf("trace has no %s events (have %v)", want, counts)
+		}
+	}
+	if dropped, _ := doc.Metadata["dropped_records"].(float64); dropped != 0 {
+		t.Errorf("ring dropped %v records; it should be sized for the workload", dropped)
 	}
 }

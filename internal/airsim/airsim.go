@@ -13,10 +13,34 @@ import (
 	"fmt"
 
 	"diversecast/internal/broadcast"
+	"diversecast/internal/obs/trace"
 	"diversecast/internal/sim"
 	"diversecast/internal/stats"
 	"diversecast/internal/workload"
 )
+
+// Trace span and event names emitted by the simulators. Snake_case
+// per the obsnames convention; constants so the analyzer can see them.
+const (
+	spanBroadcastCycle = "broadcast_cycle"
+	eventClientTuneIn  = "client_tune_in"
+	eventClientServed  = "client_served"
+)
+
+// Options carries cross-cutting run configuration for the simulators.
+type Options struct {
+	// Tracer receives one broadcast_cycle span per channel cycle
+	// (tagged with the channel's F·Z group cost) and one tune-in /
+	// served event pair per request, all stamped with the simulation's
+	// virtual time (seconds scaled to nanoseconds), so a replayed
+	// trace is deterministic and viewer timelines read in sim time.
+	// Nil uses trace.Default(), which starts disabled.
+	Tracer *trace.Tracer
+}
+
+// virtualNS converts virtual simulation seconds to the integer
+// nanosecond timestamps the tracer records.
+func virtualNS(seconds float64) int64 { return int64(seconds * 1e9) }
 
 // Result summarizes one simulation run.
 type Result struct {
@@ -44,16 +68,28 @@ var (
 // request it computes the next transmission start of the wanted item
 // and accumulates probe and download times. It is exact (no
 // discretization) and linear in the trace length.
-func Measure(p *broadcast.Program, trace []workload.Request) (*Result, error) {
+func Measure(p *broadcast.Program, reqs []workload.Request) (*Result, error) {
+	return MeasureWith(p, reqs, Options{})
+}
+
+// MeasureWith is Measure with explicit options (tracing).
+func MeasureWith(p *broadcast.Program, reqs []workload.Request, opts Options) (*Result, error) {
 	if p == nil {
 		return nil, ErrNilProgram
 	}
-	if len(trace) == 0 {
+	if len(reqs) == 0 {
 		return nil, ErrEmptyTrace
 	}
+	tr := opts.Tracer
+	if tr == nil {
+		tr = trace.Default()
+	}
+	traceOn := tr.Enabled()
+
 	var wait, probe, download stats.Accumulator
 	perChannel := make([]stats.Accumulator, p.K)
-	for _, req := range trace {
+	horizon := 0.0
+	for _, req := range reqs {
 		start, err := p.NextStart(req.Pos, req.Time)
 		if err != nil {
 			return nil, fmt.Errorf("airsim: request at %v: %w", req.Time, err)
@@ -65,9 +101,22 @@ func Measure(p *broadcast.Program, trace []workload.Request) (*Result, error) {
 		download.Add(d)
 		wait.Add(pr + d)
 		perChannel[c].Add(pr + d)
+		if end := start + d; end > horizon {
+			horizon = end
+		}
+		if traceOn {
+			tr.EventAt(eventClientTuneIn, virtualNS(req.Time),
+				trace.Int("channel", int64(c)), trace.Int("item", int64(req.Pos)))
+			tr.EventAt(eventClientServed, virtualNS(start+d),
+				trace.Int("channel", int64(c)), trace.Int("item", int64(req.Pos)),
+				trace.Float("probe", pr), trace.Float("wait", pr+d))
+		}
+	}
+	if traceOn {
+		emitCycleSpans(tr, p, horizon)
 	}
 	res := &Result{
-		Requests: len(trace),
+		Requests: len(reqs),
 		Wait:     wait.Summarize(),
 		Probe:    probe.Summarize(),
 		Download: download.Summarize(),
@@ -78,6 +127,31 @@ func Measure(p *broadcast.Program, trace []workload.Request) (*Result, error) {
 	return res, nil
 }
 
+// emitCycleSpans replays the cyclic schedule structure over [0,
+// horizon] as one span per channel cycle, each tagged with the
+// channel's F·Z group cost and cycle length. The closed form never
+// iterates cycles itself, so the spans are synthesized from the
+// schedule; the event-driven simulator emits the same spans from the
+// cycles it actually executes.
+func emitCycleSpans(tr *trace.Tracer, p *broadcast.Program, horizon float64) {
+	for c, ch := range p.Channels {
+		if ch.CycleLength <= 0 {
+			continue
+		}
+		for cycle := 0; ; cycle++ {
+			start := float64(cycle) * ch.CycleLength
+			if start >= horizon {
+				break
+			}
+			sp := tr.StartAt(spanBroadcastCycle, virtualNS(start),
+				trace.Int("channel", int64(c)), trace.Int("cycle", int64(cycle)),
+				trace.Float("group_cost", ch.GroupCost),
+				trace.Float("cycle_length", ch.CycleLength))
+			sp.EndAt(virtualNS(start + ch.CycleLength))
+		}
+	}
+}
+
 // EventDriven measures the same quantity by running the broadcast as a
 // discrete-event simulation: channels emit slot-start events
 // cyclically, and waiting clients complete at the end of the first
@@ -85,19 +159,29 @@ func Measure(p *broadcast.Program, trace []workload.Request) (*Result, error) {
 // agree with Measure to floating-point accuracy; it exists to validate
 // the closed form against an independent mechanism and to exercise the
 // DES engine under load.
-func EventDriven(p *broadcast.Program, trace []workload.Request) (*Result, error) {
+func EventDriven(p *broadcast.Program, reqs []workload.Request) (*Result, error) {
+	return EventDrivenWith(p, reqs, Options{})
+}
+
+// EventDrivenWith is EventDriven with explicit options (tracing).
+func EventDrivenWith(p *broadcast.Program, reqs []workload.Request, opts Options) (*Result, error) {
 	if p == nil {
 		return nil, ErrNilProgram
 	}
-	if len(trace) == 0 {
+	if len(reqs) == 0 {
 		return nil, ErrEmptyTrace
 	}
 	if err := p.Validate(); err != nil {
 		return nil, fmt.Errorf("airsim: %w", err)
 	}
-	if !workload.SortedByTime(trace) {
+	if !workload.SortedByTime(reqs) {
 		return nil, errors.New("airsim: trace must be sorted by time")
 	}
+	tr := opts.Tracer
+	if tr == nil {
+		tr = trace.Default()
+	}
+	traceOn := tr.Enabled()
 
 	s := sim.New()
 
@@ -107,20 +191,24 @@ func EventDriven(p *broadcast.Program, trace []workload.Request) (*Result, error
 		arrival float64
 	}
 	waiting := make(map[int][]pendingReq)
-	waits := make([]float64, len(trace))
-	probes := make([]float64, len(trace))
+	waits := make([]float64, len(reqs))
+	probes := make([]float64, len(reqs))
 	served := 0
 
 	// Client arrivals.
-	for i, req := range trace {
+	for i, req := range reqs {
 		i, req := i, req
 		if err := s.At(req.Time, func() {
 			waiting[req.Pos] = append(waiting[req.Pos], pendingReq{index: i, arrival: req.Time})
+			if traceOn {
+				tr.EventAt(eventClientTuneIn, virtualNS(req.Time),
+					trace.Int("item", int64(req.Pos)))
+			}
 		}); err != nil {
 			return nil, fmt.Errorf("airsim: scheduling arrival %d: %w", i, err)
 		}
 	}
-	lastArrival := trace[len(trace)-1].Time
+	lastArrival := reqs[len(reqs)-1].Time
 
 	// Channel broadcasters: each slot-start event serves matching
 	// waiters and schedules the next slot. Channels stop rebroadcasting
@@ -142,20 +230,37 @@ func EventDriven(p *broadcast.Program, trace []workload.Request) (*Result, error
 					probes[pr.index] = at - pr.arrival
 					waits[pr.index] = at + slot.Duration - pr.arrival
 					served++
+					if traceOn {
+						tr.EventAt(eventClientServed, virtualNS(at+slot.Duration),
+							trace.Int("channel", int64(c)), trace.Int("item", int64(slot.Pos)),
+							trace.Float("probe", at-pr.arrival),
+							trace.Float("wait", at+slot.Duration-pr.arrival))
+					}
 				} else {
 					kept = append(kept, pr)
 				}
 			}
 			waiting[slot.Pos] = kept
 
-			if served == len(trace) && at >= lastArrival {
-				return // all done; let the event queue drain
+			if served == len(reqs) && at >= lastArrival {
+				// All done; let the event queue drain. The final
+				// (partial) cycle still gets its span so the timeline
+				// covers every slot the simulation executed.
+				if traceOn {
+					emitOneCycleSpan(tr, ch, c, cycleStart)
+				}
+				return
 			}
 			nextIdx := idx + 1
 			nextCycle := cycleStart
 			if nextIdx == len(ch.Slots) {
 				nextIdx = 0
 				nextCycle += ch.CycleLength
+				// The cycle that just finished becomes a span stamped
+				// with virtual time, one per executed cycle per channel.
+				if traceOn {
+					emitOneCycleSpan(tr, ch, c, cycleStart)
+				}
 			}
 			if err := scheduleSlot(c, nextIdx, nextCycle); err != nil {
 				// Unreachable: times only move forward.
@@ -170,13 +275,13 @@ func EventDriven(p *broadcast.Program, trace []workload.Request) (*Result, error
 	}
 
 	s.Run(0)
-	if served != len(trace) {
-		return nil, fmt.Errorf("airsim: simulation ended with %d of %d requests served", served, len(trace))
+	if served != len(reqs) {
+		return nil, fmt.Errorf("airsim: simulation ended with %d of %d requests served", served, len(reqs))
 	}
 
 	var wait, probe, download stats.Accumulator
 	perChannel := make([]stats.Accumulator, p.K)
-	for i, req := range trace {
+	for i, req := range reqs {
 		c, _, _ := p.Locate(req.Pos)
 		wait.Add(waits[i])
 		probe.Add(probes[i])
@@ -184,7 +289,7 @@ func EventDriven(p *broadcast.Program, trace []workload.Request) (*Result, error
 		perChannel[c].Add(waits[i])
 	}
 	res := &Result{
-		Requests: len(trace),
+		Requests: len(reqs),
 		Wait:     wait.Summarize(),
 		Probe:    probe.Summarize(),
 		Download: download.Summarize(),
@@ -193,4 +298,19 @@ func EventDriven(p *broadcast.Program, trace []workload.Request) (*Result, error
 		res.PerChannel = append(res.PerChannel, acc.Summarize())
 	}
 	return res, nil
+}
+
+// emitOneCycleSpan records one executed channel cycle as a span over
+// its virtual-time window. The cycle ordinal is recovered from the
+// start offset (cycle starts are exact multiples of the length).
+func emitOneCycleSpan(tr *trace.Tracer, ch broadcast.Channel, c int, cycleStart float64) {
+	cycle := 0
+	if ch.CycleLength > 0 {
+		cycle = int(cycleStart/ch.CycleLength + 0.5)
+	}
+	sp := tr.StartAt(spanBroadcastCycle, virtualNS(cycleStart),
+		trace.Int("channel", int64(c)), trace.Int("cycle", int64(cycle)),
+		trace.Float("group_cost", ch.GroupCost),
+		trace.Float("cycle_length", ch.CycleLength))
+	sp.EndAt(virtualNS(cycleStart + ch.CycleLength))
 }

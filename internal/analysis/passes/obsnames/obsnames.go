@@ -1,4 +1,5 @@
-// Package obsnames enforces the obs metric-registration conventions.
+// Package obsnames enforces the obs metric-registration conventions
+// and the trace span/event naming conventions.
 //
 // The obs registry is get-or-create keyed by (name, labels): a typo'd
 // or dynamically built metric name silently forks a new time series
@@ -6,6 +7,16 @@
 // hot loop pays the registry mutex plus map lookups per iteration
 // when the handle should be resolved once at startup (the
 // serverMetrics/casterMetrics pattern in netcast).
+//
+// Trace span and event names (trace.Tracer Start/StartAt/Event/EventAt
+// and trace.Span Child/ChildAt/Event/EventAt) follow the same rule:
+// exporters and tests correlate records by name, so a dynamic name
+// splinters one logical timeline into unmatchable variants. Names
+// must be compile-time snake_case constants; variability belongs in
+// attrs. Unlike registrations, span starts inside loops are NOT
+// flagged — per-iteration spans (one per CDS move, one per broadcast
+// cycle) are the point of tracing, and Start on a disabled tracer is
+// a couple of atomic loads, not a lock.
 package obsnames
 
 import (
@@ -24,7 +35,9 @@ var Analyzer = &analysis.Analyzer{
 	Doc: "flags obs.Registry Counter/Gauge/Histogram registrations whose metric name is not a " +
 		"compile-time string constant in snake_case, and registrations inside loops: dynamic " +
 		"names fork silent new series, and per-iteration registration pays the registry lock " +
-		"on a hot path — resolve handles once at startup",
+		"on a hot path — resolve handles once at startup; also flags trace span/event names " +
+		"(Tracer Start/StartAt/Event/EventAt, Span Child/ChildAt/Event/EventAt) that are not " +
+		"compile-time snake_case constants: exporters correlate records by name",
 	Run: run,
 }
 
@@ -32,6 +45,13 @@ var registerMethods = map[string]bool{
 	"Counter":   true,
 	"Gauge":     true,
 	"Histogram": true,
+}
+
+// traceNameMethods maps trace receiver type name to the methods whose
+// first argument is a span/event name.
+var traceNameMethods = map[string]map[string]bool{
+	"Tracer": {"Start": true, "StartAt": true, "Event": true, "EventAt": true},
+	"Span":   {"Child": true, "ChildAt": true, "Event": true, "EventAt": true},
 }
 
 var snakeCase = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)*$`)
@@ -74,13 +94,17 @@ func run(pass *analysis.Pass) error {
 	return nil
 }
 
-// checkCall validates one potential registration call.
+// checkCall validates one potential registration or trace call.
 func checkCall(pass *analysis.Pass, call *ast.CallExpr, inLoop bool) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok || !registerMethods[sel.Sel.Name] || len(call.Args) < 1 {
+	if !ok || len(call.Args) < 1 {
 		return
 	}
-	if !isObsRegistry(pass.TypesInfo.TypeOf(sel.X)) {
+	if isTraceCarrier(pass.TypesInfo.TypeOf(sel.X), sel.Sel.Name) {
+		checkTraceName(pass, call, sel.Sel.Name)
+		return
+	}
+	if !registerMethods[sel.Sel.Name] || !isObsRegistry(pass.TypesInfo.TypeOf(sel.X)) {
 		return
 	}
 	method := sel.Sel.Name
@@ -99,6 +123,47 @@ func checkCall(pass *analysis.Pass, call *ast.CallExpr, inLoop bool) {
 		pass.Reportf(call.Args[0].Pos(),
 			"obs metric name %q is not snake_case (want %s): exposition-format consumers key on canonical names", name, snakeCase)
 	}
+}
+
+// checkTraceName validates the span/event name argument of a trace
+// call. Span starts inside loops are deliberately not flagged: a span
+// per move or per cycle is what tracing is for, and the disabled path
+// is a couple of atomic loads.
+func checkTraceName(pass *analysis.Pass, call *ast.CallExpr, method string) {
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		pass.Reportf(call.Args[0].Pos(),
+			"trace span/event name passed to %s is not a compile-time string constant: exporters and tests correlate records by name, and a dynamic name splinters one logical timeline; use a named constant and put variability in attrs", method)
+		return
+	}
+	name := constant.StringVal(tv.Value)
+	if !snakeCase.MatchString(name) {
+		pass.Reportf(call.Args[0].Pos(),
+			"trace span/event name %q is not snake_case (want %s): timeline consumers key on canonical names", name, snakeCase)
+	}
+}
+
+// isTraceCarrier reports whether t is the trace package's Tracer (or
+// *Tracer) or Span type and method is one of its name-taking methods.
+// Matching is by package name + type name so the analyzer's own
+// testdata can supply a stub trace package.
+func isTraceCarrier(t types.Type, method string) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Name() != "trace" {
+		return false
+	}
+	methods, ok := traceNameMethods[obj.Name()]
+	return ok && methods[method]
 }
 
 // isObsRegistry reports whether t is (a pointer to) the obs package's

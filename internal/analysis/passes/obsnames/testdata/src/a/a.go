@@ -5,6 +5,7 @@ import (
 	"strconv"
 
 	"obs"
+	"trace"
 )
 
 const goodName = "frames_sent_total"
@@ -91,4 +92,59 @@ func (shelf) Counter(name string) int { return len(name) }
 
 func notARegistry(s shelf) int {
 	return s.Counter("whatever you LIKE")
+}
+
+// ---- trace span/event naming ----
+
+const spanRefine = "cds_refine"
+
+// Clean: named snake_case constants for span and event names, with
+// variability carried in attrs — the core/netcast instrumentation
+// pattern. Spans inside loops are fine: a span per move is the point.
+func traceGood(tr *trace.Tracer, moves int) {
+	span := tr.Start(spanRefine, trace.Int("k", 5))
+	for i := 0; i < moves; i++ {
+		mv := span.Child("cds_move", trace.Int("pos", int64(i)))
+		mv.Event("queue_peek")
+		mv.End()
+	}
+	span.End()
+	tr.Event("run_done")
+	tr.EventAt("virtual_tick", 1000)
+	span.ChildAt("broadcast_cycle", 2000).End()
+}
+
+// Flagged: a dynamically built span name splinters the timeline into
+// per-value variants nothing can correlate.
+func traceDynamic(tr *trace.Tracer, alg string) {
+	tr.Start("alloc_" + alg).End() // want `not a compile-time string constant`
+}
+
+// Flagged: events too, on both Tracer and Span.
+func traceDynamicEvent(tr *trace.Tracer, ch int) {
+	span := tr.Start(spanRefine)
+	span.Event(pick(ch))            // want `not a compile-time string constant`
+	tr.EventAt(pick(ch), 500)       // want `not a compile-time string constant`
+	span.Child(pick(ch)).End()      // want `not a compile-time string constant`
+	span.ChildAt(pick(ch), 1).End() // want `not a compile-time string constant`
+	span.End()
+}
+
+func pick(i int) string { return "ch" }
+
+// Flagged: non-snake-case names break timeline consumers keyed on
+// canonical names.
+func traceCamel(tr *trace.Tracer) {
+	tr.Start("cdsRefine").End()      // want `not snake_case`
+	tr.Event("Run-Done")             // want `not snake_case`
+	tr.Start(spanRefine).Event("_x") // want `not snake_case`
+}
+
+// Clean: a Start method on an unrelated type is not a trace call.
+type engine struct{}
+
+func (engine) Start(name string) int { return len(name) }
+
+func notATracer(e engine) int {
+	return e.Start("whatever you LIKE")
 }

@@ -1,0 +1,26 @@
+// Package trace is a minimal stub of diversecast/internal/obs/trace
+// for the obsnames corpus: the analyzer matches span/event calls by
+// package name ("trace") and receiver type name (Tracer, Span), so
+// the corpus does not need the real implementation.
+package trace
+
+type Attr struct{}
+
+func Int(key string, v int64) Attr { return Attr{} }
+
+type Tracer struct{}
+
+func (tr *Tracer) Start(name string, attrs ...Attr) Span         { return Span{} }
+func (tr *Tracer) StartAt(name string, ts int64, a ...Attr) Span { return Span{} }
+func (tr *Tracer) Event(name string, attrs ...Attr)              {}
+func (tr *Tracer) EventAt(name string, ts int64, attrs ...Attr)  {}
+
+type Span struct{}
+
+func (s Span) Child(name string, attrs ...Attr) Span         { return Span{} }
+func (s Span) ChildAt(name string, ts int64, a ...Attr) Span { return Span{} }
+func (s Span) Event(name string, attrs ...Attr)              {}
+func (s Span) EventAt(name string, ts int64, attrs ...Attr)  {}
+func (s Span) End(extra ...Attr)                             {}
+
+func Default() *Tracer { return nil }

@@ -35,6 +35,12 @@ type Channel struct {
 	Index       int     `json:"index"`
 	Slots       []Slot  `json:"slots"`
 	CycleLength float64 `json:"cycle_length"`
+	// GroupCost is the channel's F·Z contribution to the paper's
+	// grouping cost (Eq. 3), carried over from the allocation at build
+	// time so runtime consumers — per-cycle trace spans, renderings —
+	// can report it without access to the item frequencies. Zero for
+	// hand-assembled programs that never saw an allocation.
+	GroupCost float64 `json:"group_cost,omitempty"`
 }
 
 // Program is an executable broadcast program.
@@ -108,6 +114,7 @@ func BuildCustom(a *core.Allocation, bandwidth float64, reorder func(channel int
 		return nil, fmt.Errorf("broadcast: %w", err)
 	}
 	db := a.Database()
+	agg := a.Aggregates()
 	p := &Program{K: a.K(), Bandwidth: bandwidth, Channels: make([]Channel, a.K())}
 	for c, group := range a.Groups() {
 		original := append([]int(nil), group...)
@@ -126,6 +133,7 @@ func BuildCustom(a *core.Allocation, bandwidth float64, reorder func(channel int
 			at += d
 		}
 		ch.CycleLength = at
+		ch.GroupCost = agg[c].Cost()
 		p.Channels[c] = ch
 	}
 	p.buildIndex()

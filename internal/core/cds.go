@@ -3,6 +3,15 @@ package core
 import (
 	"fmt"
 	"math"
+
+	"diversecast/internal/obs/trace"
+)
+
+// Trace span names emitted by CDS. Snake_case per the obsnames
+// convention; constants so the analyzer can see them.
+const (
+	spanCDSRefine = "cds_refine"
+	spanCDSMove   = "cds_move"
 )
 
 // CDS is the paper's Cost-Diminishing Selection mechanism (Section
@@ -37,6 +46,13 @@ type CDS struct {
 	// StrategyIncremental: the differential trace tests pin both
 	// engines to identical output, so the faster one is the default.
 	Strategy CDSStrategy
+
+	// Tracer receives one cds_refine span per call with a cds_move
+	// child per applied move (item, src/dst groups, the Eq. 4 Δc,
+	// strategy tag). nil selects the process-wide trace.Default(),
+	// which starts disabled, so the zero value stays probe-free until
+	// a daemon enables tracing.
+	Tracer *trace.Tracer
 }
 
 // CDSStrategy selects how CDS finds the best move each iteration.
@@ -142,6 +158,21 @@ func (c *CDS) refine(a *Allocation, wantTrace bool) (*Allocation, []Move, error)
 	var moves []Move
 	applied := 0
 	cost := Cost(cur)
+
+	tr := c.Tracer
+	if tr == nil {
+		tr = trace.Default()
+	}
+	var span trace.Span
+	var stratTag trace.Attr
+	if tr.Enabled() {
+		strat := c.Strategy.String()
+		stratTag = trace.Str("strategy", strat)
+		span = tr.Start(spanCDSRefine, stratTag,
+			trace.Int("n", int64(cur.db.Len())), trace.Int("k", int64(cur.k)),
+			trace.Float("cost", cost))
+	}
+
 	for {
 		// Bound on applied moves, not trace length: Refine (no trace)
 		// must honor MaxMoves too.
@@ -152,6 +183,18 @@ func (c *CDS) refine(a *Allocation, wantTrace bool) (*Allocation, []Move, error)
 		best, found := sel.next()
 		if !found || best.Reduction <= eps {
 			break
+		}
+
+		// The move span covers applying the move, reconciling the two
+		// touched groups, and the selector's candidate maintenance —
+		// the full per-iteration cost of the strategy in use.
+		var mv trace.Span
+		if span.Active() {
+			mv = span.Child(spanCDSMove,
+				trace.Int("pos", int64(best.Pos)),
+				trace.Int("src", int64(best.From)), trace.Int("dst", int64(best.To)),
+				trace.Float("delta", best.Reduction),
+				stratTag)
 		}
 
 		cur.move(best.Pos, best.To)
@@ -171,6 +214,9 @@ func (c *CDS) refine(a *Allocation, wantTrace bool) (*Allocation, []Move, error)
 			newCost += g.Cost()
 		}
 		sel.applied(best)
+		if mv.Active() {
+			mv.End(trace.Float("cost_after", newCost))
+		}
 
 		applied++
 		if wantTrace {
@@ -186,6 +232,9 @@ func (c *CDS) refine(a *Allocation, wantTrace bool) (*Allocation, []Move, error)
 	cdsScans.Add(scans)
 	cdsCandidatesRecomputed.Add(recomputed)
 	cdsSeconds.Observe(timeNow().Sub(start).Seconds())
+	if span.Active() {
+		span.End(trace.Int("moves", int64(applied)), trace.Float("cost_after", cost))
+	}
 	return cur, moves, nil
 }
 

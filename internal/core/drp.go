@@ -3,7 +3,16 @@ package core
 import (
 	"fmt"
 
+	"diversecast/internal/obs/trace"
 	"diversecast/internal/pqueue"
+)
+
+// Trace span and event names emitted by DRP. Snake_case per the
+// obsnames convention; constants so the analyzer can see them.
+const (
+	spanDRPAllocate   = "drp_allocate"
+	spanDRPSplit      = "drp_split"
+	eventDRPSingleton = "drp_singleton"
 )
 
 // DRP is the paper's Dimension Reduction Partitioning allocator
@@ -35,6 +44,13 @@ type DRP struct {
 	// examples/papertables therefore use. The two policies differ
 	// only in split order; both produce K contiguous br-order groups.
 	Policy SplitPolicy
+
+	// Tracer receives one drp_allocate span per call with a drp_split
+	// child per iteration (popped range, chosen cut, cost reduction).
+	// nil selects the process-wide trace.Default(), which starts
+	// disabled, so the zero value stays probe-free until a daemon
+	// enables tracing.
+	Tracer *trace.Tracer
 }
 
 // SplitPolicy selects the group-popping rule of DRP; see DRP.Policy.
@@ -129,6 +145,17 @@ func (d *DRP) allocate(db *Database, k int, wantTrace bool) (*Allocation, *Trace
 	start := timeNow()
 	defer func() { drpSeconds.Observe(timeNow().Sub(start).Seconds()) }()
 
+	tr := d.Tracer
+	if tr == nil {
+		tr = trace.Default()
+	}
+	var span trace.Span
+	if tr.Enabled() {
+		span = tr.Start(spanDRPAllocate,
+			trace.Str("policy", d.Policy.String()),
+			trace.Int("n", int64(n)), trace.Int("k", int64(k)))
+	}
+
 	order := db.ByBenefitRatio()
 
 	// Prefix sums over the sorted order: pf[i] = Σ freq of the first i
@@ -181,9 +208,9 @@ func (d *DRP) allocate(db *Database, k int, wantTrace bool) (*Allocation, *Trace
 	whole := makeEntry(0, n)
 	pq.Push(whole)
 
-	var trace *Trace
+	var hist *Trace
 	if wantTrace {
-		trace = &Trace{Order: order, Init: whole.GroupRange}
+		hist = &Trace{Order: order, Init: whole.GroupRange}
 	}
 
 	// Singleton ranges cannot be split further; they leave the queue
@@ -198,16 +225,37 @@ func (d *DRP) allocate(db *Database, k int, wantTrace bool) (*Allocation, *Trace
 			return nil, nil, fmt.Errorf("core: DRP exhausted splittable groups at %d of %d", len(done), k)
 		}
 		if g.cut < 0 {
+			if span.Active() {
+				span.Event(eventDRPSingleton,
+					trace.Int("lo", int64(g.Lo)), trace.Int("hi", int64(g.Hi)),
+					trace.Float("cost", g.Cost))
+			}
 			done = append(done, g)
 			continue
 		}
 
+		// The split span covers the two Partition(D_x) scans that the
+		// split pays for its halves; its attrs are the Table 3 row —
+		// popped range, chosen cut, costs before/after, reduction.
+		var sp trace.Span
+		if span.Active() {
+			sp = span.Child(spanDRPSplit,
+				trace.Int("lo", int64(g.Lo)), trace.Int("hi", int64(g.Hi)),
+				trace.Int("cut", int64(g.cut)),
+				trace.Float("cost", g.Cost))
+		}
 		left := makeEntry(g.Lo, g.cut)
 		right := makeEntry(g.cut, g.Hi)
 		pq.Push(left)
 		pq.Push(right)
+		if sp.Active() {
+			sp.End(
+				trace.Float("left_cost", left.Cost),
+				trace.Float("right_cost", right.Cost),
+				trace.Float("delta", g.reduction()))
+		}
 		if wantTrace {
-			trace.Steps = append(trace.Steps, SplitStep{Popped: g.GroupRange, Left: left.GroupRange, Right: right.GroupRange})
+			hist.Steps = append(hist.Steps, SplitStep{Popped: g.GroupRange, Left: left.GroupRange, Right: right.GroupRange})
 		}
 	}
 
@@ -227,13 +275,20 @@ func (d *DRP) allocate(db *Database, k int, wantTrace bool) (*Allocation, *Trace
 		}
 	}
 	if wantTrace {
-		trace.Final = final
+		hist.Final = final
 	}
 	a, err := NewAllocation(db, k, channel)
 	if err != nil {
 		return nil, nil, err
 	}
-	return a, trace, nil
+	if span.Active() {
+		var total float64
+		for _, g := range final {
+			total += g.Cost
+		}
+		span.End(trace.Int("groups", int64(len(final))), trace.Float("cost", total))
+	}
+	return a, hist, nil
 }
 
 func sortRangesByLo(rs []GroupRange) {

@@ -12,11 +12,22 @@ import (
 	"net"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"diversecast/internal/broadcast"
 	"diversecast/internal/obs"
+	"diversecast/internal/obs/trace"
 	"diversecast/internal/wire"
+)
+
+// Trace span and event names emitted by the server. Snake_case per
+// the obsnames convention; constants so the analyzer can see them.
+const (
+	spanNetcastConn         = "netcast_conn"
+	eventNetcastSubscribe   = "netcast_subscribe"
+	eventNetcastQueueDrop   = "netcast_queue_drop"
+	eventNetcastAcceptRetry = "netcast_accept_retry"
 )
 
 // ServerConfig parameterizes a broadcast server.
@@ -39,6 +50,11 @@ type ServerConfig struct {
 	// Metrics receives the server's instrumentation (subscribers,
 	// frames, drops, accept errors). Nil uses obs.Default().
 	Metrics *obs.Registry
+	// Tracer receives one netcast_conn span per client connection
+	// (handshake through close, with subscribe/drop events) plus
+	// accept-backoff events. Nil uses trace.Default(), which starts
+	// disabled, so an unconfigured server stays probe-free.
+	Tracer *trace.Tracer
 }
 
 func (c ServerConfig) withDefaults() (ServerConfig, error) {
@@ -71,6 +87,9 @@ func (c ServerConfig) withDefaults() (ServerConfig, error) {
 	}
 	if c.Metrics == nil {
 		c.Metrics = obs.Default()
+	}
+	if c.Tracer == nil {
+		c.Tracer = trace.Default()
 	}
 	return c, nil
 }
@@ -218,6 +237,10 @@ func (s *Server) acceptLoop() {
 					backoff = acceptBackoffMax
 				}
 				s.metrics.acceptRetries.Inc()
+				if s.cfg.Tracer.Enabled() {
+					s.cfg.Tracer.Event(eventNetcastAcceptRetry,
+						trace.Int("backoff_ns", int64(backoff)))
+				}
 				timer := time.NewTimer(backoff)
 				select {
 				case <-s.closed:
@@ -245,9 +268,17 @@ func (s *Server) acceptLoop() {
 // connection to the channel's caster. On any failure the connection is
 // closed; the broadcast must never block on a misbehaving client.
 func (s *Server) handshake(conn net.Conn) {
+	// The connection span opens here and ends either in failHandshake
+	// (rejected) or in subscriber.finish (served); its events replay
+	// the lifecycle: handshake → subscribe → frames/drops → close.
+	var sp trace.Span
+	if s.cfg.Tracer.Enabled() {
+		sp = s.cfg.Tracer.Start(spanNetcastConn,
+			trace.Str("peer", conn.RemoteAddr().String()))
+	}
 	deadline := time.Now().Add(s.cfg.WriteTimeout)
 	if err := conn.SetDeadline(deadline); err != nil {
-		s.failHandshake(conn)
+		s.failHandshake(conn, sp, "set_deadline")
 		return
 	}
 	hello := wire.Hello{
@@ -256,45 +287,48 @@ func (s *Server) handshake(conn net.Conn) {
 		TimeScale: s.cfg.TimeScale,
 	}
 	if err := wire.WriteJSON(conn, wire.MsgHello, hello); err != nil {
-		s.failHandshake(conn)
+		s.failHandshake(conn, sp, "hello_write")
 		return
 	}
 	f, err := wire.ReadFrame(conn)
 	if err != nil || f.Type != wire.MsgSubscribe {
-		s.failHandshake(conn)
+		s.failHandshake(conn, sp, "subscribe_read")
 		return
 	}
 	var sub wire.Subscribe
 	if err := wire.DecodeJSON(f, &sub); err != nil {
-		s.failHandshake(conn)
+		s.failHandshake(conn, sp, "subscribe_decode")
 		return
 	}
 	if sub.Channel < 0 || sub.Channel >= len(s.casters) {
 		//diverselint:ignore errdrop best-effort rejection notice: the handshake is already failing and the socket closes immediately after, so there is no recovery if the client never sees it
 		_ = wire.WriteJSON(conn, wire.MsgError,
 			wire.ErrorBody{Message: fmt.Sprintf("channel %d outside [0,%d)", sub.Channel, len(s.casters))})
-		s.failHandshake(conn)
+		s.failHandshake(conn, sp, "bad_channel")
 		return
 	}
 	// Clear the handshake deadline; the writer applies per-frame
 	// deadlines from here on.
 	if err := conn.SetDeadline(time.Time{}); err != nil {
-		s.failHandshake(conn)
+		s.failHandshake(conn, sp, "clear_deadline")
 		return
 	}
 	// The caster itself decides — under its lock — whether it is still
 	// accepting subscribers. Checking s.closed here instead would race
 	// with Close: a registration slipping in after dropAll would leave
 	// a write loop nobody stops and deadlock s.wg.Wait().
-	if !s.casters[sub.Channel].add(conn) {
-		s.failHandshake(conn)
+	if !s.casters[sub.Channel].add(conn, sp) {
+		s.failHandshake(conn, sp, "shutdown")
 	}
 }
 
 // failHandshake records and closes a connection that never became a
-// subscriber.
-func (s *Server) failHandshake(conn net.Conn) {
+// subscriber, ending its span with the rejection reason.
+func (s *Server) failHandshake(conn net.Conn, sp trace.Span, reason string) {
 	s.metrics.handshakeFailures.Inc()
+	if sp.Active() {
+		sp.End(trace.Str("outcome", "handshake_failed"), trace.Str("reason", reason))
+	}
 	conn.Close()
 }
 
@@ -311,12 +345,30 @@ type subscriber struct {
 	done  chan struct{}
 	once  sync.Once
 	wrTmo time.Duration
+
+	// span is the connection's netcast_conn span (inactive when
+	// tracing is off); frames counts enqueued frames for its closing
+	// attr. finishOnce makes the first close path win the outcome.
+	span       trace.Span
+	frames     atomic.Int64
+	finishOnce sync.Once
 }
 
 func (sub *subscriber) close() {
 	sub.once.Do(func() {
 		close(sub.done)
 		sub.conn.Close()
+	})
+}
+
+// finish ends the connection span with the close reason; the first
+// caller (queue drop, shutdown, or disconnect) determines the outcome.
+func (sub *subscriber) finish(outcome string) {
+	sub.finishOnce.Do(func() {
+		if sub.span.Active() {
+			sub.span.End(trace.Str("outcome", outcome),
+				trace.Int("frames", sub.frames.Load()))
+		}
 	})
 }
 
@@ -362,12 +414,13 @@ func newCaster(srv *Server, channel int, epoch time.Time) *caster {
 // loop. It reports false — without taking ownership of conn — when the
 // caster has already shut down, so a handshake racing with Close can
 // never strand a write-loop goroutine past dropAll.
-func (ca *caster) add(conn net.Conn) bool {
+func (ca *caster) add(conn net.Conn, sp trace.Span) bool {
 	sub := &subscriber{
 		conn:  conn,
 		out:   make(chan outFrame, ca.srv.cfg.SubscriberBuffer),
 		done:  make(chan struct{}),
 		wrTmo: ca.srv.cfg.WriteTimeout,
+		span:  sp,
 	}
 	ca.mu.Lock()
 	if ca.closed {
@@ -376,6 +429,9 @@ func (ca *caster) add(conn net.Conn) bool {
 	}
 	ca.subs[sub] = struct{}{}
 	ca.mu.Unlock()
+	if sp.Active() {
+		sp.Event(eventNetcastSubscribe, trace.Int("channel", int64(ca.channel)))
+	}
 	ca.met.subsAdded.Inc()
 	ca.met.subscribers.Inc()
 	ca.srv.wg.Add(1)
@@ -396,6 +452,7 @@ func (ca *caster) remove(sub *subscriber) {
 		ca.met.subsDropped.Inc()
 		ca.met.subscribers.Dec()
 	}
+	sub.finish("disconnect")
 	sub.close()
 }
 
@@ -411,6 +468,7 @@ func (ca *caster) dropAll() {
 	ca.met.subsDropped.Add(int64(len(subs)))
 	ca.met.subscribers.Add(-int64(len(subs)))
 	for _, sub := range subs {
+		sub.finish("shutdown")
 		sub.close()
 	}
 }
@@ -425,6 +483,9 @@ func (ca *caster) send(t wire.MsgType, body []byte) {
 		select {
 		case sub.out <- outFrame{t: t, body: body}:
 			delivered++
+			if sub.span.Active() {
+				sub.frames.Add(1)
+			}
 		default:
 			drop = append(drop, sub)
 		}
@@ -436,6 +497,12 @@ func (ca *caster) send(t wire.MsgType, body []byte) {
 	}
 	ca.met.queueDrops.Add(int64(len(drop)))
 	for _, sub := range drop {
+		if sub.span.Active() {
+			sub.span.Event(eventNetcastQueueDrop,
+				trace.Int("channel", int64(ca.channel)),
+				trace.Int("queue", int64(cap(sub.out))))
+		}
+		sub.finish("queue_full")
 		ca.remove(sub)
 	}
 }

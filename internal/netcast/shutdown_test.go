@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"diversecast/internal/obs"
+	"diversecast/internal/obs/trace"
 )
 
 // TestTuneCloseRaceStress hammers Tune concurrently with Close. Before
@@ -87,7 +88,7 @@ func TestAddAfterCloseRefusesSubscriber(t *testing.T) {
 	}
 	server, client := net.Pipe()
 	defer client.Close()
-	if ca.add(server) {
+	if ca.add(server, trace.Span{}) {
 		t.Fatal("caster accepted a subscriber after shutdown")
 	}
 	ca.mu.Lock()

@@ -1,0 +1,211 @@
+package netcast
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"diversecast/internal/obs"
+	"diversecast/internal/obs/trace"
+	"diversecast/internal/wire"
+)
+
+// attrStr extracts a string attribute or fails the test.
+func attrStr(t *testing.T, r trace.Record, key string) string {
+	t.Helper()
+	a, ok := r.Attr(key)
+	if !ok {
+		t.Fatalf("record %s has no attr %q (attrs %v)", r.Name, key, r.Attrs)
+	}
+	return a.Str
+}
+
+func attrInt(t *testing.T, r trace.Record, key string) int64 {
+	t.Helper()
+	a, ok := r.Attr(key)
+	if !ok {
+		t.Fatalf("record %s has no attr %q (attrs %v)", r.Name, key, r.Attrs)
+	}
+	return a.Int
+}
+
+// TestQueueDropLifecycleSequence drives the slow-client defense
+// deterministically and asserts the trace the ring replays:
+// subscribe → queue_drop → conn span closed with outcome queue_full.
+// A net.Pipe peer that never reads blocks the write loop on its first
+// frame, so the queue (capacity 2) absorbs at most three sends and
+// the fourth must drop the subscriber.
+func TestQueueDropLifecycleSequence(t *testing.T) {
+	_, p := testProgram(t)
+	tr := trace.New(trace.Config{Capacity: 64})
+	cfg, err := ServerConfig{
+		Program: p, TimeScale: 0.01,
+		Metrics:          obs.NewRegistry(),
+		Tracer:           tr,
+		SubscriberBuffer: 2,
+		WriteTimeout:     50 * time.Millisecond,
+	}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &Server{cfg: cfg, closed: make(chan struct{}), metrics: newServerMetrics(cfg.Metrics)}
+	ca := newCaster(s, 0, time.Now())
+
+	server, client := net.Pipe()
+	defer client.Close()
+	sp := tr.Start(spanNetcastConn, trace.Str("peer", "pipe"))
+	if !ca.add(server, sp) {
+		t.Fatal("caster refused the subscriber")
+	}
+	body := []byte("payload")
+	for i := 0; i < 4; i++ {
+		ca.send(wire.MsgItemChunk, body)
+	}
+	s.wg.Wait() // the drop closed the connection; the write loop exits
+
+	snap := tr.Snapshot()
+	subs := snap.Named("netcast_subscribe")
+	if len(subs) != 1 {
+		t.Fatalf("subscribe events = %d, want 1 (sequence %v)", len(subs), snap.Sequence())
+	}
+	if ch := attrInt(t, subs[0], "channel"); ch != 0 {
+		t.Fatalf("subscribe channel = %d, want 0", ch)
+	}
+	drops := snap.Named("netcast_queue_drop")
+	if len(drops) != 1 {
+		t.Fatalf("queue_drop events = %d, want 1 (sequence %v)", len(drops), snap.Sequence())
+	}
+	if q := attrInt(t, drops[0], "queue"); q != 2 {
+		t.Fatalf("queue_drop queue = %d, want 2", q)
+	}
+	conns := snap.Named("netcast_conn")
+	if len(conns) != 1 {
+		t.Fatalf("conn spans = %d, want 1 (sequence %v)", len(conns), snap.Sequence())
+	}
+	// finish is first-caller-wins: the queue_full outcome must not be
+	// overwritten by the disconnect path that runs as the loop exits.
+	if out := attrStr(t, conns[0], "outcome"); out != "queue_full" {
+		t.Fatalf("conn outcome = %q, want queue_full", out)
+	}
+	if f := attrInt(t, conns[0], "frames"); f < 0 || f > 3 {
+		t.Fatalf("conn frames = %d, want 0..3 (queue 2 + 1 in flight)", f)
+	}
+	// All three records belong to the one connection span.
+	for _, r := range []trace.Record{subs[0], drops[0], conns[0]} {
+		if r.Span != sp.ID() {
+			t.Fatalf("record %s on span %d, want %d", r.Name, r.Span, sp.ID())
+		}
+	}
+}
+
+// TestShutdownLifecycleSequence closes a live server under tuned
+// clients and asserts every connection span ends exactly once with
+// outcome shutdown — the ring is the witness that dropAll reached
+// each subscriber and that finish never double-fires under the
+// Close/disconnect race.
+func TestShutdownLifecycleSequence(t *testing.T) {
+	_, p := testProgram(t)
+	tr := trace.New(trace.Config{Capacity: 256})
+	srv, err := Serve("127.0.0.1:0", ServerConfig{
+		Program: p, TimeScale: 0.005,
+		Metrics: obs.NewRegistry(),
+		Tracer:  tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const clients = 3
+	var conns []*Client
+	for i := 0; i < clients; i++ {
+		c, err := Tune(srv.Addr().String(), i%2, 2*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns = append(conns, c)
+		if _, err := c.NextItem(time.Now().Add(5 * time.Second)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+
+	snap := tr.Snapshot()
+	subs := snap.Named("netcast_subscribe")
+	if len(subs) != clients {
+		t.Fatalf("subscribe events = %d, want %d (sequence %v)", len(subs), clients, snap.Sequence())
+	}
+	spans := snap.Named("netcast_conn")
+	if len(spans) != clients {
+		t.Fatalf("conn spans = %d, want %d (sequence %v)", len(spans), clients, snap.Sequence())
+	}
+	bySpan := make(map[uint64]trace.Record, clients)
+	for _, r := range spans {
+		if _, dup := bySpan[r.Span]; dup {
+			t.Fatalf("span %d recorded twice: finish double-fired", r.Span)
+		}
+		bySpan[r.Span] = r
+		if out := attrStr(t, r, "outcome"); out != "shutdown" {
+			t.Fatalf("conn outcome = %q, want shutdown", out)
+		}
+		if f := attrInt(t, r, "frames"); f == 0 {
+			t.Fatal("conn span closed with zero frames under a reading client")
+		}
+	}
+	// Every subscribe event pairs with its own connection span.
+	for _, ev := range subs {
+		if _, ok := bySpan[ev.Span]; !ok {
+			t.Fatalf("subscribe event on span %d has no conn span", ev.Span)
+		}
+	}
+}
+
+// TestHandshakeFailureTrace: a client that subscribes to a channel
+// outside the program closes with outcome handshake_failed and the
+// precise rejection reason.
+func TestHandshakeFailureTrace(t *testing.T) {
+	_, p := testProgram(t)
+	tr := trace.New(trace.Config{Capacity: 64})
+	srv, err := Serve("127.0.0.1:0", ServerConfig{
+		Program: p, TimeScale: 0.01,
+		Metrics: obs.NewRegistry(),
+		Tracer:  tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := wire.ReadFrame(conn); err != nil { // hello
+		t.Fatal(err)
+	}
+	if err := wire.WriteJSON(conn, wire.MsgSubscribe, wire.Subscribe{Channel: 99}); err != nil {
+		t.Fatal(err)
+	}
+	// The server rejects and closes; wait for the connection span to
+	// land in the ring.
+	deadline := time.Now().Add(5 * time.Second)
+	var conns []trace.Record
+	for len(conns) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no netcast_conn span recorded (sequence %v)", tr.Snapshot().Sequence())
+		}
+		time.Sleep(time.Millisecond)
+		conns = tr.Snapshot().Named("netcast_conn")
+	}
+	if out := attrStr(t, conns[0], "outcome"); out != "handshake_failed" {
+		t.Fatalf("outcome = %q, want handshake_failed", out)
+	}
+	if reason := attrStr(t, conns[0], "reason"); reason != "bad_channel" {
+		t.Fatalf("reason = %q, want bad_channel", reason)
+	}
+}

@@ -192,3 +192,41 @@ func TestDefaultRegistryIsShared(t *testing.T) {
 		t.Fatal("Default() must return one shared registry")
 	}
 }
+
+// TestWriteTextGolden pins the complete exposition output byte for
+// byte: family order follows registration order, histograms emit
+// cumulative buckets then _sum and _count, and scrapers parsing the
+// Prometheus text format get exactly this shape.
+func TestWriteTextGolden(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Counter("netcast_frames_sent_total", "frames enqueued", "channel", "0").Add(7)
+	r.Counter("netcast_frames_sent_total", "frames enqueued", "channel", "1").Add(2)
+	r.Gauge("runtime_goroutines", "goroutines currently live").Set(11)
+	h := r.Histogram("cds_refine_seconds", "refinement latency", 0, 1, 2)
+	h.Observe(0.25)
+	h.Observe(0.25)
+	h.Observe(0.75)
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP netcast_frames_sent_total frames enqueued
+# TYPE netcast_frames_sent_total counter
+netcast_frames_sent_total{channel="0"} 7
+netcast_frames_sent_total{channel="1"} 2
+# HELP runtime_goroutines goroutines currently live
+# TYPE runtime_goroutines gauge
+runtime_goroutines 11
+# HELP cds_refine_seconds refinement latency
+# TYPE cds_refine_seconds histogram
+cds_refine_seconds_bucket{le="0.5"} 2
+cds_refine_seconds_bucket{le="1"} 3
+cds_refine_seconds_bucket{le="+Inf"} 3
+cds_refine_seconds_sum 1.25
+cds_refine_seconds_count 3
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition output mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// runtimeGauges holds the process-health gauges one sampler updates.
+type runtimeGauges struct {
+	goroutines  *Gauge
+	heapAlloc   *Gauge
+	heapObjects *Gauge
+	gcPauseNS   *Gauge
+	gcCycles    *Gauge
+}
+
+func newRuntimeGauges(r *Registry) runtimeGauges {
+	return runtimeGauges{
+		goroutines: r.Gauge("runtime_goroutines",
+			"goroutines currently live in the process"),
+		heapAlloc: r.Gauge("runtime_heap_alloc_bytes",
+			"bytes of allocated heap objects"),
+		heapObjects: r.Gauge("runtime_heap_objects",
+			"number of allocated heap objects"),
+		gcPauseNS: r.Gauge("runtime_gc_pause_total_ns",
+			"cumulative stop-the-world GC pause, nanoseconds"),
+		gcCycles: r.Gauge("runtime_gc_cycles",
+			"completed GC cycles"),
+	}
+}
+
+// sample reads the runtime state into the gauges. ReadMemStats is a
+// stop-the-world operation (microseconds); keep the interval coarse.
+func (g runtimeGauges) sample() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	g.goroutines.Set(int64(runtime.NumGoroutine()))
+	g.heapAlloc.Set(int64(ms.HeapAlloc))
+	g.heapObjects.Set(int64(ms.HeapObjects))
+	g.gcPauseNS.Set(int64(ms.PauseTotalNs))
+	g.gcCycles.Set(int64(ms.NumGC))
+}
+
+// StartRuntimeSampler samples Go runtime health — goroutine count,
+// heap size and object count, cumulative GC pause and cycle count —
+// into gauges on r every interval (minimum 1s, default 5s when
+// interval <= 0). One immediate sample is taken before the first
+// tick so the gauges are never zero while the process is up. The
+// returned stop function halts the sampler and is idempotent.
+func StartRuntimeSampler(r *Registry, interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	if interval < time.Second {
+		interval = time.Second
+	}
+	g := newRuntimeGauges(r)
+	g.sample()
+	done := make(chan struct{})
+	go func() {
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				g.sample()
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
+}

@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRuntimeSamplerPopulatesGauges(t *testing.T) {
+	r := NewRegistry()
+	stop := StartRuntimeSampler(r, time.Hour) // only the immediate sample
+	defer stop()
+
+	snap := r.Snapshot()
+	if g := snap.Gauge("runtime_goroutines"); g < 1 {
+		t.Fatalf("runtime_goroutines = %d, want >= 1", g)
+	}
+	if g := snap.Gauge("runtime_heap_alloc_bytes"); g <= 0 {
+		t.Fatalf("runtime_heap_alloc_bytes = %d, want > 0", g)
+	}
+	if g := snap.Gauge("runtime_heap_objects"); g <= 0 {
+		t.Fatalf("runtime_heap_objects = %d, want > 0", g)
+	}
+	// Pause total and cycle count may legitimately be zero early in a
+	// process's life; just check the gauges exist.
+	for _, name := range []string{"runtime_gc_pause_total_ns", "runtime_gc_cycles"} {
+		if _, ok := snap.Gauges[name]; !ok {
+			t.Fatalf("gauge %s not registered", name)
+		}
+	}
+
+	// stop is idempotent and safe to call repeatedly.
+	stop()
+	stop()
+}
+
+func TestRuntimeSamplerTicks(t *testing.T) {
+	r := NewRegistry()
+	stop := StartRuntimeSampler(r, time.Second) // clamped minimum
+	defer stop()
+	// The sampler's loop selects on its stop channel (no leak); a
+	// fast stop right after start must not race the first tick.
+	stop()
+}

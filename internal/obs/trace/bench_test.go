@@ -1,0 +1,63 @@
+package trace
+
+import "testing"
+
+// The disabled-path benchmarks pin the tentpole claim: a disabled
+// tracer costs a nil check plus one atomic load per probe and
+// allocates nothing, so hot loops (CDS move selection, netcast frame
+// fan-out) can carry their instrumentation unconditionally. CI runs
+// these at -benchtime=1x as a smoke test; cmd/bcastbench records the
+// end-to-end disabled overhead on the real CDS workload in
+// BENCH_5.json and fails report generation above 2%.
+
+func BenchmarkDisabledSpanStartEnd(b *testing.B) {
+	tr := &Tracer{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := tr.Start("bench_span")
+		s.End()
+	}
+}
+
+func BenchmarkDisabledEvent(b *testing.B) {
+	tr := &Tracer{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Event("bench_event")
+	}
+}
+
+func BenchmarkNilTracerSpan(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := tr.Start("bench_span")
+		s.End()
+	}
+}
+
+func BenchmarkEnabledSpanStartEnd(b *testing.B) {
+	tr := New(Config{Capacity: 1024, RunID: "bench"})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := tr.Start("bench_span")
+		s.End()
+	}
+}
+
+func BenchmarkEnabledSpanWithAttrs(b *testing.B) {
+	tr := New(Config{Capacity: 1024, RunID: "bench"})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := tr.Start("bench_span", Int("pos", int64(i)), Float("delta", 0.5))
+		s.End(Float("cost", 1.25))
+	}
+}
+
+func BenchmarkEnabledEvent(b *testing.B) {
+	tr := New(Config{Capacity: 1024, RunID: "bench"})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Event("bench_event", Int("i", int64(i)))
+	}
+}

@@ -1,0 +1,126 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// exportFixture builds a small deterministic trace.
+func exportFixture(t *testing.T) Snapshot {
+	t.Helper()
+	tr, clk := manualTracer(32)
+	root := tr.Start("drp_allocate", Str("policy", "max-reduction"))
+	clk.Advance(100 * time.Microsecond)
+	split := root.Child("drp_split", Int("cut", 1), Float("delta", 12.5))
+	clk.Advance(50 * time.Microsecond)
+	split.End()
+	root.Event("queue_peek", Int("len", 2))
+	clk.Advance(25 * time.Microsecond)
+	root.End(Float("cost", 23.51))
+	return tr.Snapshot()
+}
+
+func TestWriteChromeLoadableJSON(t *testing.T) {
+	snap := exportFixture(t)
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		Metadata    map[string]any   `json:"metadata"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("exporter emitted invalid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.Metadata["run_id"] != "test-run" {
+		t.Fatalf("metadata = %v", doc.Metadata)
+	}
+	// Metadata event + 3 records.
+	if len(doc.TraceEvents) != 4 {
+		t.Fatalf("trace events = %d", len(doc.TraceEvents))
+	}
+	if doc.TraceEvents[0]["ph"] != "M" {
+		t.Fatalf("first event is %v, want process_name metadata", doc.TraceEvents[0])
+	}
+	for _, ev := range doc.TraceEvents[1:] {
+		// Every record event needs the fields the viewers key on.
+		for _, field := range []string{"name", "ph", "ts", "pid", "tid"} {
+			if _, ok := ev[field]; !ok {
+				t.Fatalf("event %v missing %q", ev, field)
+			}
+		}
+		args, ok := ev["args"].(map[string]any)
+		if !ok || args["run_id"] != "test-run" {
+			t.Fatalf("event %v args lack the run ID", ev)
+		}
+	}
+	// The split span: complete event with µs timestamps and its parent
+	// link preserved.
+	var split map[string]any
+	for _, ev := range doc.TraceEvents {
+		if ev["name"] == "drp_split" {
+			split = ev
+		}
+	}
+	if split == nil {
+		t.Fatal("no drp_split event")
+	}
+	if split["ph"] != "X" || split["ts"].(float64) != 100 || split["dur"].(float64) != 50 {
+		t.Fatalf("split timing = %v", split)
+	}
+	args := split["args"].(map[string]any)
+	if args["cut"].(float64) != 1 || args["delta"].(float64) != 12.5 {
+		t.Fatalf("split args = %v", args)
+	}
+	if _, ok := args["parent_id"]; !ok {
+		t.Fatalf("split lost its parent link: %v", args)
+	}
+	// The instant event carries the thread scope.
+	for _, ev := range doc.TraceEvents {
+		if ev["name"] == "queue_peek" && (ev["ph"] != "i" || ev["s"] != "t") {
+			t.Fatalf("instant event = %v", ev)
+		}
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	snap := exportFixture(t)
+	var buf bytes.Buffer
+	if err := WriteText(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	want := []string{
+		"run test-run (3 records, 0 dropped)",
+		"drp_allocate",
+		"policy=max-reduction",
+		"cost=23.51",
+		"drp_split",
+		"cut=1",
+		"delta=12.5",
+		"event queue_peek",
+	}
+	for _, w := range want {
+		if !strings.Contains(out, w) {
+			t.Fatalf("text export missing %q:\n%s", w, out)
+		}
+	}
+	// Ordered by start time: the root span line precedes the split.
+	if strings.Index(out, "drp_allocate") > strings.Index(out, "drp_split") {
+		t.Fatalf("text export not ordered by start:\n%s", out)
+	}
+}
+
+func TestWriteChromeEmptySnapshot(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, Snapshot{}); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("invalid JSON for empty snapshot: %s", buf.String())
+	}
+}

@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"context"
+	"log/slog"
+)
+
+// spanCtxKey carries the active span through a context.
+type spanCtxKey struct{}
+
+// ContextWithSpan returns a context carrying s as the active span;
+// slog records logged through a tracer Handler with that context are
+// stamped with the span's ID and captured under it.
+func ContextWithSpan(ctx context.Context, s Span) context.Context {
+	return context.WithValue(ctx, spanCtxKey{}, s)
+}
+
+// SpanFromContext returns the active span carried by ctx (the
+// inactive zero Span when there is none).
+func SpanFromContext(ctx context.Context) Span {
+	s, _ := ctx.Value(spanCtxKey{}).(Span)
+	return s
+}
+
+// logHandler is an slog.Handler that stamps every record with the
+// tracer's run ID and the active span (from the context), captures the
+// record into the ring as a KindLog entry, and then delegates to the
+// wrapped handler (if any).
+type logHandler struct {
+	t      *Tracer
+	next   slog.Handler
+	prefix string      // dotted group path from WithGroup
+	attrs  []slog.Attr // accumulated WithAttrs, already prefixed
+}
+
+// Handler wraps next so records flowing through it carry run/span
+// correlation and land in the trace ring. next may be nil to capture
+// into the ring only.
+func (t *Tracer) Handler(next slog.Handler) slog.Handler {
+	return &logHandler{t: t, next: next}
+}
+
+// Logger returns an slog.Logger whose records carry the tracer's run
+// ID and the context's active span ID, and are mirrored into the
+// trace ring. next may be nil.
+func (t *Tracer) Logger(next slog.Handler) *slog.Logger {
+	return slog.New(t.Handler(next))
+}
+
+// Enabled implements slog.Handler: ring capture accepts every level,
+// so delegate to the wrapped handler when there is one.
+func (h *logHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	if h.next != nil {
+		return h.next.Enabled(ctx, level)
+	}
+	return h.t.Enabled()
+}
+
+// Handle implements slog.Handler.
+func (h *logHandler) Handle(ctx context.Context, rec slog.Record) error {
+	span := SpanFromContext(ctx)
+	if h.t.Enabled() {
+		st := h.t.st.Load()
+		attrs := make([]Attr, 0, len(h.attrs)+rec.NumAttrs()+1)
+		attrs = append(attrs, Str("level", rec.Level.String()))
+		for _, a := range h.attrs {
+			attrs = append(attrs, fromSlog("", a))
+		}
+		rec.Attrs(func(a slog.Attr) bool {
+			attrs = append(attrs, fromSlog(h.prefix, a))
+			return true
+		})
+		st.ring.append(Record{
+			Kind: KindLog, Name: rec.Message,
+			Span: span.id, Parent: span.id,
+			Start: st.clock.Now(), Attrs: attrs,
+		})
+	}
+	if h.next == nil {
+		return nil
+	}
+	out := rec.Clone()
+	if runID := h.t.RunID(); runID != "" {
+		out.AddAttrs(slog.String("run_id", runID))
+	}
+	if span.Active() {
+		out.AddAttrs(slog.Uint64("span_id", span.id), slog.String("span", span.name))
+	}
+	return h.next.Handle(ctx, out)
+}
+
+// WithAttrs implements slog.Handler.
+func (h *logHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	nh := *h
+	nh.attrs = make([]slog.Attr, 0, len(h.attrs)+len(attrs))
+	nh.attrs = append(nh.attrs, h.attrs...)
+	for _, a := range attrs {
+		a.Key = h.prefix + a.Key
+		nh.attrs = append(nh.attrs, a)
+	}
+	if h.next != nil {
+		nh.next = h.next.WithAttrs(attrs)
+	}
+	return &nh
+}
+
+// WithGroup implements slog.Handler. Ring capture flattens groups to
+// dotted key prefixes; the wrapped handler keeps its own semantics.
+func (h *logHandler) WithGroup(name string) slog.Handler {
+	nh := *h
+	if name != "" {
+		nh.prefix = h.prefix + name + "."
+	}
+	if h.next != nil {
+		nh.next = h.next.WithGroup(name)
+	}
+	return &nh
+}
+
+// fromSlog converts one slog attribute (with group prefix) to a trace
+// attribute.
+func fromSlog(prefix string, a slog.Attr) Attr {
+	key := prefix + a.Key
+	v := a.Value.Resolve()
+	switch v.Kind() {
+	case slog.KindInt64:
+		return Int(key, v.Int64())
+	case slog.KindUint64:
+		return Int(key, int64(v.Uint64()))
+	case slog.KindFloat64:
+		return Float(key, v.Float64())
+	case slog.KindBool:
+		return Bool(key, v.Bool())
+	default:
+		return Str(key, v.String())
+	}
+}

@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestLoggerCapturesIntoRingWithSpanCorrelation(t *testing.T) {
+	tr, clk := manualTracer(16)
+	log := tr.Logger(nil)
+
+	span := tr.Start("cds_refine", Str("strategy", "incremental"))
+	ctx := ContextWithSpan(context.Background(), span)
+	clk.Advance(1000)
+	log.InfoContext(ctx, "move applied", slog.Int("pos", 7), slog.Float64("delta", 0.25))
+	log.Warn("no span on this one")
+	span.End()
+
+	snap := tr.Snapshot()
+	logs := snap.Named("move applied")
+	if len(logs) != 1 {
+		t.Fatalf("captured %d 'move applied' records", len(logs))
+	}
+	rec := logs[0]
+	if rec.Kind != KindLog || rec.Span != span.ID() {
+		t.Fatalf("log record = %+v, want span %d", rec, span.ID())
+	}
+	if a, _ := rec.Attr("level"); a.Str != "INFO" {
+		t.Fatalf("level attr = %+v", a)
+	}
+	if a, _ := rec.Attr("pos"); a.Int != 7 {
+		t.Fatalf("pos attr = %+v", a)
+	}
+	if a, _ := rec.Attr("delta"); a.Float != 0.25 {
+		t.Fatalf("delta attr = %+v", a)
+	}
+	orphan := snap.Named("no span on this one")
+	if len(orphan) != 1 || orphan[0].Span != 0 {
+		t.Fatalf("orphan log = %+v", orphan)
+	}
+}
+
+func TestLoggerDelegatesWithRunAndSpanIDs(t *testing.T) {
+	tr, _ := manualTracer(16)
+	var buf bytes.Buffer
+	log := tr.Logger(slog.NewTextHandler(&buf, &slog.HandlerOptions{}))
+
+	span := tr.Start("netcast_conn")
+	log.InfoContext(ContextWithSpan(context.Background(), span), "subscribed", slog.Int("channel", 2))
+	span.End()
+
+	out := buf.String()
+	for _, want := range []string{"run_id=test-run", "span=netcast_conn", "channel=2", "span_id="} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("delegated record missing %q: %s", want, out)
+		}
+	}
+}
+
+func TestLoggerWithAttrsAndGroups(t *testing.T) {
+	tr, _ := manualTracer(16)
+	log := tr.Logger(nil).With(slog.String("component", "netcast"))
+	log = log.WithGroup("conn")
+	log.Info("closed", slog.Int("frames", 42))
+
+	recs := tr.Snapshot().Named("closed")
+	if len(recs) != 1 {
+		t.Fatalf("captured %d records", len(recs))
+	}
+	if a, ok := recs[0].Attr("component"); !ok || a.Str != "netcast" {
+		t.Fatalf("With attr lost: %+v", recs[0].Attrs)
+	}
+	if a, ok := recs[0].Attr("conn.frames"); !ok || a.Int != 42 {
+		t.Fatalf("grouped attr = %+v", recs[0].Attrs)
+	}
+}
+
+func TestLoggerDisabledTracerStillDelegates(t *testing.T) {
+	tr := &Tracer{} // never enabled
+	var buf bytes.Buffer
+	log := tr.Logger(slog.NewTextHandler(&buf, &slog.HandlerOptions{}))
+	log.Info("passes through")
+	if !strings.Contains(buf.String(), "passes through") {
+		t.Fatalf("disabled tracer swallowed the record: %q", buf.String())
+	}
+	if strings.Contains(buf.String(), "run_id") {
+		t.Fatalf("never-enabled tracer stamped a run ID: %q", buf.String())
+	}
+	// Capture-only handler on a disabled tracer reports not enabled.
+	if tr.Handler(nil).Enabled(context.Background(), slog.LevelInfo) {
+		t.Fatal("capture-only handler enabled on a disabled tracer")
+	}
+}
