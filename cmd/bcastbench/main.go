@@ -20,10 +20,16 @@
 //     probes ever grow past a few atomic loads, the gate fails the
 //     bench target rather than letting always-on instrumentation tax
 //     every allocation.
+//   - NetcastFanout: the fan-out rearchitecture, measured as
+//     subscribers-per-core over timed windows (see fanout.go): legacy
+//     per-subscriber queues vs the shared frame ring over real TCP,
+//     plus a 100k-subscriber ring cell with byte-parity verifiers.
+//     Full runs gate the ring/queue gain at 10x, parity failures and
+//     100k backpressure events at zero.
 //
 // Examples:
 //
-//	bcastbench -out BENCH_5.json
+//	bcastbench -out BENCH_6.json
 //	bcastbench -quick -benchtime 1x   # CI: smallest honest signal
 package main
 
@@ -98,9 +104,10 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("bcastbench", flag.ContinueOnError)
 	fs.SetOutput(out)
-	outPath := fs.String("out", "BENCH_5.json", "report path ('-' for stdout)")
+	outPath := fs.String("out", "BENCH_6.json", "report path ('-' for stdout)")
 	quick := fs.Bool("quick", false, "reduced grid: skip N=10000 and the GOPT timing columns")
 	benchTime := fs.String("benchtime", "", "per-benchmark time or iteration budget (default 3x, 1x with -quick)")
+	family := fs.String("family", "", "run only one family: cds, tables, figures, trace or fanout (empty = all)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -129,17 +136,36 @@ func run(args []string, out io.Writer) error {
 		Derived:     make(map[string]float64),
 	}
 
-	if err := cdsScale(rep, *quick); err != nil {
-		return err
+	want := func(name string) bool { return *family == "" || *family == name }
+	switch *family {
+	case "", "cds", "tables", "figures", "trace", "fanout":
+	default:
+		return fmt.Errorf("unknown family %q (want cds, tables, figures, trace or fanout)", *family)
 	}
-	if err := tables2to4(rep); err != nil {
-		return err
+	if want("cds") {
+		if err := cdsScale(rep, *quick); err != nil {
+			return err
+		}
 	}
-	if err := figureTimings(rep, *quick); err != nil {
-		return err
+	if want("tables") {
+		if err := tables2to4(rep); err != nil {
+			return err
+		}
 	}
-	if err := traceOverhead(rep); err != nil {
-		return err
+	if want("figures") {
+		if err := figureTimings(rep, *quick); err != nil {
+			return err
+		}
+	}
+	if want("trace") {
+		if err := traceOverhead(rep); err != nil {
+			return err
+		}
+	}
+	if want("fanout") {
+		if err := netcastFanout(rep, *quick); err != nil {
+			return err
+		}
 	}
 
 	doc, err := json.MarshalIndent(rep, "", "  ")
@@ -158,9 +184,27 @@ func run(args []string, out io.Writer) error {
 	// run still leaves the numbers on disk for inspection. -quick runs
 	// a single iteration per cell, too noisy to gate on.
 	if !*quick {
-		if pct := rep.Derived["trace_overhead_disabled_pct"]; pct > 2 {
+		if pct, ok := rep.Derived["trace_overhead_disabled_pct"]; ok && pct > 2 {
 			return fmt.Errorf("disabled-tracer overhead %.3f%% exceeds the 2%% budget: the probe path must stay a few atomic loads", pct)
 		}
+		if gain, ok := rep.Derived["netcast_fanout_gain_subs_per_core"]; ok && gain < 10 {
+			return fmt.Errorf("fan-out gain %.2fx below the 10x floor: the shared ring must beat per-subscriber queues by an order of magnitude in subscribers-per-core", gain)
+		}
+		if bp, ok := rep.Derived["netcast_fanout_100k_backpressure_events"]; ok && bp != 0 {
+			return fmt.Errorf("100k cell saw %.0f backpressure events (resyncs/drops): the scale point must hold without a drop storm", bp)
+		}
+		// Both TCP cells must have fed their subscribers the whole
+		// broadcast: a saturated cell would inflate (queue) or deflate
+		// (ring) subscribers-per-core, making the gain meaningless.
+		for _, key := range []string{"netcast_fanout_queue_delivery_ratio", "netcast_fanout_ring_delivery_ratio"} {
+			if ratio, ok := rep.Derived[key]; ok && ratio < 0.95 {
+				return fmt.Errorf("%s = %.3f: the cell did not sustain the offered load, so its subscribers-per-core is not comparable", key, ratio)
+			}
+		}
+	}
+	// Parity is correctness, not noise: gate it even in -quick.
+	if pf, ok := rep.Derived["netcast_fanout_parity_failures"]; ok && pf != 0 {
+		return fmt.Errorf("%.0f payload parity failures across fan-out cells: subscribers received bytes that differ from the deterministic generator", pf)
 	}
 	return nil
 }

@@ -35,13 +35,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bcastserver:", err)
 		os.Exit(1)
 	}
-	defer app.Close()
 	fmt.Println("press Ctrl-C to stop")
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
-	fmt.Println("shutting down")
+	select {
+	case <-sig:
+		fmt.Println("shutting down")
+		app.Close()
+	case <-app.srv.Done():
+		// The accept loop died without Close being called: the server
+		// can never take another client. Surface it and exit nonzero
+		// instead of running a broadcast nobody new can join.
+		err := app.srv.Err()
+		app.Close()
+		fmt.Fprintln(os.Stderr, "bcastserver: accept loop failed:", err)
+		os.Exit(1)
+	}
 }
 
 // app bundles the broadcast server with its optional metrics endpoint
@@ -90,6 +100,11 @@ func start(args []string, out io.Writer) (*app, error) {
 	bandwidth := fs.Float64("bandwidth", 10, "channel bandwidth (size units per second)")
 	timescale := fs.Float64("timescale", 1.0, "real seconds per virtual second (use <1 to accelerate)")
 	bytesPerUnit := fs.Int("bytes-per-unit", 64, "payload bytes per size unit")
+	fanout := fs.String("fanout", "ring", "fan-out architecture: ring (shared frame ring, batched writes) or queue (legacy per-subscriber queues)")
+	ringCapacity := fs.Int("ring-capacity", 1024, "frames retained per channel in the shared ring (ring fanout)")
+	resyncLimit := fs.Int("resync-limit", 3, "consecutive ring laps before a lagging subscriber is dropped")
+	clientRate := fs.Float64("client-rate", 0, "per-subscriber egress cap in bytes/second (0 = unlimited)")
+	channelRate := fs.Float64("channel-rate", 0, "per-channel aggregate egress cap in bytes/second (0 = unlimited)")
 	metricsAddr := fs.String("metrics", "", "serve /metrics and /debug/pprof on this address (empty = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -113,9 +128,14 @@ func start(args []string, out io.Writer) (*app, error) {
 	}
 
 	srv, err := netcast.Serve(*addr, netcast.ServerConfig{
-		Program:      p,
-		TimeScale:    *timescale,
-		BytesPerUnit: *bytesPerUnit,
+		Program:          p,
+		TimeScale:        *timescale,
+		BytesPerUnit:     *bytesPerUnit,
+		Fanout:           netcast.FanoutMode(*fanout),
+		RingCapacity:     *ringCapacity,
+		ResyncLimit:      *resyncLimit,
+		ClientRateLimit:  *clientRate,
+		ChannelRateLimit: *channelRate,
 	})
 	if err != nil {
 		return nil, err

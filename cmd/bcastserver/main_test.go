@@ -123,6 +123,33 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 }
 
+// TestFanoutFlags: both fan-out modes and the limit flags reach the
+// server config and still serve a verifiable broadcast.
+func TestFanoutFlags(t *testing.T) {
+	for _, extra := range [][]string{
+		{"-fanout", "queue"},
+		{"-fanout", "ring", "-ring-capacity", "64", "-resync-limit", "5"},
+		{"-client-rate", "1048576", "-channel-rate", "8388608"},
+	} {
+		var out bytes.Buffer
+		args := append([]string{"-addr", "127.0.0.1:0", "-paper", "-k", "3", "-timescale", "0.01"}, extra...)
+		app, err := start(args, &out)
+		if err != nil {
+			t.Fatalf("args %v: %v", extra, err)
+		}
+		c, err := netcast.Tune(app.Addr().String(), 0, 2*time.Second)
+		if err != nil {
+			app.Close()
+			t.Fatalf("args %v: %v", extra, err)
+		}
+		if _, err := c.NextItem(time.Now().Add(5 * time.Second)); err != nil {
+			t.Errorf("args %v: %v", extra, err)
+		}
+		c.Close()
+		app.Close()
+	}
+}
+
 func TestStartErrors(t *testing.T) {
 	tests := [][]string{
 		{"-paper", "-k", "0"},
@@ -131,6 +158,9 @@ func TestStartErrors(t *testing.T) {
 		{"-addr", "256.256.256.256:-1"},
 		{"-timescale", "-1", "-paper", "-k", "2", "-addr", "127.0.0.1:0"},
 		{"-paper", "-k", "2", "-addr", "127.0.0.1:0", "-metrics", "256.256.256.256:-1"},
+		{"-paper", "-k", "2", "-addr", "127.0.0.1:0", "-fanout", "bogus"},
+		{"-paper", "-k", "2", "-addr", "127.0.0.1:0", "-ring-capacity", "1"},
+		{"-paper", "-k", "2", "-addr", "127.0.0.1:0", "-client-rate", "-5"},
 		{"-wat"},
 	}
 	for _, args := range tests {

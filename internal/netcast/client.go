@@ -157,6 +157,17 @@ func (c *Client) NextItem(deadline time.Time) (*Reception, error) {
 			}
 			cliReceptions.Inc()
 			return rec, nil
+		case wire.MsgResync:
+			// The server lapped us in its frame ring and resumed the
+			// stream from the head: whatever transmission was in
+			// progress is torn. Drop it and wait for the next begin.
+			var rs wire.Resync
+			if err := wire.DecodeJSON(f, &rs); err != nil {
+				return nil, err
+			}
+			cliResyncs.Inc()
+			rec = nil
+			payload.Reset()
 		case wire.MsgError:
 			var eb wire.ErrorBody
 			if err := wire.DecodeJSON(f, &eb); err != nil {

@@ -437,13 +437,15 @@ func BenchmarkBroadcastThroughput(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	// Moderate pacing and a deep queue: the benchmark framework
+	// Moderate pacing and deep buffers: the benchmark framework
 	// pauses between measurement rounds, and the subscriber must not
-	// be dropped for falling behind while the harness isn't reading.
+	// be lapped or dropped for falling behind while the harness isn't
+	// reading.
 	srv, err := Serve("127.0.0.1:0", ServerConfig{
 		Program:          p,
 		TimeScale:        0.005,
 		SubscriberBuffer: 8192,
+		RingCapacity:     8192,
 	})
 	if err != nil {
 		b.Fatal(err)

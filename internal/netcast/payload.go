@@ -1,8 +1,6 @@
 package netcast
 
 import (
-	"encoding/json"
-
 	"diversecast/internal/broadcast"
 	"diversecast/internal/wire"
 )
@@ -29,8 +27,12 @@ func Payload(itemID, length int) []byte {
 	return p
 }
 
-func beginBody(channel int, slot broadcast.Slot, payloadLen, cycle int) ([]byte, error) {
-	return json.Marshal(wire.ItemBegin{
+// beginFrame and endFrame encode a slot's transmission envelopes as
+// complete, immutable wire frames ready for the fan-out path (the
+// cycle counter makes them per-cycle; the chunk frames between them
+// are cycle-invariant and pre-encoded once — see slotPlan).
+func beginFrame(channel int, slot broadcast.Slot, payloadLen, cycle int) ([]byte, error) {
+	return wire.EncodeJSON(wire.MsgItemBegin, wire.ItemBegin{
 		Channel:    channel,
 		Pos:        slot.Pos,
 		ItemID:     slot.ItemID,
@@ -40,8 +42,8 @@ func beginBody(channel int, slot broadcast.Slot, payloadLen, cycle int) ([]byte,
 	})
 }
 
-func endBody(channel int, slot broadcast.Slot, cycle int) ([]byte, error) {
-	return json.Marshal(wire.ItemEnd{
+func endFrame(channel int, slot broadcast.Slot, cycle int) ([]byte, error) {
+	return wire.EncodeJSON(wire.MsgItemEnd, wire.ItemEnd{
 		Channel: channel,
 		Pos:     slot.Pos,
 		ItemID:  slot.ItemID,

@@ -4,6 +4,18 @@
 // and the client tunes to a channel and waits for items — the same
 // probe/download lifecycle the paper's analytical model describes,
 // but with wall-clock time and real sockets.
+//
+// The fan-out hot path is built for massive subscriber counts: each
+// channel's caster encodes every frame once and appends it to a shared
+// fixed-capacity frame ring (see frameRing); each subscriber holds
+// only a cursor into that ring and drains its backlog with batched
+// vectored writes (net.Buffers / writev). Backpressure is tiered: a
+// subscriber lapped by the ring is resynchronized from the head (a
+// MsgResync frame announces the gap), and only a subscriber that
+// keeps getting lapped is dropped. Per-client and per-channel token
+// buckets bound egress. The legacy per-subscriber-queue path survives
+// as FanoutQueue — a parity and benchmark baseline, not a deployment
+// mode.
 package netcast
 
 import (
@@ -24,10 +36,27 @@ import (
 // Trace span and event names emitted by the server. Snake_case per
 // the obsnames convention; constants so the analyzer can see them.
 const (
-	spanNetcastConn         = "netcast_conn"
-	eventNetcastSubscribe   = "netcast_subscribe"
-	eventNetcastQueueDrop   = "netcast_queue_drop"
-	eventNetcastAcceptRetry = "netcast_accept_retry"
+	spanNetcastConn           = "netcast_conn"
+	eventNetcastSubscribe     = "netcast_subscribe"
+	eventNetcastQueueDrop     = "netcast_queue_drop"
+	eventNetcastAcceptRetry   = "netcast_accept_retry"
+	eventNetcastResync        = "netcast_resync"
+	eventNetcastCyclesSkipped = "netcast_cycles_skipped"
+)
+
+// FanoutMode selects the server's fan-out architecture.
+type FanoutMode string
+
+const (
+	// FanoutRing is the production path: a shared per-channel frame
+	// ring, per-subscriber cursors, batched vectored writes, and
+	// tiered backpressure (resync before drop). The default.
+	FanoutRing FanoutMode = "ring"
+	// FanoutQueue is the legacy path — one buffered frame queue and
+	// one write syscall per frame per subscriber, with a binary
+	// full-queue-means-drop policy. Retained as the differential
+	// parity oracle and the benchmark baseline.
+	FanoutQueue FanoutMode = "queue"
 )
 
 // ServerConfig parameterizes a broadcast server.
@@ -40,20 +69,45 @@ type ServerConfig struct {
 	// BytesPerUnit is the payload bytes transmitted per size unit
 	// (min 1 byte per item). Default 64.
 	BytesPerUnit int
-	// SubscriberBuffer is the per-subscriber outbound frame queue; a
-	// subscriber that falls this far behind is disconnected rather
-	// than allowed to stall the broadcast. Default 256.
+	// Fanout selects the fan-out architecture. Default FanoutRing.
+	Fanout FanoutMode
+	// RingCapacity is the per-channel frame ring size (FanoutRing): a
+	// subscriber more than this many frames behind is lapped and
+	// resynchronized from the head. It bounds per-channel frame
+	// retention, so it should comfortably exceed the largest one-slot
+	// burst (item payload / 4KiB chunks). Default 1024.
+	RingCapacity int
+	// WriteBatch caps the frames coalesced into one vectored write
+	// per subscriber wakeup (FanoutRing). Default 128.
+	WriteBatch int
+	// ResyncLimit is the tier-2 threshold: a subscriber lapped this
+	// many consecutive times (without draining a full ring between
+	// laps) is dropped instead of resynchronized again. Default 3.
+	ResyncLimit int
+	// ClientRateLimit caps each subscriber's egress in bytes/second
+	// (frame bytes, headers included). 0 means unlimited. A client
+	// throttled below the broadcast rate lags into the resync/drop
+	// tiers rather than stalling the caster.
+	ClientRateLimit float64
+	// ChannelRateLimit caps one channel's aggregate egress across all
+	// its subscribers in bytes/second. 0 means unlimited.
+	ChannelRateLimit float64
+	// SubscriberBuffer is the per-subscriber outbound frame queue in
+	// FanoutQueue mode; a subscriber that falls this far behind is
+	// disconnected rather than allowed to stall the broadcast.
+	// Default 256. Ignored by FanoutRing.
 	SubscriberBuffer int
-	// WriteTimeout bounds a single frame write to a subscriber.
-	// Default 5s.
+	// WriteTimeout bounds a single write (one frame, or one batched
+	// vectored write) to a subscriber. Default 5s.
 	WriteTimeout time.Duration
 	// Metrics receives the server's instrumentation (subscribers,
 	// frames, drops, accept errors). Nil uses obs.Default().
 	Metrics *obs.Registry
 	// Tracer receives one netcast_conn span per client connection
-	// (handshake through close, with subscribe/drop events) plus
-	// accept-backoff events. Nil uses trace.Default(), which starts
-	// disabled, so an unconfigured server stays probe-free.
+	// (handshake through close, with subscribe/drop/resync events)
+	// plus accept-backoff and cycle-skip events. Nil uses
+	// trace.Default(), which starts disabled, so an unconfigured
+	// server stays probe-free.
 	Tracer *trace.Tracer
 }
 
@@ -75,6 +129,37 @@ func (c ServerConfig) withDefaults() (ServerConfig, error) {
 	}
 	if c.BytesPerUnit < 1 {
 		return c, fmt.Errorf("netcast: BytesPerUnit %d", c.BytesPerUnit)
+	}
+	switch c.Fanout {
+	case "":
+		c.Fanout = FanoutRing
+	case FanoutRing, FanoutQueue:
+	default:
+		return c, fmt.Errorf("netcast: unknown fanout mode %q", c.Fanout)
+	}
+	if c.RingCapacity == 0 {
+		c.RingCapacity = 1024
+	}
+	if c.RingCapacity < 2 {
+		return c, fmt.Errorf("netcast: RingCapacity %d", c.RingCapacity)
+	}
+	if c.WriteBatch == 0 {
+		c.WriteBatch = 128
+	}
+	if c.WriteBatch < 1 {
+		return c, fmt.Errorf("netcast: WriteBatch %d", c.WriteBatch)
+	}
+	if c.ResyncLimit == 0 {
+		c.ResyncLimit = 3
+	}
+	if c.ResyncLimit < 1 {
+		return c, fmt.Errorf("netcast: ResyncLimit %d", c.ResyncLimit)
+	}
+	if c.ClientRateLimit < 0 {
+		return c, fmt.Errorf("netcast: ClientRateLimit %v", c.ClientRateLimit)
+	}
+	if c.ChannelRateLimit < 0 {
+		return c, fmt.Errorf("netcast: ChannelRateLimit %v", c.ChannelRateLimit)
 	}
 	if c.SubscriberBuffer == 0 {
 		c.SubscriberBuffer = 256
@@ -113,17 +198,28 @@ func newServerMetrics(r *obs.Registry) serverMetrics {
 	}
 }
 
-// casterMetrics holds one channel's counters.
+// casterMetrics holds one channel's counters. The sent counters
+// account frames and bytes actually written to subscriber sockets in
+// the write loops — not enqueued; the broadcast counters account the
+// per-channel fan-out input, counted once per frame regardless of how
+// many subscribers receive it.
 type casterMetrics struct {
-	subsAdded   *obs.Counter
-	subsDropped *obs.Counter
-	queueDrops  *obs.Counter
-	frames      *obs.Counter
-	bytes       *obs.Counter
-	subscribers *obs.Gauge
+	subsAdded      *obs.Counter
+	subsDropped    *obs.Counter
+	queueDrops     *obs.Counter
+	framesSent     *obs.Counter
+	bytesSent      *obs.Counter
+	framesBroadcast *obs.Counter
+	bytesBroadcast  *obs.Counter
+	resyncs        *obs.Counter
+	lagDrops       *obs.Counter
+	cyclesSkipped  *obs.Counter
+	subscribers    *obs.Gauge
+	ringDepth      *obs.Gauge
+	lagFrames      *obs.Histogram
 }
 
-func newCasterMetrics(r *obs.Registry, channel int) casterMetrics {
+func newCasterMetrics(r *obs.Registry, channel, ringCapacity int) casterMetrics {
 	ch := strconv.Itoa(channel)
 	return casterMetrics{
 		subsAdded: r.Counter("netcast_subscribers_added_total",
@@ -131,13 +227,27 @@ func newCasterMetrics(r *obs.Registry, channel int) casterMetrics {
 		subsDropped: r.Counter("netcast_subscribers_dropped_total",
 			"subscribers removed (disconnect, lag drop, or shutdown)", "channel", ch),
 		queueDrops: r.Counter("netcast_queue_full_drops_total",
-			"subscribers dropped for falling a full queue behind", "channel", ch),
-		frames: r.Counter("netcast_frames_sent_total",
-			"frames enqueued to subscribers", "channel", ch),
-		bytes: r.Counter("netcast_bytes_sent_total",
-			"payload bytes enqueued to subscribers", "channel", ch),
+			"subscribers dropped for falling a full queue behind (queue fanout)", "channel", ch),
+		framesSent: r.Counter("netcast_frames_sent_total",
+			"frames written to subscriber connections", "channel", ch),
+		bytesSent: r.Counter("netcast_bytes_sent_total",
+			"frame bytes (headers included) written to subscriber connections", "channel", ch),
+		framesBroadcast: r.Counter("netcast_frames_broadcast_total",
+			"frames published to the channel fan-out, counted once per frame independent of subscriber count", "channel", ch),
+		bytesBroadcast: r.Counter("netcast_bytes_broadcast_total",
+			"frame bytes published to the channel fan-out, counted once per frame", "channel", ch),
+		resyncs: r.Counter("netcast_resyncs_total",
+			"subscribers lapped by the frame ring and resumed from the head (tier-1 backpressure)", "channel", ch),
+		lagDrops: r.Counter("netcast_lag_drops_total",
+			"subscribers dropped after exhausting the resync budget (tier-2 backpressure)", "channel", ch),
+		cyclesSkipped: r.Counter("netcast_cycles_skipped_total",
+			"broadcast cycles skipped to rejoin the wall-clock schedule after a stall", "channel", ch),
 		subscribers: r.Gauge("netcast_subscribers",
 			"currently registered subscribers", "channel", ch),
+		ringDepth: r.Gauge("netcast_ring_depth",
+			"frames currently retained in the channel's shared ring", "channel", ch),
+		lagFrames: r.Histogram("netcast_subscriber_lag_frames",
+			"subscriber backlog in frames observed at each write-loop drain", 0, float64(ringCapacity), 16, "channel", ch),
 	}
 }
 
@@ -151,6 +261,25 @@ type Server struct {
 	wg        sync.WaitGroup
 	closed    chan struct{}
 	closeOnce sync.Once
+
+	// done closes when the accept loop has stopped — after Close, or
+	// after a permanent accept failure (then Err is non-nil).
+	done     chan struct{}
+	doneOnce sync.Once
+	errMu    sync.Mutex
+	loopErr  error
+}
+
+// newServer assembles a Server around an already-validated config and
+// listener; Serve and the in-package tests share it so every Server
+// has its lifecycle channels.
+func newServer(cfg ServerConfig, ln net.Listener) *Server {
+	return &Server{
+		cfg: cfg, ln: ln,
+		closed:  make(chan struct{}),
+		done:    make(chan struct{}),
+		metrics: newServerMetrics(cfg.Metrics),
+	}
 }
 
 // Serve starts a broadcast server listening on addr (e.g.
@@ -164,7 +293,7 @@ func Serve(addr string, cfg ServerConfig) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("netcast: listen: %w", err)
 	}
-	s := &Server{cfg: cfg, ln: ln, closed: make(chan struct{}), metrics: newServerMetrics(cfg.Metrics)}
+	s := newServer(cfg, ln)
 
 	epoch := time.Now()
 	for c := range cfg.Program.Channels {
@@ -187,6 +316,54 @@ func Serve(addr string, cfg ServerConfig) (*Server, error) {
 
 // Addr returns the listening address.
 func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Done returns a channel closed when the server has stopped accepting
+// connections: after Close, or after a permanent accept failure. In
+// the failure case the broadcast keeps running for existing
+// subscribers, but no new client can ever join — callers should check
+// Err and decide whether that is fatal.
+func (s *Server) Done() <-chan struct{} { return s.done }
+
+// Err reports the permanent accept error that terminated the accept
+// loop, or nil after a clean Close.
+func (s *Server) Err() error {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.loopErr
+}
+
+func (s *Server) setErr(err error) {
+	s.errMu.Lock()
+	if s.loopErr == nil {
+		s.loopErr = err
+	}
+	s.errMu.Unlock()
+}
+
+// Attach registers an already-established connection as a subscriber
+// of channel, bypassing the wire handshake: no Hello/Subscribe
+// exchange happens, and the peer starts receiving raw broadcast
+// frames immediately. In-process harnesses (fan-out benchmarks, fleet
+// simulations) use it to attach subscriber counts no socket table
+// could hold. On error the connection is NOT closed; the caller keeps
+// ownership.
+func (s *Server) Attach(conn net.Conn, channel int) error {
+	if channel < 0 || channel >= len(s.casters) {
+		return fmt.Errorf("netcast: attach channel %d outside [0,%d)", channel, len(s.casters))
+	}
+	var sp trace.Span
+	if s.cfg.Tracer.Enabled() {
+		sp = s.cfg.Tracer.Start(spanNetcastConn,
+			trace.Str("peer", conn.RemoteAddr().String()))
+	}
+	if !s.casters[channel].add(conn, sp) {
+		if sp.Active() {
+			sp.End(trace.Str("outcome", "handshake_failed"), trace.Str("reason", "shutdown"))
+		}
+		return errors.New("netcast: server is shut down")
+	}
+	return nil
+}
 
 // Close stops the broadcast and is idempotent. When it returns, the
 // listener is closed, every subscriber connection has been closed, and
@@ -217,6 +394,7 @@ const (
 )
 
 func (s *Server) acceptLoop() {
+	defer s.doneOnce.Do(func() { close(s.done) })
 	backoff := time.Duration(0)
 	for {
 		conn, err := s.ln.Accept()
@@ -250,9 +428,11 @@ func (s *Server) acceptLoop() {
 				}
 				continue
 			}
-			// Permanent failure: the listener is unusable. Exit cleanly
-			// (existing subscribers keep receiving the broadcast).
+			// Permanent failure: the listener is unusable. Surface it
+			// through Err/Done and exit cleanly (existing subscribers
+			// keep receiving the broadcast).
 			s.metrics.acceptPermanent.Inc()
+			s.setErr(fmt.Errorf("netcast: accept: %w", err))
 			return
 		}
 		backoff = 0
@@ -332,22 +512,31 @@ func (s *Server) failHandshake(conn net.Conn, sp trace.Span, reason string) {
 	conn.Close()
 }
 
-// outFrame is one pre-encoded frame queued to a subscriber.
-type outFrame struct {
-	t    wire.MsgType
-	body []byte
-}
-
-// subscriber owns one client connection and its outbound queue.
+// subscriber owns one client connection. In ring mode its state is a
+// cursor into the channel's shared frame ring plus the backpressure
+// tier bookkeeping; in queue mode it owns a buffered outbound frame
+// queue.
 type subscriber struct {
 	conn  net.Conn
-	out   chan outFrame
 	done  chan struct{}
 	once  sync.Once
 	wrTmo time.Duration
+	// limit is the per-client egress token bucket (nil = unlimited).
+	limit *tokenBucket
+
+	// cursor is the ring-mode read position: the sequence number of
+	// the next frame this subscriber wants. resyncStreak counts
+	// consecutive laps; sentSinceResync clears the streak once the
+	// subscriber has proven it can keep pace for a full ring.
+	cursor          uint64
+	resyncStreak    int
+	sentSinceResync int
+
+	// out is the queue-mode outbound frame buffer.
+	out chan []byte
 
 	// span is the connection's netcast_conn span (inactive when
-	// tracing is off); frames counts enqueued frames for its closing
+	// tracing is off); frames counts written frames for its closing
 	// attr. finishOnce makes the first close path win the outcome.
 	span       trace.Span
 	frames     atomic.Int64
@@ -362,7 +551,8 @@ func (sub *subscriber) close() {
 }
 
 // finish ends the connection span with the close reason; the first
-// caller (queue drop, shutdown, or disconnect) determines the outcome.
+// caller (lag drop, queue drop, shutdown, or disconnect) determines
+// the outcome.
 func (sub *subscriber) finish(outcome string) {
 	sub.finishOnce.Do(func() {
 		if sub.span.Active() {
@@ -372,8 +562,120 @@ func (sub *subscriber) finish(outcome string) {
 	})
 }
 
-// writeLoop drains the queue onto the socket.
-func (sub *subscriber) writeLoop() {
+// throttle sleeps until bucket covers n bytes (or the subscriber is
+// closed). A nil bucket admits everything.
+func (sub *subscriber) throttle(b *tokenBucket, n int) bool {
+	if b == nil {
+		return true
+	}
+	d := b.reserve(n)
+	if d <= 0 {
+		return true
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-sub.done:
+		return false
+	case <-timer.C:
+		return true
+	}
+}
+
+// writeBatch pushes a batch of pre-encoded frames through the rate
+// limiters and onto the socket as one vectored write, then accounts
+// the written frames and bytes. It reports false when the subscriber
+// should be torn down (write error, timeout, or close).
+func (sub *subscriber) writeBatch(ca *caster, frames [][]byte) bool {
+	n := 0
+	for _, f := range frames {
+		n += len(f)
+	}
+	if !sub.throttle(sub.limit, n) {
+		return false
+	}
+	if !sub.throttle(ca.chanLimit, n) {
+		return false
+	}
+	if err := sub.conn.SetWriteDeadline(time.Now().Add(sub.wrTmo)); err != nil {
+		return false
+	}
+	bufs := net.Buffers(frames)
+	if _, err := bufs.WriteTo(sub.conn); err != nil {
+		return false
+	}
+	ca.met.framesSent.Add(int64(len(frames)))
+	ca.met.bytesSent.Add(int64(n))
+	if sub.span.Active() {
+		sub.frames.Add(int64(len(frames)))
+	}
+	return true
+}
+
+// ringLoop drains the channel's shared frame ring onto the socket:
+// claim a batch from the cursor, write it with one vectored write,
+// repeat; park on the ring's publish signal when drained. The
+// backpressure tiers live here: a lapped subscriber is resynchronized
+// from the ring head (tier 1) until it exhausts the resync budget and
+// is dropped (tier 2).
+func (sub *subscriber) ringLoop(ca *caster) {
+	defer sub.close()
+	scratch := make([][]byte, 0, ca.srv.cfg.WriteBatch)
+	for {
+		batch, next, lag, skipped, wait := ca.ring.claim(sub.cursor, ca.srv.cfg.WriteBatch, scratch)
+		if skipped > 0 {
+			if sub.resyncStreak >= ca.srv.cfg.ResyncLimit {
+				// Tier 2: the subscriber cannot keep pace even when
+				// repeatedly restarted from the head. Cut it loose.
+				ca.met.lagDrops.Inc()
+				sub.finish("lagged")
+				return
+			}
+			// Tier 1: resume from the head and tell the client how
+			// many frames it lost so its receiver resynchronizes.
+			sub.resyncStreak++
+			sub.sentSinceResync = 0
+			ca.met.resyncs.Inc()
+			if sub.span.Active() {
+				sub.span.Event(eventNetcastResync,
+					trace.Int("channel", int64(ca.channel)),
+					trace.Int("skipped", int64(skipped)))
+			}
+			rf, err := wire.EncodeJSON(wire.MsgResync,
+				wire.Resync{Channel: ca.channel, Skipped: skipped})
+			if err != nil {
+				// Unreachable: the body is always marshalable.
+				return
+			}
+			sub.cursor = next
+			if !sub.writeBatch(ca, [][]byte{rf}) {
+				return
+			}
+			continue
+		}
+		if len(batch) == 0 {
+			select {
+			case <-sub.done:
+				return
+			case <-wait:
+			}
+			continue
+		}
+		ca.met.lagFrames.Observe(float64(lag))
+		if !sub.writeBatch(ca, batch) {
+			return
+		}
+		sub.cursor = next
+		sub.sentSinceResync += len(batch)
+		if sub.resyncStreak > 0 && sub.sentSinceResync >= ca.srv.cfg.RingCapacity {
+			sub.resyncStreak = 0
+		}
+	}
+}
+
+// queueLoop drains the legacy per-subscriber queue onto the socket,
+// one frame write at a time.
+func (sub *subscriber) queueLoop(ca *caster) {
 	defer sub.close()
 	for {
 		select {
@@ -383,8 +685,13 @@ func (sub *subscriber) writeLoop() {
 			if err := sub.conn.SetWriteDeadline(time.Now().Add(sub.wrTmo)); err != nil {
 				return
 			}
-			if err := wire.WriteFrame(sub.conn, f.t, f.body); err != nil {
+			if _, err := sub.conn.Write(f); err != nil {
 				return
+			}
+			ca.met.framesSent.Inc()
+			ca.met.bytesSent.Add(int64(len(f)))
+			if sub.span.Active() {
+				sub.frames.Add(1)
 			}
 		}
 	}
@@ -396,6 +703,11 @@ type caster struct {
 	channel int
 	epoch   time.Time
 	met     casterMetrics
+	// ring is the shared frame ring (FanoutRing mode; nil in queue
+	// mode). chanLimit is the channel-wide egress bucket (nil when
+	// unlimited).
+	ring      *frameRing
+	chanLimit *tokenBucket
 
 	mu     sync.Mutex
 	subs   map[*subscriber]struct{}
@@ -403,11 +715,18 @@ type caster struct {
 }
 
 func newCaster(srv *Server, channel int, epoch time.Time) *caster {
-	return &caster{
+	ca := &caster{
 		srv: srv, channel: channel, epoch: epoch,
-		met:  newCasterMetrics(srv.cfg.Metrics, channel),
+		met:  newCasterMetrics(srv.cfg.Metrics, channel, srv.cfg.RingCapacity),
 		subs: make(map[*subscriber]struct{}),
 	}
+	if srv.cfg.Fanout == FanoutRing {
+		ca.ring = newFrameRing(srv.cfg.RingCapacity)
+	}
+	if srv.cfg.ChannelRateLimit > 0 {
+		ca.chanLimit = newTokenBucket(srv.cfg.ChannelRateLimit, srv.cfg.ChannelRateLimit)
+	}
+	return ca
 }
 
 // add registers a new subscriber connection and starts its write
@@ -417,27 +736,46 @@ func newCaster(srv *Server, channel int, epoch time.Time) *caster {
 func (ca *caster) add(conn net.Conn, sp trace.Span) bool {
 	sub := &subscriber{
 		conn:  conn,
-		out:   make(chan outFrame, ca.srv.cfg.SubscriberBuffer),
 		done:  make(chan struct{}),
 		wrTmo: ca.srv.cfg.WriteTimeout,
 		span:  sp,
+	}
+	if ca.srv.cfg.ClientRateLimit > 0 {
+		sub.limit = newTokenBucket(ca.srv.cfg.ClientRateLimit, ca.srv.cfg.ClientRateLimit)
+	}
+	if ca.ring == nil {
+		sub.out = make(chan []byte, ca.srv.cfg.SubscriberBuffer)
 	}
 	ca.mu.Lock()
 	if ca.closed {
 		ca.mu.Unlock()
 		return false
 	}
+	if ca.ring != nil {
+		sub.cursor = ca.ring.headSeq()
+	}
 	ca.subs[sub] = struct{}{}
+	// The subscriber metrics move in lockstep with the registration
+	// map, under the same lock: a dropAll racing with add must never
+	// observe (and decrement) a registration whose increment has not
+	// landed, or the gauge goes transiently negative.
+	ca.met.subsAdded.Inc()
+	ca.met.subscribers.Inc()
+	// Taking the wg ticket under the lock closes the Attach-vs-Close
+	// window: once dropAll has run, no add can reach here, so Close's
+	// wg.Wait cannot race a late Add.
+	ca.srv.wg.Add(1)
 	ca.mu.Unlock()
 	if sp.Active() {
 		sp.Event(eventNetcastSubscribe, trace.Int("channel", int64(ca.channel)))
 	}
-	ca.met.subsAdded.Inc()
-	ca.met.subscribers.Inc()
-	ca.srv.wg.Add(1)
 	go func() {
 		defer ca.srv.wg.Done()
-		sub.writeLoop()
+		if ca.ring != nil {
+			sub.ringLoop(ca)
+		} else {
+			sub.queueLoop(ca)
+		}
 		ca.remove(sub)
 	}()
 	return true
@@ -447,11 +785,11 @@ func (ca *caster) remove(sub *subscriber) {
 	ca.mu.Lock()
 	_, present := ca.subs[sub]
 	delete(ca.subs, sub)
-	ca.mu.Unlock()
 	if present {
 		ca.met.subsDropped.Inc()
 		ca.met.subscribers.Dec()
 	}
+	ca.mu.Unlock()
 	sub.finish("disconnect")
 	sub.close()
 }
@@ -464,37 +802,50 @@ func (ca *caster) dropAll() {
 		subs = append(subs, sub)
 	}
 	ca.subs = make(map[*subscriber]struct{})
-	ca.mu.Unlock()
+	// Under the same lock as the registrations they mirror; see add.
 	ca.met.subsDropped.Add(int64(len(subs)))
 	ca.met.subscribers.Add(-int64(len(subs)))
+	ca.mu.Unlock()
 	for _, sub := range subs {
 		sub.finish("shutdown")
 		sub.close()
 	}
 }
 
-// send enqueues a frame to every subscriber; one that has fallen a
-// full buffer behind is dropped (broadcast never blocks on a client).
-func (ca *caster) send(t wire.MsgType, body []byte) {
-	ca.mu.Lock()
+// publish hands one batch of pre-encoded frames to the fan-out path.
+// Ring mode appends to the shared ring — O(frames), independent of
+// subscriber count. Queue mode (legacy) enqueues per subscriber; one
+// that has fallen a full buffer behind is dropped (the broadcast never
+// blocks on a client).
+func (ca *caster) publish(frames ...[]byte) {
+	n := 0
+	for _, f := range frames {
+		n += len(f)
+	}
+	ca.met.framesBroadcast.Add(int64(len(frames)))
+	ca.met.bytesBroadcast.Add(int64(n))
+	if ca.ring != nil {
+		ca.ring.publish(frames...)
+		ca.met.ringDepth.Set(int64(ca.ring.depth()))
+		return
+	}
 	var drop []*subscriber
-	delivered := 0
+	ca.mu.Lock()
 	for sub := range ca.subs {
-		select {
-		case sub.out <- outFrame{t: t, body: body}:
-			delivered++
-			if sub.span.Active() {
-				sub.frames.Add(1)
+		dropped := false
+		for _, f := range frames {
+			select {
+			case sub.out <- f:
+			default:
+				dropped = true
 			}
-		default:
-			drop = append(drop, sub)
+			if dropped {
+				drop = append(drop, sub)
+				break
+			}
 		}
 	}
 	ca.mu.Unlock()
-	if delivered > 0 {
-		ca.met.frames.Add(int64(delivered))
-		ca.met.bytes.Add(int64(delivered * len(body)))
-	}
 	ca.met.queueDrops.Add(int64(len(drop)))
 	for _, sub := range drop {
 		if sub.span.Active() {
@@ -531,8 +882,41 @@ func (ca *caster) sleepUntil(virtualOffset float64) bool {
 	}
 }
 
+// catchUp is the stall defense: after a pause that left the schedule
+// at least one full cycle behind wall-clock (GC pause, suspended VM,
+// debugger stop), replaying every stale slot back-to-back would blast
+// frames and trigger queue-drop/resync storms. Instead the caster
+// skips ahead to the cycle the wall clock says is current, counts the
+// skipped cycles, and resumes paced broadcasting there. Intra-cycle
+// lag (less than one cycle) still replays fast — a bounded burst.
+func (ca *caster) catchUp(cycleStart, cycleLength float64) int {
+	virtualNow := time.Since(ca.epoch).Seconds() / ca.srv.cfg.TimeScale
+	behind := virtualNow - cycleStart
+	if behind < cycleLength {
+		return 0
+	}
+	skip := int(behind / cycleLength)
+	ca.met.cyclesSkipped.Add(int64(skip))
+	if ca.srv.cfg.Tracer.Enabled() {
+		ca.srv.cfg.Tracer.Event(eventNetcastCyclesSkipped,
+			trace.Int("channel", int64(ca.channel)),
+			trace.Int("skipped", int64(skip)))
+	}
+	return skip
+}
+
 // chunkSize bounds one payload chunk frame.
 const chunkSize = 4096
+
+// slotPlan is one slot's cycle-invariant precomputation: the payload
+// chunk frames are encoded exactly once per caster lifetime and shared
+// by every cycle and every subscriber; only the begin/end envelopes
+// (which carry the cycle counter) are re-encoded per cycle.
+type slotPlan struct {
+	slot       broadcast.Slot
+	payloadLen int
+	chunks     [][]byte
+}
 
 // run plays the cyclic schedule forever (until server close). Pacing
 // is anchored to the epoch, so timing does not drift across cycles.
@@ -542,34 +926,52 @@ func (ca *caster) run() {
 		<-ca.srv.closed
 		return
 	}
-	for cycle := 0; ; cycle++ {
-		cycleStart := float64(cycle) * ch.CycleLength
-		for _, slot := range ch.Slots {
-			if !ca.sleepUntil(cycleStart + slot.Start) {
+	plans := make([]slotPlan, len(ch.Slots))
+	for i, slot := range ch.Slots {
+		payload := Payload(slot.ItemID, PayloadLen(slot.Size, ca.srv.cfg.BytesPerUnit))
+		var chunks [][]byte
+		for off := 0; off < len(payload); off += chunkSize {
+			end := off + chunkSize
+			if end > len(payload) {
+				end = len(payload)
+			}
+			cf, err := wire.EncodeFrame(wire.MsgItemChunk, payload[off:end])
+			if err != nil {
+				// Unreachable: chunkSize is far below MaxFrameSize.
 				return
 			}
-			payload := Payload(slot.ItemID, PayloadLen(slot.Size, ca.srv.cfg.BytesPerUnit))
-			begin, err := beginBody(ca.channel, slot, len(payload), cycle)
+			chunks = append(chunks, cf)
+		}
+		plans[i] = slotPlan{slot: slot, payloadLen: len(payload), chunks: chunks}
+	}
+	for cycle := 0; ; cycle++ {
+		cycleStart := float64(cycle) * ch.CycleLength
+		if skip := ca.catchUp(cycleStart, ch.CycleLength); skip > 0 {
+			cycle += skip
+			cycleStart = float64(cycle) * ch.CycleLength
+		}
+		for i := range plans {
+			pl := &plans[i]
+			if !ca.sleepUntil(cycleStart + pl.slot.Start) {
+				return
+			}
+			begin, err := beginFrame(ca.channel, pl.slot, pl.payloadLen, cycle)
 			if err != nil {
 				// Unreachable: the body is always marshalable.
 				return
 			}
-			ca.send(wire.MsgItemBegin, begin)
-			for off := 0; off < len(payload); off += chunkSize {
-				end := off + chunkSize
-				if end > len(payload) {
-					end = len(payload)
-				}
-				ca.send(wire.MsgItemChunk, payload[off:end])
-			}
-			if !ca.sleepUntil(cycleStart + slot.End()) {
+			batch := make([][]byte, 0, len(pl.chunks)+1)
+			batch = append(batch, begin)
+			batch = append(batch, pl.chunks...)
+			ca.publish(batch...)
+			if !ca.sleepUntil(cycleStart + pl.slot.End()) {
 				return
 			}
-			endB, err := endBody(ca.channel, slot, cycle)
+			endF, err := endFrame(ca.channel, pl.slot, cycle)
 			if err != nil {
 				return
 			}
-			ca.send(wire.MsgItemEnd, endB)
+			ca.publish(endF)
 		}
 	}
 }

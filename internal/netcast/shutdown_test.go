@@ -164,8 +164,7 @@ func scriptedServer(t *testing.T, script []error) (*Server, *scriptedListener, *
 		t.Fatal(err)
 	}
 	ln := &scriptedListener{script: script, conns: make(chan net.Conn)}
-	s := &Server{cfg: cfg, ln: ln, closed: make(chan struct{}), metrics: newServerMetrics(reg)}
-	return s, ln, reg
+	return newServer(cfg, ln), ln, reg
 }
 
 // TestAcceptLoopBacksOffOnTemporaryErrors: a burst of EMFILE-style

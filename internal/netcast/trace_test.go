@@ -29,12 +29,12 @@ func attrInt(t *testing.T, r trace.Record, key string) int64 {
 	return a.Int
 }
 
-// TestQueueDropLifecycleSequence drives the slow-client defense
-// deterministically and asserts the trace the ring replays:
-// subscribe → queue_drop → conn span closed with outcome queue_full.
-// A net.Pipe peer that never reads blocks the write loop on its first
-// frame, so the queue (capacity 2) absorbs at most three sends and
-// the fourth must drop the subscriber.
+// TestQueueDropLifecycleSequence drives the legacy queue path's
+// slow-client defense deterministically and asserts the trace the
+// ring replays: subscribe → queue_drop → conn span closed with
+// outcome queue_full. A net.Pipe peer that never reads blocks the
+// write loop on its first frame, so the queue (capacity 2) absorbs at
+// most three publishes and the fourth must drop the subscriber.
 func TestQueueDropLifecycleSequence(t *testing.T) {
 	_, p := testProgram(t)
 	tr := trace.New(trace.Config{Capacity: 64})
@@ -42,13 +42,14 @@ func TestQueueDropLifecycleSequence(t *testing.T) {
 		Program: p, TimeScale: 0.01,
 		Metrics:          obs.NewRegistry(),
 		Tracer:           tr,
+		Fanout:           FanoutQueue,
 		SubscriberBuffer: 2,
 		WriteTimeout:     50 * time.Millisecond,
 	}.withDefaults()
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := &Server{cfg: cfg, closed: make(chan struct{}), metrics: newServerMetrics(cfg.Metrics)}
+	s := newServer(cfg, nil)
 	ca := newCaster(s, 0, time.Now())
 
 	server, client := net.Pipe()
@@ -57,9 +58,12 @@ func TestQueueDropLifecycleSequence(t *testing.T) {
 	if !ca.add(server, sp) {
 		t.Fatal("caster refused the subscriber")
 	}
-	body := []byte("payload")
+	frame, err := wire.EncodeFrame(wire.MsgItemChunk, []byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := 0; i < 4; i++ {
-		ca.send(wire.MsgItemChunk, body)
+		ca.publish(frame)
 	}
 	s.wg.Wait() // the drop closed the connection; the write loop exits
 

@@ -30,6 +30,11 @@ const (
 	MsgItemEnd MsgType = 5
 	// MsgError reports a fatal protocol error: an ErrorBody body.
 	MsgError MsgType = 6
+	// MsgResync announces a gap in the broadcast stream: the server
+	// lapped this subscriber in the shared frame ring and resumed it
+	// from the ring head, skipping the frames in between. A Resync
+	// body.
+	MsgResync MsgType = 7
 )
 
 // String names the message type.
@@ -47,6 +52,8 @@ func (t MsgType) String() string {
 		return "item-end"
 	case MsgError:
 		return "error"
+	case MsgResync:
+		return "resync"
 	default:
 		return fmt.Sprintf("unknown(%d)", byte(t))
 	}
@@ -102,6 +109,15 @@ type ErrorBody struct {
 	Message string `json:"message"`
 }
 
+// Resync tells a lagging subscriber that Skipped frames were dropped
+// between the last frame it received and the next one it will: the
+// connection survives, but any transmission in progress is torn and
+// the receiver must wait for the next ItemBegin.
+type Resync struct {
+	Channel int    `json:"channel"`
+	Skipped uint64 `json:"skipped"`
+}
+
 // Frame is one decoded protocol frame.
 type Frame struct {
 	Type MsgType
@@ -126,6 +142,30 @@ func WriteFrame(w io.Writer, t MsgType, body []byte) error {
 		}
 	}
 	return nil
+}
+
+// EncodeFrame serializes one frame — header, type byte, body — into a
+// single contiguous buffer, byte-identical to what WriteFrame puts on
+// the wire. Broadcast paths encode a frame once and hand the immutable
+// buffer to every subscriber instead of re-framing per connection.
+func EncodeFrame(t MsgType, body []byte) ([]byte, error) {
+	if len(body)+1 > MaxFrameSize {
+		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(body))
+	}
+	buf := make([]byte, 5+len(body))
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(body)+1))
+	buf[4] = byte(t)
+	copy(buf[5:], body)
+	return buf, nil
+}
+
+// EncodeJSON marshals v and encodes it as a contiguous frame of type t.
+func EncodeJSON(t MsgType, v any) ([]byte, error) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("wire: marshaling %s: %w", t, err)
+	}
+	return EncodeFrame(t, body)
 }
 
 // WriteJSON marshals v and writes it as a frame of type t.

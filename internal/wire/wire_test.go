@@ -165,10 +165,63 @@ func TestDecodeJSONError(t *testing.T) {
 	}
 }
 
+// TestEncodeFrameMatchesWriteFrame pins the contract the broadcast
+// fan-out relies on: a frame encoded once into a contiguous buffer is
+// byte-identical to what WriteFrame streams, for every type and body
+// shape (empty, small, chunk-sized).
+func TestEncodeFrameMatchesWriteFrame(t *testing.T) {
+	bodies := [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte{0xA5}, 4096)}
+	for _, mt := range []MsgType{MsgHello, MsgItemBegin, MsgItemChunk, MsgItemEnd, MsgResync} {
+		for i, body := range bodies {
+			enc, err := EncodeFrame(mt, body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := WriteFrame(&buf, mt, body); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(enc, buf.Bytes()) {
+				t.Fatalf("type %s body %d: EncodeFrame and WriteFrame disagree", mt, i)
+			}
+		}
+	}
+	if _, err := EncodeFrame(MsgItemChunk, make([]byte, MaxFrameSize)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized EncodeFrame error = %v", err)
+	}
+}
+
+func TestEncodeJSONMatchesWriteJSON(t *testing.T) {
+	want := Resync{Channel: 3, Skipped: 1 << 40}
+	enc, err := EncodeJSON(MsgResync, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, MsgResync, want); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, buf.Bytes()) {
+		t.Fatal("EncodeJSON and WriteJSON disagree")
+	}
+	f, err := ReadFrame(bytes.NewReader(enc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Resync
+	if err := DecodeJSON(f, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("got %+v, want %+v", got, want)
+	}
+}
+
 func TestMsgTypeString(t *testing.T) {
 	for mt, want := range map[MsgType]string{
 		MsgHello: "hello", MsgSubscribe: "subscribe", MsgItemBegin: "item-begin",
 		MsgItemChunk: "item-chunk", MsgItemEnd: "item-end", MsgError: "error",
+		MsgResync: "resync",
 	} {
 		if got := mt.String(); got != want {
 			t.Errorf("%d.String() = %q, want %q", mt, got, want)
