@@ -26,9 +26,24 @@ vet:
 # package, test files included, then staticcheck when it is installed
 # (CI pins it; offline dev containers may not have it, so its absence
 # is not an error here).
+#
+# The diverselint invocations carry a runtime budget: the suite now
+# rebuilds the whole-program call graph and function summaries on
+# every run, and that cost must stay inner-loop cheap. Blowing the
+# budget fails the target so an interprocedural regression (a
+# fixpoint that stopped converging, say) is caught as a perf bug, not
+# absorbed as slow CI. Staticcheck runs outside the budget — its
+# runtime is not ours to control.
+LINT_BUDGET ?= 60
 lint: $(DIVERSELINT)
-	./$(DIVERSELINT) -tests ./...
-	./$(DIVERSELINT) -audit ./...
+	@start=$$(date +%s); \
+	./$(DIVERSELINT) -tests ./... && ./$(DIVERSELINT) -audit ./...; rc=$$?; \
+	elapsed=$$(( $$(date +%s) - start )); \
+	echo "diverselint: $${elapsed}s (budget $(LINT_BUDGET)s)"; \
+	if [ $$rc -ne 0 ]; then exit $$rc; fi; \
+	if [ $$elapsed -gt $(LINT_BUDGET) ]; then \
+		echo "diverselint exceeded the $(LINT_BUDGET)s lint budget"; exit 1; \
+	fi
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \

@@ -42,13 +42,18 @@ func main() {
 	select {
 	case <-sig:
 		fmt.Println("shutting down")
-		app.Close()
+		if err := app.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "bcastserver: shutdown:", err)
+			os.Exit(1)
+		}
 	case <-app.srv.Done():
 		// The accept loop died without Close being called: the server
 		// can never take another client. Surface it and exit nonzero
 		// instead of running a broadcast nobody new can join.
 		err := app.srv.Err()
-		app.Close()
+		if cerr := app.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "bcastserver: shutdown:", cerr)
+		}
 		fmt.Fprintln(os.Stderr, "bcastserver: accept loop failed:", err)
 		os.Exit(1)
 	}

@@ -49,7 +49,9 @@ import (
 	"strings"
 
 	"diversecast/internal/analysis"
+	"diversecast/internal/analysis/callgraph"
 	"diversecast/internal/analysis/passes"
+	"diversecast/internal/analysis/summary"
 )
 
 func main() {
@@ -67,6 +69,7 @@ func run(args []string) int {
 		onlyFlag       = fs.String("only", "", "comma-separated analyzer subset to run")
 		jsonFlag       = fs.Bool("json", false, "emit one JSON report on stdout instead of lines (standalone mode)")
 		auditFlag      = fs.Bool("audit", false, "audit //diverselint:ignore directives instead of linting")
+		callgraphFlag  = fs.Bool("callgraph", false, "dump the whole-program call graph and function summaries as JSON instead of linting (standalone mode)")
 	)
 	fs.Parse(args)
 
@@ -111,7 +114,19 @@ func run(args []string) int {
 	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
 		return unitcheck(rest[0], analyzers)
 	}
-	return standalone(rest, analyzers, *testsFlag, *showSuppressed, *jsonFlag)
+	return standalone(rest, analyzers, standaloneOpts{
+		tests:          *testsFlag,
+		showSuppressed: *showSuppressed,
+		jsonOut:        *jsonFlag,
+		callgraphOut:   *callgraphFlag,
+	})
+}
+
+type standaloneOpts struct {
+	tests          bool
+	showSuppressed bool
+	jsonOut        bool
+	callgraphOut   bool
 }
 
 func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
@@ -136,7 +151,7 @@ func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
 
 // standalone loads the module around the working directory and lints
 // the matching packages.
-func standalone(patterns []string, analyzers []*analysis.Analyzer, tests, showSuppressed, jsonOut bool) int {
+func standalone(patterns []string, analyzers []*analysis.Analyzer, opts standaloneOpts) int {
 	cwd, err := os.Getwd()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "diverselint:", err)
@@ -154,7 +169,7 @@ func standalone(patterns []string, analyzers []*analysis.Analyzer, tests, showSu
 	}
 	loader := analysis.NewLoader(mod.Resolver())
 	loader.GoVersion = mod.GoVersion
-	loader.IncludeTests = tests
+	loader.IncludeTests = opts.tests
 
 	var pkgs []*analysis.Package
 	for _, p := range paths {
@@ -169,18 +184,25 @@ func standalone(patterns []string, analyzers []*analysis.Analyzer, tests, showSu
 		pkgs = append(pkgs, pkg)
 	}
 
-	findings, err := analysis.Run(loader.Fset, pkgs, analyzers)
+	// Whole-program interprocedural state: the call graph and the
+	// per-function summaries every pass can reach through Pass.Inter.
+	prog := summary.Build(loader.Fset, pkgs, callgraph.Build(pkgs))
+	if opts.callgraphOut {
+		return emitCallgraph(prog)
+	}
+
+	findings, err := analysis.Run(loader.Fset, pkgs, analyzers, prog)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "diverselint:", err)
 		return 2
 	}
-	if jsonOut {
+	if opts.jsonOut {
 		return emitJSON(findings)
 	}
 	unsuppressed := 0
 	for _, f := range findings {
 		if f.Suppressed {
-			if showSuppressed {
+			if opts.showSuppressed {
 				fmt.Printf("%s: suppressed (%s): %s (%s)\n", f.Pos, f.Reason, f.Message, f.Analyzer)
 			}
 			continue

@@ -10,7 +10,9 @@ import (
 	"testing"
 
 	"diversecast/internal/analysis"
+	"diversecast/internal/analysis/callgraph"
 	"diversecast/internal/analysis/passes"
+	"diversecast/internal/analysis/summary"
 )
 
 // TestSelfLint runs the full suite over this repository and demands a
@@ -47,7 +49,8 @@ func TestSelfLint(t *testing.T) {
 		}
 		pkgs = append(pkgs, pkg)
 	}
-	findings, err := analysis.Run(loader.Fset, pkgs, passes.All())
+	prog := summary.Build(loader.Fset, pkgs, callgraph.Build(pkgs))
+	findings, err := analysis.Run(loader.Fset, pkgs, passes.All(), prog)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -289,6 +292,104 @@ var a = 0
 	}
 	if !strings.Contains(out, "fixture demonstrates the leak on purpose") {
 		t.Fatalf("inventory does not list the suppression reason:\n%s", out)
+	}
+}
+
+// TestCallgraphDump drives -callgraph end to end: the dump must be
+// valid JSON carrying the summary facts the interprocedural passes
+// run on (net-acquire effects, go/defer edge kinds, guard
+// directives), and two runs over the same tree must be byte-identical
+// — the determinism contract CI relies on when diffing artifacts.
+func TestCallgraphDump(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary; skipped in -short")
+	}
+	tool := buildTool(t)
+	modDir := writeModule(t, map[string]string{
+		"go.mod": "module example.com/cg\n\ngo 1.24\n",
+		"cg.go": `package cg
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	//diverselint:guard mu
+	n int
+}
+
+func (b *box) lockIt() { b.mu.Lock() }
+
+func (b *box) unlockIt() { b.mu.Unlock() }
+
+func (b *box) Work() {
+	b.lockIt()
+	defer b.unlockIt()
+	b.n++
+	go b.tick()
+}
+
+func (b *box) tick() {}
+`,
+	})
+
+	code, out := runTool(t, tool, modDir, "-callgraph", "./...")
+	if code != 0 {
+		t.Fatalf("-callgraph: exit %d, want 0\n%s", code, out)
+	}
+	var rep struct {
+		Nodes []struct {
+			Name       string   `json:"name"`
+			NetAcquire []string `json:"net_acquire"`
+			Spawns     int      `json:"spawns"`
+			Accesses   int      `json:"accesses"`
+		} `json:"nodes"`
+		Edges []struct {
+			Kind string `json:"kind"`
+		} `json:"edges"`
+		SCCs   [][]int `json:"sccs"`
+		Guards []struct {
+			Field string `json:"field"`
+			Lock  string `json:"lock"`
+		} `json:"guards"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("-callgraph output is not JSON: %v\n%s", err, out)
+	}
+
+	byName := map[string]int{}
+	for i, n := range rep.Nodes {
+		byName[n.Name] = i
+	}
+	lockIt, ok := byName["(*example.com/cg.box).lockIt"]
+	if !ok {
+		t.Fatalf("dump has no (*example.com/cg.box).lockIt node: %v", byName)
+	}
+	if got := rep.Nodes[lockIt].NetAcquire; len(got) != 1 || got[0] != "example.com/cg.box.mu" {
+		t.Errorf("lockIt net_acquire = %v, want [example.com/cg.box.mu]", got)
+	}
+	work, ok := byName["(*example.com/cg.box).Work"]
+	if !ok || rep.Nodes[work].Spawns != 1 || rep.Nodes[work].Accesses != 1 {
+		t.Errorf("Work node: ok=%v spawns/accesses=%+v, want 1/1", ok, rep.Nodes[work])
+	}
+	kinds := map[string]bool{}
+	for _, e := range rep.Edges {
+		kinds[e.Kind] = true
+	}
+	for _, k := range []string{"call", "go", "defer"} {
+		if !kinds[k] {
+			t.Errorf("dump has no %q edge; kinds=%v", k, kinds)
+		}
+	}
+	if len(rep.SCCs) != len(rep.Nodes) {
+		t.Errorf("%d SCCs for %d nodes; the acyclic corpus should have one per node", len(rep.SCCs), len(rep.Nodes))
+	}
+	if len(rep.Guards) != 1 || rep.Guards[0].Field != "example.com/cg.box.n" || rep.Guards[0].Lock != "example.com/cg.box.mu" {
+		t.Errorf("guards = %+v, want the declared box.n guarded-by box.mu", rep.Guards)
+	}
+
+	code2, out2 := runTool(t, tool, modDir, "-callgraph", "./...")
+	if code2 != 0 || out2 != out {
+		t.Errorf("-callgraph is not deterministic across runs (exit %d, %d bytes vs %d)", code2, len(out2), len(out))
 	}
 }
 

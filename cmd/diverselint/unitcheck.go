@@ -21,6 +21,8 @@ import (
 	"os"
 
 	"diversecast/internal/analysis"
+	"diversecast/internal/analysis/callgraph"
+	"diversecast/internal/analysis/summary"
 )
 
 // vetConfig mirrors the JSON written by the go command for each
@@ -121,7 +123,13 @@ func unitcheck(cfgFile string, analyzers []*analysis.Analyzer) int {
 	}
 
 	pkg := &analysis.Package{Path: cfg.ImportPath, Dir: cfg.Dir, Files: files, Types: tpkg, TypesInfo: info}
-	findings, err := analysis.Run(fset, []*analysis.Package{pkg}, analyzers)
+	// In vet mode the unit of work is one package, so the
+	// interprocedural "program" is that package alone: summaries
+	// still flow through its own helpers, but cross-package relations
+	// are only visible in standalone mode.
+	pkgs := []*analysis.Package{pkg}
+	prog := summary.Build(fset, pkgs, callgraph.Build(pkgs))
+	findings, err := analysis.Run(fset, pkgs, analyzers, prog)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "diverselint:", err)
 		return 2

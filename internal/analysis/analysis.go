@@ -47,6 +47,15 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// Inter carries the whole-program interprocedural state shared by
+	// every pass in a run — concretely a *summary.Program (declared
+	// `any` here because summary imports this package). Per-function
+	// passes ignore it; the interprocedural passes (guardrace,
+	// lockorder, and the summary-aware lockbalance/errdrop upgrades)
+	// type-assert it and degrade to intraprocedural behavior when it
+	// is absent.
+	Inter any
+
 	// Report delivers one diagnostic. The driver fills position
 	// information and applies suppression directives.
 	Report func(Diagnostic)

@@ -6,7 +6,9 @@ import (
 	"testing"
 
 	"diversecast/internal/analysis"
+	"diversecast/internal/analysis/callgraph"
 	"diversecast/internal/analysis/passes"
+	"diversecast/internal/analysis/summary"
 )
 
 // writeModule materializes a throwaway module on disk and returns its
@@ -53,19 +55,21 @@ func lintModule(t *testing.T, root string) []analysis.Finding {
 		}
 		pkgs = append(pkgs, pkg)
 	}
-	findings, err := analysis.Run(loader.Fset, pkgs, passes.All())
+	prog := summary.Build(loader.Fset, pkgs, callgraph.Build(pkgs))
+	findings, err := analysis.Run(loader.Fset, pkgs, passes.All(), prog)
 	if err != nil {
 		t.Fatal(err)
 	}
 	return findings
 }
 
-// TestReintroducedBugClassesAreCaught reconstructs the PR-1 bug
-// shapes the acceptance criteria name — the netcast lock-held send,
-// a map-order cost accumulation, the stranded writeLoop goroutine,
-// an early-return lock leak, wall-clock cost jitter, and a dropped
-// hot-path error — and asserts the suite flags every one (this is
-// the tripwire that makes `make lint` fail if any is reintroduced).
+// TestReintroducedBugClassesAreCaught reconstructs the reintroduced
+// bug shapes the acceptance criteria name — the netcast lock-held
+// send, a map-order cost accumulation, the stranded writeLoop
+// goroutine, an early-return lock leak, wall-clock cost jitter, a
+// dropped hot-path error, and the PR-6 unguarded caster.add mutation
+// — and asserts the suite flags every one (this is the tripwire that
+// makes `make lint` fail if any is reintroduced).
 func TestReintroducedBugClassesAreCaught(t *testing.T) {
 	root := writeModule(t, map[string]string{
 		"go.mod": testGoMod,
@@ -74,7 +78,8 @@ func TestReintroducedBugClassesAreCaught(t *testing.T) {
 import "sync"
 
 type caster struct {
-	mu   sync.Mutex
+	mu sync.Mutex
+	//diverselint:guard mu
 	subs map[chan []byte]struct{}
 }
 
@@ -84,6 +89,13 @@ func (ca *caster) send(body []byte) {
 		ch <- body
 	}
 	ca.mu.Unlock()
+}
+
+// add is the PR-6 race, byte for byte: registration mutates the
+// guarded subs map without taking mu, so a concurrent send ranges a
+// map mid-write.
+func (ca *caster) add(ch chan []byte) {
+	ca.subs[ch] = struct{}{}
 }
 `,
 		// The stranded writeLoop, byte for byte the PR-1 shape: the
@@ -175,6 +187,7 @@ func Emit(v any) {
 		"lockbalance": false,
 		"detrand":     false,
 		"errdrop":     false,
+		"guardrace":   false,
 	}
 	for _, f := range findings {
 		if f.Suppressed {

@@ -23,6 +23,8 @@ import (
 	"testing"
 
 	"diversecast/internal/analysis"
+	"diversecast/internal/analysis/callgraph"
+	"diversecast/internal/analysis/summary"
 )
 
 // Run loads each corpus package and applies the analyzer, comparing
@@ -69,12 +71,19 @@ func runOne(t *testing.T, fset *token.FileSet, a *analysis.Analyzer, pkg *analys
 		}
 	}
 
+	// Interprocedural passes read whole-program summaries from
+	// Pass.Inter; for a corpus the "program" is the corpus package
+	// itself.
+	pkgs := []*analysis.Package{pkg}
+	prog := summary.Build(fset, pkgs, callgraph.Build(pkgs))
+
 	pass := &analysis.Pass{
 		Analyzer:  a,
 		Fset:      fset,
 		Files:     pkg.Files,
 		Pkg:       pkg.Types,
 		TypesInfo: pkg.TypesInfo,
+		Inter:     prog,
 	}
 	pass.Report = func(d analysis.Diagnostic) {
 		pos := fset.Position(d.Pos)

@@ -1,0 +1,248 @@
+package callgraph_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"diversecast/internal/analysis"
+	"diversecast/internal/analysis/callgraph"
+)
+
+// buildGraph materializes a throwaway module, loads every package,
+// and builds its call graph.
+func buildGraph(t *testing.T, files map[string]string) *callgraph.Graph {
+	t.Helper()
+	root := t.TempDir()
+	for name, content := range files {
+		path := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mod, err := analysis.FindModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := mod.ExpandPatterns("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := analysis.NewLoader(mod.Resolver())
+	loader.GoVersion = mod.GoVersion
+	var pkgs []*analysis.Package
+	for _, p := range paths {
+		pkg, err := loader.Load(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("type error in %s: %v", p, terr)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return callgraph.Build(pkgs)
+}
+
+// edges flattens the graph into "caller -kind-> callee" strings.
+func edges(g *callgraph.Graph) map[string]int {
+	out := make(map[string]int)
+	for _, n := range g.Nodes {
+		for _, e := range n.Out {
+			out[e.Caller.Name+" -"+e.Kind.String()+"-> "+e.Callee.Name]++
+		}
+	}
+	return out
+}
+
+func wantEdge(t *testing.T, got map[string]int, edge string) {
+	t.Helper()
+	if got[edge] == 0 {
+		t.Errorf("missing edge %q; have:\n  %s", edge, strings.Join(keys(got), "\n  "))
+	}
+}
+
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+const gomod = "module example.com/m\n\ngo 1.24\n"
+
+func TestStaticAndMethodCalls(t *testing.T) {
+	g := buildGraph(t, map[string]string{
+		"go.mod": gomod,
+		"a/a.go": `package a
+
+type box struct{ v int }
+
+func (b *box) get() int { return b.v }
+
+func helper() int { return 1 }
+
+func Top() int {
+	b := &box{}
+	return helper() + b.get()
+}
+`,
+	})
+	e := edges(g)
+	wantEdge(t, e, "example.com/m/a.Top -call-> example.com/m/a.helper")
+	wantEdge(t, e, "example.com/m/a.Top -call-> (*example.com/m/a.box).get")
+	// Exactly one edge per site: the method-name ident inside the
+	// call must not add a spurious ref edge.
+	if n := e["example.com/m/a.Top -ref-> (*example.com/m/a.box).get"]; n != 0 {
+		t.Errorf("call site double-counted as %d ref edge(s)", n)
+	}
+}
+
+func TestInterfaceDispatchIsBounded(t *testing.T) {
+	g := buildGraph(t, map[string]string{
+		"go.mod": gomod,
+		"a/a.go": `package a
+
+type sink interface{ put(int) }
+
+type fileSink struct{ n int }
+
+func (f *fileSink) put(v int) { f.n += v }
+
+type nullSink struct{}
+
+func (nullSink) put(int) {}
+
+type unrelated struct{}
+
+func (unrelated) other() {}
+
+func drain(s sink) { s.put(1) }
+`,
+	})
+	e := edges(g)
+	// One edge per implementing type, none to unrelated methods.
+	wantEdge(t, e, "example.com/m/a.drain -call-> (*example.com/m/a.fileSink).put")
+	wantEdge(t, e, "example.com/m/a.drain -call-> (example.com/m/a.nullSink).put")
+	for k := range e {
+		if strings.Contains(k, "drain") && strings.Contains(k, "other") {
+			t.Errorf("dispatch reached a non-implementing method: %s", k)
+		}
+	}
+}
+
+func TestGoDeferAndLiteralEdges(t *testing.T) {
+	g := buildGraph(t, map[string]string{
+		"go.mod": gomod,
+		"a/a.go": `package a
+
+func work() {}
+
+func cleanup() {}
+
+func Run() {
+	go work()
+	defer cleanup()
+	go func() {
+		work()
+	}()
+	func() { cleanup() }()
+}
+`,
+	})
+	e := edges(g)
+	wantEdge(t, e, "example.com/m/a.Run -go-> example.com/m/a.work")
+	wantEdge(t, e, "example.com/m/a.Run -defer-> example.com/m/a.cleanup")
+	// The spawned literal is its own node, reached by a go edge, and
+	// its body's call belongs to the literal node, not to Run.
+	wantEdge(t, e, "example.com/m/a.Run -go-> example.com/m/a.Run$0")
+	wantEdge(t, e, "example.com/m/a.Run$0 -call-> example.com/m/a.work")
+	// Immediately-invoked literal: a call edge, not a ref.
+	wantEdge(t, e, "example.com/m/a.Run -call-> example.com/m/a.Run$1")
+	wantEdge(t, e, "example.com/m/a.Run$1 -call-> example.com/m/a.cleanup")
+	if n := e["example.com/m/a.Run -ref-> example.com/m/a.Run$1"]; n != 0 {
+		t.Errorf("immediately-invoked literal double-counted as %d ref edge(s)", n)
+	}
+}
+
+func TestMethodValuesAndFuncRefs(t *testing.T) {
+	g := buildGraph(t, map[string]string{
+		"go.mod": gomod,
+		"a/a.go": `package a
+
+type worker struct{ n int }
+
+func (w *worker) step() { w.n++ }
+
+func apply(f func()) { f() }
+
+func free() {}
+
+func Run(w *worker) {
+	apply(w.step)
+	apply(free)
+}
+`,
+	})
+	e := edges(g)
+	wantEdge(t, e, "example.com/m/a.Run -call-> example.com/m/a.apply")
+	// The method value and the function reference keep their targets
+	// reachable even though the graph cannot see apply invoke them.
+	wantEdge(t, e, "example.com/m/a.Run -ref-> (*example.com/m/a.worker).step")
+	wantEdge(t, e, "example.com/m/a.Run -ref-> example.com/m/a.free")
+}
+
+func TestSCCCondensationOrder(t *testing.T) {
+	g := buildGraph(t, map[string]string{
+		"go.mod": gomod,
+		"a/a.go": `package a
+
+func leaf() int { return 1 }
+
+// ping and pong are mutually recursive: one SCC.
+func ping(n int) int {
+	if n == 0 {
+		return leaf()
+	}
+	return pong(n - 1)
+}
+
+func pong(n int) int { return ping(n) }
+
+func Top(n int) int { return ping(n) }
+`,
+	})
+	find := func(name string) *callgraph.Node {
+		for _, n := range g.Nodes {
+			if strings.HasSuffix(n.Name, name) {
+				return n
+			}
+		}
+		t.Fatalf("no node %q", name)
+		return nil
+	}
+	ping, pong, leaf, top := find(".ping"), find(".pong"), find(".leaf"), find(".Top")
+	if ping.SCC != pong.SCC {
+		t.Errorf("mutual recursion split across SCCs %d and %d", ping.SCC, pong.SCC)
+	}
+	if leaf.SCC == ping.SCC || top.SCC == ping.SCC {
+		t.Errorf("SCC lumped non-cyclic nodes: leaf=%d ping=%d top=%d", leaf.SCC, ping.SCC, top.SCC)
+	}
+	// Reverse topological order: callees before callers.
+	if !(leaf.SCC < ping.SCC && ping.SCC < top.SCC) {
+		t.Errorf("SCC order not callees-first: leaf=%d ping/pong=%d top=%d", leaf.SCC, ping.SCC, top.SCC)
+	}
+	// Determinism: a second build yields identical node names and IDs.
+	// (The builder walks packages, files, and declarations in fixed
+	// order, so this must hold bit-for-bit.)
+	for i, n := range g.Nodes {
+		if n.ID != i {
+			t.Errorf("node %s has ID %d at index %d", n.Name, n.ID, i)
+		}
+	}
+}

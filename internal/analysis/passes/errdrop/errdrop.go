@@ -16,6 +16,14 @@
 // shutdown courtesy, say — should carry an audited
 // //diverselint:ignore errdrop directive explaining why losing the
 // error is safe.
+//
+// With whole-program summaries (Pass.Inter) the pass also sees
+// through wrappers: an in-program function whose summary says "my
+// error return carries a netcast/wire/obs failure" — directly or
+// through a chain of such wrappers — is held to the same standard,
+// so hoisting the hot call one or three frames up no longer launders
+// the drop. Without summaries the pass degrades to flagging direct
+// hot-package calls only.
 package errdrop
 
 import (
@@ -24,6 +32,8 @@ import (
 	"strings"
 
 	"diversecast/internal/analysis"
+	"diversecast/internal/analysis/callgraph"
+	"diversecast/internal/analysis/summary"
 )
 
 // Analyzer flags dropped errors from netcast/wire/obs calls.
@@ -44,6 +54,7 @@ var hotPkgs = map[string]bool{
 }
 
 func run(pass *analysis.Pass) error {
+	prog, _ := pass.Inter.(*summary.Program) // nil: direct calls only
 	for _, f := range pass.Files {
 		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
 			continue
@@ -58,10 +69,13 @@ func run(pass *analysis.Pass) error {
 					if name, ok := hotErrCall(pass.TypesInfo, call); ok {
 						pass.Reportf(n.Pos(),
 							"error returned by %s is discarded: a hot-path failure here strands subscribers or corrupts metrics with no trace; handle it or log it", name)
+					} else if name, ok := wrappedHotCall(prog, pass.TypesInfo, call); ok {
+						pass.Reportf(n.Pos(),
+							"error returned by %s is discarded, and its error carries a netcast/wire/obs failure: hoisting the hot call into a wrapper does not make the drop safe; handle it or log it", name)
 					}
 				}
 			case *ast.AssignStmt:
-				checkBlank(pass, n)
+				checkBlank(pass, prog, n)
 			}
 			return true
 		})
@@ -69,8 +83,9 @@ func run(pass *analysis.Pass) error {
 	return nil
 }
 
-// checkBlank flags `_` bound to an error result of a hot call.
-func checkBlank(pass *analysis.Pass, as *ast.AssignStmt) {
+// checkBlank flags `_` bound to an error result of a hot call or a
+// hot-error wrapper.
+func checkBlank(pass *analysis.Pass, prog *summary.Program, as *ast.AssignStmt) {
 	if len(as.Rhs) != 1 {
 		return
 	}
@@ -78,9 +93,12 @@ func checkBlank(pass *analysis.Pass, as *ast.AssignStmt) {
 	if !ok {
 		return
 	}
-	name, ok := hotErrCall(pass.TypesInfo, call)
-	if !ok {
-		return
+	name, direct := hotErrCall(pass.TypesInfo, call)
+	wrapped := false
+	if !direct {
+		if name, wrapped = wrappedHotCall(prog, pass.TypesInfo, call); !wrapped {
+			return
+		}
 	}
 	results := resultTypes(pass.TypesInfo, call)
 	for i, lhs := range as.Lhs {
@@ -88,10 +106,47 @@ func checkBlank(pass *analysis.Pass, as *ast.AssignStmt) {
 		if !ok || id.Name != "_" || i >= len(results) || !isError(results[i]) {
 			continue
 		}
+		if wrapped {
+			pass.Reportf(as.Pos(),
+				"error returned by %s is assigned to _, and its error carries a netcast/wire/obs failure: hoisting the hot call into a wrapper does not make the drop safe; handle it or log it", name)
+			return
+		}
 		pass.Reportf(as.Pos(),
 			"error returned by %s is assigned to _: a hot-path failure here strands subscribers or corrupts metrics with no trace; handle it or log it", name)
 		return
 	}
+}
+
+// wrappedHotCall reports whether call's single in-program callee has
+// a HotError summary — its error return propagates a hot-package
+// failure through any number of in-program frames.
+func wrappedHotCall(prog *summary.Program, info *types.Info, call *ast.CallExpr) (string, bool) {
+	if prog == nil {
+		return "", false
+	}
+	var callee *callgraph.Node
+	for _, e := range prog.EdgesAt(call) {
+		if e.Kind != callgraph.Call {
+			continue
+		}
+		if callee != nil {
+			return "", false
+		}
+		callee = e.Callee
+	}
+	if callee == nil {
+		return "", false
+	}
+	s := prog.Of(callee)
+	if s == nil || !s.HotError {
+		return "", false
+	}
+	for _, t := range resultTypes(info, call) {
+		if isError(t) {
+			return types.ExprString(call.Fun), true
+		}
+	}
+	return "", false
 }
 
 // hotErrCall reports whether call targets a function in a hot package

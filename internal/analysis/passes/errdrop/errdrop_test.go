@@ -8,5 +8,5 @@ import (
 )
 
 func TestErrDrop(t *testing.T) {
-	analysistest.Run(t, "testdata", errdrop.Analyzer, "a")
+	analysistest.Run(t, "testdata", errdrop.Analyzer, "a", "inter")
 }

@@ -1,0 +1,46 @@
+// Corpus: interprocedural errdrop. send wraps the hot wire call one
+// frame up, relay and publish push it two and three frames up — each
+// carries a HotError summary, so dropping any of their errors is the
+// same bug as dropping wire.WriteJSON's. coldWork's error never
+// touches a hot package and stays errcheck territory, not errdrop's.
+package inter
+
+import (
+	"errors"
+
+	"wire"
+)
+
+func send(v any) error { return wire.WriteJSON(v) }
+
+func relay(v any) error { return send(v) }
+
+func publish(v any) error { return relay(v) }
+
+func dropOneUp(v any) {
+	send(v) // want `error returned by send is discarded, and its error carries a netcast/wire/obs failure`
+}
+
+func dropThreeUp(v any) {
+	publish(v) // want `error returned by publish is discarded, and its error carries a netcast/wire/obs failure`
+}
+
+func blankThreeUp(v any) {
+	_ = publish(v) // want `error returned by publish is assigned to _, and its error carries a netcast/wire/obs failure`
+}
+
+// Clean: propagated.
+func forward(v any) error { return publish(v) }
+
+// Clean: deferred cleanup has no caller to return to.
+func closer(v any) {
+	defer publish(v)
+}
+
+func coldWork() error { return errors.New("cold") }
+
+// Clean: a dropped cold error is sloppy but not a hot-path loss.
+func dropCold() {
+	coldWork()
+	_ = coldWork()
+}

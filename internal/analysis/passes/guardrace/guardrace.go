@@ -1,0 +1,232 @@
+// Package guardrace infers which mutex guards which struct field and
+// flags accesses that break the discipline — the PR-6 `caster.add`
+// bug class, where a field normally touched under a lock is read or
+// written outside it.
+//
+// The pass is interprocedural: it consumes the whole-program
+// summaries in Pass.Inter (see internal/analysis/summary), where
+// every field access is recorded together with the lock set held at
+// that point — including locks taken by callers (EntryHeld) and
+// locks taken through helper calls (net-acquire effects). Guard
+// relations come from two sources:
+//
+//   - Inference: field F is guarded by mutex M when at least 90% of
+//     F's accesses (outside tests, excluding atomics) hold M. The
+//     minority accesses are reported. A fully consistent field — 100%
+//     guarded, or never guarded — is silent: inference only fires on
+//     the suspicious "almost always" shape. With the 0.9 threshold
+//     this needs ten accesses or more before a single stray can
+//     fire, which keeps small single-owner structs quiet.
+//
+//   - Contracts: a `//diverselint:guard mu` directive on the field
+//     turns the relation into a hard rule — EVERY access must hold
+//     the named sibling mutex, whatever the ratio — and
+//     `//diverselint:guard none <reason>` declares the field
+//     deliberately unguarded (single-owner, set-before-spawn) and
+//     silences inference. Malformed directives are findings, like
+//     malformed suppressions.
+//
+// Mixed atomic/plain access to one field is reported too: a plain
+// load can tear under concurrent atomic writers, and a plain store
+// can lose an atomic increment. Accesses in _test.go files never
+// count — tests poke at internals from one goroutine.
+//
+// Lock and field identity is type-based ("pkg.Type.field"), so the
+// verdict covers every instance of the struct at once; accesses are
+// reported only in the package being analyzed, so a whole-program
+// relation never produces duplicate findings across packages.
+package guardrace
+
+import (
+	"sort"
+	"strings"
+
+	"diversecast/internal/analysis"
+	"diversecast/internal/analysis/summary"
+)
+
+// Analyzer flags struct-field accesses that break an inferred or
+// declared mutex-guard relation.
+var Analyzer = &analysis.Analyzer{
+	Name: "guardrace",
+	Doc: "flags struct-field accesses outside the mutex that guards the field — inferred when " +
+		"≥90% of a field's accesses hold one lock, or declared with //diverselint:guard — plus " +
+		"mixed atomic/plain access to one field; the PR-6 caster.add race class",
+	Run: run,
+}
+
+// The inference threshold, kept in integer arithmetic (9 of 10): a
+// lock guarding at least 90% of a field's accesses is assumed
+// intended to guard them all. Float math here would put the exact
+// nine-of-ten boundary at the mercy of rounding (0.9*10 > 9.0 in
+// float64), which is precisely the off-by-ulp class the repo's own
+// floateq/floatdet passes exist to keep out of cost code.
+const (
+	guardRatioNum = 9
+	guardRatioDen = 10
+)
+
+func run(pass *analysis.Pass) error {
+	prog, ok := pass.Inter.(*summary.Program)
+	if !ok || prog == nil {
+		return nil // no interprocedural state: nothing to check
+	}
+	pkgPath := pass.Pkg.Path()
+
+	specs := make(map[summary.FieldID]*summary.GuardSpec)
+	for _, g := range prog.Guards {
+		specs[g.Field] = g
+		if g.Err != "" && g.PkgPath == pkgPath {
+			pass.Reportf(g.Pos, "malformed //diverselint:guard directive: %s", g.Err)
+		}
+	}
+
+	// Group every access in the program by field, in call-graph
+	// order (deterministic).
+	byField := make(map[summary.FieldID][]*summary.Access)
+	var fields []summary.FieldID
+	for _, n := range prog.Graph.Nodes {
+		s := prog.Of(n)
+		if s == nil {
+			continue
+		}
+		for _, a := range s.Accesses {
+			if _, ok := byField[a.Field]; !ok {
+				fields = append(fields, a.Field)
+			}
+			byField[a.Field] = append(byField[a.Field], a)
+		}
+	}
+	sort.Slice(fields, func(i, j int) bool { return fields[i] < fields[j] })
+
+	for _, field := range fields {
+		accs := byField[field]
+		spec := specs[field]
+		if spec != nil && spec.None {
+			continue // declared unguarded, with an audited reason
+		}
+		checkMixedAtomic(pass, prog, pkgPath, field, accs)
+		if spec != nil && spec.Lock != "" {
+			checkContract(pass, prog, pkgPath, field, spec, accs)
+			continue
+		}
+		inferGuard(pass, prog, pkgPath, field, accs)
+	}
+	return nil
+}
+
+// checkContract enforces a //diverselint:guard declaration: every
+// non-test, non-atomic access must hold the named lock.
+func checkContract(pass *analysis.Pass, prog *summary.Program, pkgPath string, field summary.FieldID, spec *summary.GuardSpec, accs []*summary.Access) {
+	for _, a := range accs {
+		if a.Test || a.Atomic {
+			continue
+		}
+		if prog.EffectiveHeld(a)[spec.Lock] {
+			continue
+		}
+		if a.Node.Pkg.Path != pkgPath {
+			continue
+		}
+		pass.Reportf(a.Pos,
+			"%s of %s without %s held: the field is declared //diverselint:guard %s, so every access must hold the lock (or the contract must change)",
+			verb(a), display(string(field)), display(string(spec.Lock)), lockField(spec.Lock))
+	}
+}
+
+// inferGuard looks for the "almost always locked" shape and reports
+// the stray accesses.
+func inferGuard(pass *analysis.Pass, prog *summary.Program, pkgPath string, field summary.FieldID, accs []*summary.Access) {
+	heldCount := make(map[summary.LockID]int)
+	var locks []summary.LockID
+	total := 0
+	for _, a := range accs {
+		if a.Test || a.Atomic {
+			continue
+		}
+		total++
+		for l := range prog.EffectiveHeld(a) {
+			if heldCount[l] == 0 {
+				locks = append(locks, l)
+			}
+			heldCount[l]++
+		}
+	}
+	if total == 0 {
+		return
+	}
+	sort.Slice(locks, func(i, j int) bool {
+		if heldCount[locks[i]] != heldCount[locks[j]] {
+			return heldCount[locks[i]] > heldCount[locks[j]]
+		}
+		return locks[i] < locks[j]
+	})
+	for _, lock := range locks {
+		n := heldCount[lock]
+		if n == total || guardRatioDen*n < guardRatioNum*total {
+			continue
+		}
+		// lock guards ≥90% but not all: report the strays.
+		for _, a := range accs {
+			if a.Test || a.Atomic || prog.EffectiveHeld(a)[lock] {
+				continue
+			}
+			if a.Node.Pkg.Path != pkgPath {
+				continue
+			}
+			pass.Reportf(a.Pos,
+				"%s of %s without %s held: %d of %d accesses hold the lock, so this stray is almost certainly a race; take the lock, or declare the field //diverselint:guard none with a reason",
+				verb(a), display(string(field)), display(string(lock)), n, total)
+		}
+		return // one inferred guard per field is enough
+	}
+}
+
+// checkMixedAtomic reports plain unlocked accesses to a field that is
+// also accessed atomically.
+func checkMixedAtomic(pass *analysis.Pass, prog *summary.Program, pkgPath string, field summary.FieldID, accs []*summary.Access) {
+	atomics := 0
+	for _, a := range accs {
+		if a.Atomic && !a.Test {
+			atomics++
+		}
+	}
+	if atomics == 0 {
+		return
+	}
+	for _, a := range accs {
+		if a.Atomic || a.Test || len(prog.EffectiveHeld(a)) > 0 {
+			continue
+		}
+		if a.Node.Pkg.Path != pkgPath {
+			continue
+		}
+		pass.Reportf(a.Pos,
+			"plain %s of %s, which is accessed atomically elsewhere: a plain access tears against concurrent atomic writers; use sync/atomic here too, or move every access under one lock",
+			verb(a), display(string(field)))
+	}
+}
+
+func verb(a *summary.Access) string {
+	if a.Write {
+		return "write"
+	}
+	return "read"
+}
+
+// display shortens "example.com/pkg.Type.field" to "Type.field" (or
+// a package-level lock to "pkg.var") for diagnostics.
+func display(id string) string {
+	leaf := id[strings.LastIndex(id, "/")+1:] // "pkg.Type.field"
+	if i := strings.Index(leaf, "."); i >= 0 {
+		return leaf[i+1:]
+	}
+	return leaf
+}
+
+// lockField is the bare sibling field name of a lock ID, the token
+// that appears in the //diverselint:guard directive.
+func lockField(l summary.LockID) string {
+	s := string(l)
+	return s[strings.LastIndex(s, ".")+1:]
+}

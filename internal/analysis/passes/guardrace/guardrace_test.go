@@ -1,0 +1,12 @@
+package guardrace_test
+
+import (
+	"testing"
+
+	"diversecast/internal/analysis/analysistest"
+	"diversecast/internal/analysis/passes/guardrace"
+)
+
+func TestGuardRace(t *testing.T) {
+	analysistest.Run(t, "testdata", guardrace.Analyzer, "inferred", "annotated", "atomicmix")
+}

@@ -1,0 +1,33 @@
+// Corpus: //diverselint:guard contracts. An annotated field is a
+// hard rule — any access without the lock is a finding regardless of
+// ratio — and `guard none` silences inference with an audited
+// reason. Malformed directives are findings at the directive.
+package annotated
+
+import "sync"
+
+type ring struct {
+	mu sync.Mutex
+	//diverselint:guard mu
+	buf []int
+	//diverselint:guard none owned by the single writer goroutine, never shared
+	cursor int
+	//diverselint:guard nosuch // want `malformed //diverselint:guard directive: guard names unknown sibling field nosuch`
+	bad int
+}
+
+func (r *ring) Push(v int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.buf = append(r.buf, v)
+}
+
+func (r *ring) Peek() int {
+	return r.buf[0] // want `read of ring\.buf without ring\.mu held: the field is declared //diverselint:guard mu`
+}
+
+func (r *ring) Advance() {
+	r.cursor++ // declared unguarded: quiet
+}
+
+func (r *ring) Bad() int { return r.bad }

@@ -1,0 +1,36 @@
+// Corpus: mixed atomic/plain access. gauge.val is written with
+// atomic.AddInt64 but read with a plain load — the plain read can
+// tear against the atomic writer. A plain access under a lock is not
+// flagged by this rule (a deliberate lock-plus-atomic scheme should
+// be restructured, but it is not the silent-tear shape), and fields
+// of sync/atomic value types are atomic by construction.
+package atomicmix
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type gauge struct {
+	mu   sync.Mutex
+	val  int64
+	safe atomic.Int64
+}
+
+func (g *gauge) Bump() {
+	atomic.AddInt64(&g.val, 1)
+}
+
+func (g *gauge) Read() int64 {
+	return g.val // want `plain read of gauge\.val, which is accessed atomically elsewhere`
+}
+
+func (g *gauge) LockedSet(v int64) {
+	g.mu.Lock()
+	g.val = v // locked plain access: outside this rule's shape
+	g.mu.Unlock()
+}
+
+func (g *gauge) Safe() int64 { return g.safe.Load() }
+
+func (g *gauge) SafeBump() { g.safe.Add(1) }

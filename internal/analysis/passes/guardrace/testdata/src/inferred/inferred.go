@@ -1,0 +1,76 @@
+// Corpus: guard inference. counter.n is accessed ten times, nine of
+// them with counter.mu held (twice through the lockedSum helper,
+// whose callers all hold the lock — the interprocedural EntryHeld
+// path; once under a defer-unlock). The single stray is the finding.
+package inferred
+
+import "sync"
+
+type counter struct {
+	mu    sync.Mutex
+	n     int
+	quiet int
+}
+
+func (c *counter) Add() {
+	c.mu.Lock()
+	c.n++
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *counter) Get() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// lockedSum is only ever called with mu held, so its accesses count
+// as guarded through the call graph.
+func (c *counter) lockedSum() int {
+	return c.n + c.n
+}
+
+func (c *counter) Sum() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lockedSum()
+}
+
+func (c *counter) Scale(k int) {
+	c.mu.Lock()
+	c.n *= k
+	c.mu.Unlock()
+}
+
+func (c *counter) Dec() {
+	c.mu.Lock()
+	c.n--
+	c.mu.Unlock()
+}
+
+func (c *counter) Reset() {
+	c.mu.Lock()
+	c.n = 0
+	c.mu.Unlock()
+}
+
+func (c *counter) Snapshot() int {
+	c.mu.Lock()
+	v := c.n
+	c.mu.Unlock()
+	return v
+}
+
+func (c *counter) Racy() int {
+	return c.n // want `read of counter\.n without counter\.mu held: 9 of 10 accesses hold the lock`
+}
+
+// quiet has too few accesses for one stray to stay above the 90%
+// threshold: inference keeps silent rather than guess.
+func (c *counter) Bump() {
+	c.mu.Lock()
+	c.quiet++
+	c.mu.Unlock()
+	c.quiet++
+}

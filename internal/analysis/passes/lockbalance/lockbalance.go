@@ -19,15 +19,27 @@
 // balancing every exit downstream of its registration, which makes
 // the canonical `mu.Lock(); defer mu.Unlock()` prologue exactly
 // neutral.
+//
+// When whole-program summaries are available (Pass.Inter), the
+// transfer function also applies callee lock effects: a call to a
+// helper whose summary says "acquires T.mu and returns with it held"
+// adds that lock to the caller's held set — so `c.lockIt(); return`
+// is reported at the call site — and a helper that releases
+// discharges the obligation, so the lock()/unlockHelper() split
+// pattern stays quiet. Without summaries the pass degrades to its
+// original intraprocedural behavior.
 package lockbalance
 
 import (
 	"go/ast"
 	"go/token"
 	"sort"
+	"strings"
 
 	"diversecast/internal/analysis"
+	"diversecast/internal/analysis/callgraph"
 	"diversecast/internal/analysis/cfg"
+	"diversecast/internal/analysis/summary"
 )
 
 // Analyzer flags locks still held at a return or panic exit.
@@ -41,18 +53,24 @@ var Analyzer = &analysis.Analyzer{
 
 // heldLock records one acquisition still outstanding: where it
 // happened and via which method (Lock vs RLock drives the suggested
-// release name).
+// release name). A non-empty via names the in-program callee whose
+// summary acquired the lock; such holds are keyed by type-based
+// summary.LockID rather than receiver text.
 type heldLock struct {
-	pos    token.Pos
-	method string
+	pos     token.Pos
+	method  string
+	via     string
+	summary bool
 }
 
-// fact maps a lock's receiver-expression text to its outstanding
-// acquisition. Must-analysis: a key is present only if the lock is
-// held on every path reaching the point.
+// fact maps a lock key — receiver-expression text for direct
+// acquisitions, summary.LockID for callee-acquired locks — to its
+// outstanding acquisition. Must-analysis: a key is present only if
+// the lock is held on every path reaching the point.
 type fact map[string]heldLock
 
 func run(pass *analysis.Pass) error {
+	prog, _ := pass.Inter.(*summary.Program) // nil: intraprocedural only
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			var body *ast.BlockStmt
@@ -68,7 +86,7 @@ func run(pass *analysis.Pass) error {
 				// Each function (and each closure) balances its own
 				// acquisitions; nested literals are visited by their
 				// own Inspect step and excluded from this CFG.
-				checkFunc(pass, body)
+				checkFunc(pass, prog, body)
 			}
 			return true
 		})
@@ -76,13 +94,13 @@ func run(pass *analysis.Pass) error {
 	return nil
 }
 
-func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+func checkFunc(pass *analysis.Pass, prog *summary.Program, body *ast.BlockStmt) {
 	g := cfg.New(body, cfg.Options{NoReturn: cfg.NoReturn(pass.TypesInfo)})
 	facts := cfg.Forward(g, cfg.Lattice[fact]{
 		Entry: fact{},
 		Join:  intersect,
 		Transfer: func(n ast.Node, f fact) fact {
-			return transfer(pass, n, f)
+			return transfer(pass, prog, n, f)
 		},
 		Equal: equal,
 	})
@@ -114,6 +132,12 @@ func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
 				continue
 			}
 			reported[h.pos] = true
+			if h.summary {
+				pass.Reportf(h.pos,
+					"%s() returns with %s held and it is not released on every path to %s: unlock after the call or make %s balance its own lock",
+					h.via, displayLock(k), exitKind(b.Term), h.via)
+				continue
+			}
 			pass.Reportf(h.pos,
 				"%s.%s() is not released on every path to %s: unlock before the early exit or use defer %s.%s()",
 				k, h.method, exitKind(b.Term), k, releaseName(h.method))
@@ -139,7 +163,19 @@ func releaseName(acquire string) string {
 	return "Unlock"
 }
 
-func transfer(pass *analysis.Pass, n ast.Node, f fact) fact {
+// displayLock shortens a type-based lock key
+// ("pkg/path.Type.field") to "Type.field" for diagnostics;
+// package-level locks ("pkg/path.var") and receiver-text keys pass
+// through with just the import path trimmed.
+func displayLock(k string) string {
+	leaf := k[strings.LastIndex(k, "/")+1:]
+	if i := strings.Index(leaf, "."); i >= 0 && strings.Count(leaf, ".") >= 2 {
+		return leaf[i+1:]
+	}
+	return leaf
+}
+
+func transfer(pass *analysis.Pass, prog *summary.Program, n ast.Node, f fact) fact {
 	switch n := n.(type) {
 	case *ast.ExprStmt:
 		recv, method, op := analysis.ClassifyLockCall(pass.TypesInfo, n.X)
@@ -149,11 +185,10 @@ func transfer(pass *analysis.Pass, n ast.Node, f fact) fact {
 			out[recv] = heldLock{pos: n.X.(*ast.CallExpr).Pos(), method: method}
 			return out
 		case analysis.LockRelease:
-			if _, ok := f[recv]; ok {
-				out := clone(f)
-				delete(out, recv)
-				return out
-			}
+			return discharge(f, recv)
+		}
+		if call, ok := n.X.(*ast.CallExpr); ok {
+			return applyCalleeEffects(prog, call, f)
 		}
 
 	case *ast.DeferStmt:
@@ -161,11 +196,11 @@ func transfer(pass *analysis.Pass, n ast.Node, f fact) fact {
 		// every path passing this registration: the balance
 		// obligation is discharged here, path-sensitively. Covers
 		// both `defer mu.Unlock()` and `defer func() { mu.Unlock() }()`.
-		released := deferredReleases(pass, n)
+		released := deferredReleases(pass, prog, n)
 		if len(released) > 0 {
-			out := clone(f)
+			out := f
 			for _, recv := range released {
-				delete(out, recv)
+				out = discharge(out, recv)
 			}
 			return out
 		}
@@ -173,15 +208,82 @@ func transfer(pass *analysis.Pass, n ast.Node, f fact) fact {
 	return f
 }
 
-// deferredReleases collects the receiver texts of every unlock a
-// defer statement guarantees.
-func deferredReleases(pass *analysis.Pass, d *ast.DeferStmt) []string {
+// applyCalleeEffects folds an in-program callee's net lock effects
+// into the caller's held set: a net-acquiring helper leaves its locks
+// held at the call site, a net-releasing helper discharges them.
+// Multi-target sites (interface dispatch) apply nothing — the must-
+// analysis cannot assume effects every implementation may not share.
+func applyCalleeEffects(prog *summary.Program, call *ast.CallExpr, f fact) fact {
+	if prog == nil {
+		return f
+	}
+	var callee *callgraph.Node
+	for _, e := range prog.EdgesAt(call) {
+		if e.Kind != callgraph.Call {
+			continue
+		}
+		if callee != nil {
+			return f
+		}
+		callee = e.Callee
+	}
+	if callee == nil {
+		return f
+	}
+	s := prog.Of(callee)
+	if s == nil || (len(s.NetAcquire) == 0 && len(s.NetRelease) == 0) {
+		return f
+	}
+	out := clone(f)
+	acquired := make([]string, 0, len(s.NetAcquire))
+	for lock := range s.NetAcquire {
+		acquired = append(acquired, string(lock))
+	}
+	sort.Strings(acquired)
+	for _, lock := range acquired {
+		out[lock] = heldLock{pos: call.Pos(), method: "Lock", via: callee.Name, summary: true}
+	}
+	for lock := range s.NetRelease {
+		out = discharge(out, string(lock))
+	}
+	return out
+}
+
+// discharge removes a released lock from the held set. The release
+// and the acquisition may live in different namespaces — a direct
+// `c.mu.Unlock()` is keyed by receiver text while a helper-acquired
+// hold is keyed by type-based LockID (and vice versa) — so besides
+// the exact key, any hold whose final field component matches the
+// release's is dropped. Matching by field name alone can discharge a
+// sibling lock of the same name, which errs exactly the way this
+// must-analysis always errs: toward silence, never a false leak.
+func discharge(f fact, key string) fact {
+	field := key[strings.LastIndex(key, ".")+1:]
+	out := f
+	cloned := false
+	for k := range f {
+		if k != key && k[strings.LastIndex(k, ".")+1:] != field {
+			continue
+		}
+		if !cloned {
+			out, cloned = clone(f), true
+		}
+		delete(out, k)
+	}
+	return out
+}
+
+// deferredReleases collects the lock keys every unlock a defer
+// statement guarantees: direct `defer mu.Unlock()`, unlocks inside a
+// deferred closure, and — when summaries are available — a deferred
+// helper whose net effect is a release (`defer c.cleanup()`).
+func deferredReleases(pass *analysis.Pass, prog *summary.Program, d *ast.DeferStmt) []string {
 	if recv, _, op := analysis.ClassifyLockCall(pass.TypesInfo, d.Call); op == analysis.LockRelease {
 		return []string{recv}
 	}
 	lit, ok := d.Call.Fun.(*ast.FuncLit)
 	if !ok {
-		return nil
+		return summaryReleases(prog, d.Call)
 	}
 	var out []string
 	ast.Inspect(lit.Body, func(n ast.Node) bool {
@@ -191,10 +293,43 @@ func deferredReleases(pass *analysis.Pass, d *ast.DeferStmt) []string {
 		if es, ok := n.(*ast.ExprStmt); ok {
 			if recv, _, op := analysis.ClassifyLockCall(pass.TypesInfo, es.X); op == analysis.LockRelease {
 				out = append(out, recv)
+			} else if call, ok := es.X.(*ast.CallExpr); ok {
+				out = append(out, summaryReleases(prog, call)...)
 			}
 		}
 		return true
 	})
+	return out
+}
+
+// summaryReleases is the net-release set of a call's single
+// in-program callee, as lock keys.
+func summaryReleases(prog *summary.Program, call *ast.CallExpr) []string {
+	if prog == nil {
+		return nil
+	}
+	var callee *callgraph.Node
+	for _, e := range prog.EdgesAt(call) {
+		if e.Kind != callgraph.Call && e.Kind != callgraph.Defer {
+			continue
+		}
+		if callee != nil {
+			return nil
+		}
+		callee = e.Callee
+	}
+	if callee == nil {
+		return nil
+	}
+	s := prog.Of(callee)
+	if s == nil {
+		return nil
+	}
+	out := make([]string, 0, len(s.NetRelease))
+	for lock := range s.NetRelease {
+		out = append(out, string(lock))
+	}
+	sort.Strings(out)
 	return out
 }
 

@@ -8,5 +8,5 @@ import (
 )
 
 func TestLockBalance(t *testing.T) {
-	analysistest.Run(t, "testdata", lockbalance.Analyzer, "a")
+	analysistest.Run(t, "testdata", lockbalance.Analyzer, "a", "inter")
 }

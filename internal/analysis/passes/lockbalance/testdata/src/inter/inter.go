@@ -1,0 +1,69 @@
+// Corpus: interprocedural lock balance. lockIt's summary says "net
+// acquire of store.mu", so a caller that returns without releasing
+// leaks the lock at the call site; unlockIt's net-release discharges
+// the obligation whether the Lock was direct or through the helper,
+// and a deferred net-releasing helper balances the prologue the same
+// way defer mu.Unlock() does.
+package inter
+
+import "sync"
+
+type store struct {
+	mu sync.Mutex
+	n  int
+}
+
+// lockIt returns with mu held: callers own the release. The helper
+// itself still carries the intraprocedural finding — returning with a
+// lock held is a deliberate-but-unusual contract that a real tree
+// would mark with an audited //diverselint:ignore.
+func (s *store) lockIt() {
+	s.mu.Lock() // want `s\.mu\.Lock\(\) is not released on every path to return`
+}
+
+// unlockIt releases a lock the caller acquired.
+func (s *store) unlockIt() {
+	s.mu.Unlock()
+}
+
+func (s *store) Leak() int {
+	s.lockIt() // want `lockIt\(\) returns with store\.mu held and it is not released on every path to return`
+	return s.n
+}
+
+func (s *store) BalancedDirect() int {
+	s.lockIt()
+	v := s.n
+	s.mu.Unlock()
+	return v
+}
+
+func (s *store) BalancedHelper() int {
+	s.mu.Lock()
+	v := s.n
+	s.unlockIt()
+	return v
+}
+
+func (s *store) BalancedBothHelpers() int {
+	s.lockIt()
+	v := s.n
+	s.unlockIt()
+	return v
+}
+
+func (s *store) DeferredHelper() int {
+	s.lockIt()
+	defer s.unlockIt()
+	return s.n
+}
+
+func (s *store) EarlyReturnLeak(bad bool) int {
+	s.lockIt() // want `lockIt\(\) returns with store\.mu held and it is not released on every path to return`
+	if bad {
+		return -1
+	}
+	v := s.n
+	s.mu.Unlock()
+	return v
+}

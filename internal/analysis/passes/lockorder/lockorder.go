@@ -1,0 +1,148 @@
+// Package lockorder flags inconsistent lock-acquisition order: one
+// function takes A then B, another takes B then A. Two goroutines
+// running those functions concurrently can each hold their first
+// lock and block forever on the second — the classic ABBA deadlock,
+// invisible to any single-function analysis.
+//
+// The pass reads the whole-program summaries in Pass.Inter: every
+// lock acquisition (direct mu.Lock(), or transitive through a
+// callee's net-acquire effect) is recorded with the set of locks
+// already held, including locks held by callers (EntryHeld). Lock
+// identity is type-based ("pkg.Type.field"), so an order violation
+// between two instances of the same struct pair is still caught —
+// and, as with any type-based lockset, ordered self-locking of two
+// distinct instances (a.mu then b.mu by address order) will be
+// flagged as A-then-A; such deliberate hierarchies should carry an
+// audited suppression.
+//
+// Each conflicting direction is reported once per acquisition site,
+// citing a site that acquires in the opposite order, and only in the
+// package being analyzed so whole-program pairs never duplicate
+// across packages.
+package lockorder
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"sort"
+
+	"diversecast/internal/analysis"
+	"diversecast/internal/analysis/callgraph"
+	"diversecast/internal/analysis/summary"
+)
+
+// Analyzer flags ABBA lock-order inversions across the program.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc: "flags lock pairs acquired in opposite orders in different functions (A→B here, B→A " +
+		"elsewhere): two goroutines interleaving those paths deadlock holding one lock each; " +
+		"pick one global acquisition order",
+	Run: run,
+}
+
+// an ordered acquisition: inner taken while outer held.
+type ordered struct {
+	outer, inner summary.LockID
+}
+
+type site struct {
+	node *callgraph.Node
+	pos  token.Pos
+	via  string
+}
+
+func run(pass *analysis.Pass) error {
+	prog, ok := pass.Inter.(*summary.Program)
+	if !ok || prog == nil {
+		return nil
+	}
+	pkgPath := pass.Pkg.Path()
+
+	// Collect every ordered pair in the program, in call-graph order.
+	pairs := make(map[ordered][]site)
+	var order []ordered
+	for _, n := range prog.Graph.Nodes {
+		s := prog.Of(n)
+		if s == nil {
+			continue
+		}
+		for _, acq := range s.Acquires {
+			outer := make(map[summary.LockID]bool, len(acq.Held)+len(s.EntryHeld))
+			for l := range acq.Held {
+				outer[l] = true
+			}
+			for l := range s.EntryHeld {
+				outer[l] = true
+			}
+			for _, l := range sortedLocks(outer) {
+				if l == acq.Lock {
+					continue
+				}
+				o := ordered{outer: l, inner: acq.Lock}
+				if _, ok := pairs[o]; !ok {
+					order = append(order, o)
+				}
+				pairs[o] = append(pairs[o], site{node: n, pos: acq.Pos, via: acq.Via})
+			}
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].outer != order[j].outer {
+			return order[i].outer < order[j].outer
+		}
+		return order[i].inner < order[j].inner
+	})
+
+	for _, o := range order {
+		rev := ordered{outer: o.inner, inner: o.outer}
+		against, ok := pairs[rev]
+		if !ok {
+			continue
+		}
+		for _, s := range pairs[o] {
+			if s.node.Pkg.Path != pkgPath {
+				continue
+			}
+			suffix := ""
+			if s.via != "" {
+				suffix = fmt.Sprintf(" (via %s)", s.via)
+			}
+			pass.Reportf(s.pos,
+				"%s is acquired%s while %s is held, but %s takes them in the opposite order at %s: interleaved goroutines deadlock holding one lock each; pick one global order",
+				displayLock(o.inner), suffix, displayLock(o.outer),
+				against[0].node.Name, posLabel(prog, against[0].pos))
+		}
+	}
+	return nil
+}
+
+func sortedLocks(m map[summary.LockID]bool) []summary.LockID {
+	out := make([]summary.LockID, 0, len(m))
+	for l := range m {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func displayLock(l summary.LockID) string {
+	s := string(l)
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '/' {
+			s = s[i+1:]
+			break
+		}
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] == '.' {
+			return s[i+1:]
+		}
+	}
+	return s
+}
+
+func posLabel(prog *summary.Program, pos token.Pos) string {
+	p := prog.Fset.Position(pos)
+	return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+}

@@ -1,0 +1,68 @@
+// Corpus: ABBA lock-order inversion. AB takes a then b, BA takes b
+// then a — interleaved goroutines deadlock holding one lock each.
+// The duo pair exercises the interprocedural path: CD reaches d
+// through the lockD helper (a net-acquire summary), and lockD itself
+// inherits c from its only caller (EntryHeld), so both the call site
+// and the helper's own Lock line carry the inverted pair. The other
+// pair is taken in one consistent order everywhere and stays quiet.
+package order
+
+import "sync"
+
+type system struct {
+	a, b sync.Mutex
+}
+
+func (s *system) AB() {
+	s.a.Lock()
+	s.b.Lock() // want `system\.b is acquired while system\.a is held`
+	s.b.Unlock()
+	s.a.Unlock()
+}
+
+func (s *system) BA() {
+	s.b.Lock()
+	s.a.Lock() // want `system\.a is acquired while system\.b is held`
+	s.a.Unlock()
+	s.b.Unlock()
+}
+
+type duo struct {
+	c, d sync.Mutex
+}
+
+func (t *duo) CD() {
+	t.c.Lock()
+	t.lockD() // want `duo\.d is acquired \(via .*lockD\) while duo\.c is held`
+	t.d.Unlock()
+	t.c.Unlock()
+}
+
+func (t *duo) DC() {
+	t.d.Lock()
+	t.c.Lock() // want `duo\.c is acquired while duo\.d is held`
+	t.c.Unlock()
+	t.d.Unlock()
+}
+
+func (t *duo) lockD() {
+	t.d.Lock() // want `duo\.d is acquired while duo\.c is held`
+}
+
+type other struct {
+	x, y sync.Mutex
+}
+
+func (o *other) One() {
+	o.x.Lock()
+	o.y.Lock()
+	o.y.Unlock()
+	o.x.Unlock()
+}
+
+func (o *other) Two() {
+	o.x.Lock()
+	o.y.Lock()
+	o.y.Unlock()
+	o.x.Unlock()
+}

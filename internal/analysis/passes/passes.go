@@ -11,7 +11,9 @@ import (
 	"diversecast/internal/analysis/passes/floatdet"
 	"diversecast/internal/analysis/passes/floateq"
 	"diversecast/internal/analysis/passes/goroleak"
+	"diversecast/internal/analysis/passes/guardrace"
 	"diversecast/internal/analysis/passes/lockbalance"
+	"diversecast/internal/analysis/passes/lockorder"
 	"diversecast/internal/analysis/passes/locksend"
 	"diversecast/internal/analysis/passes/obsnames"
 )
@@ -25,7 +27,9 @@ func All() []*analysis.Analyzer {
 		floatdet.Analyzer,
 		floateq.Analyzer,
 		goroleak.Analyzer,
+		guardrace.Analyzer,
 		lockbalance.Analyzer,
+		lockorder.Analyzer,
 		locksend.Analyzer,
 		obsnames.Analyzer,
 	}

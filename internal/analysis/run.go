@@ -26,8 +26,10 @@ func (f Finding) String() string {
 // findings sorted by position. Suppressed findings are included
 // (marked) so drivers can count or display them; malformed
 // suppression directives are reported as findings of the pseudo
-// analyzer "ignorespec".
-func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+// analyzer "ignorespec". inter is the whole-program interprocedural
+// state handed to every pass via Pass.Inter (nil disables the
+// interprocedural passes' cross-function reasoning).
+func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer, inter any) ([]Finding, error) {
 	var findings []Finding
 	for _, pkg := range pkgs {
 		byLine := make(map[string]map[int][]*Suppression) // filename -> line -> directives
@@ -50,6 +52,7 @@ func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Finding
 				Files:     pkg.Files,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.TypesInfo,
+				Inter:     inter,
 			}
 			pass.Report = func(d Diagnostic) {
 				pos := fset.Position(d.Pos)

@@ -1,0 +1,352 @@
+package summary
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"diversecast/internal/analysis/callgraph"
+)
+
+// recordAccesses walks one CFG node and appends an Access per struct
+// field it touches, with the lock set held before the node runs.
+// Nested function literals are excluded (they are their own nodes,
+// with their own lock context); expressions inside go/defer
+// statements ARE included — receiver and arguments are evaluated at
+// the statement, whatever happens to the call itself.
+func (c *comp) recordAccesses(node ast.Node, f fact, s *FuncSummary, inTest bool) {
+	r := &accessRec{c: c, f: f, s: s, test: inTest}
+	switch n := node.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range n.Lhs {
+			r.write(lhs)
+		}
+		for _, rhs := range n.Rhs {
+			r.read(rhs)
+		}
+	case *ast.IncDecStmt:
+		r.write(n.X)
+	default:
+		r.read(node)
+	}
+}
+
+type accessRec struct {
+	c    *comp
+	f    fact
+	s    *FuncSummary
+	test bool
+}
+
+// write records e as a mutation target: the field assigned, or — for
+// element/deref writes — the field whose contents are written
+// through.
+func (r *accessRec) write(e ast.Expr) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if r.record(e, true, false) {
+			r.read(e.X)
+			return
+		}
+		r.read(e)
+	case *ast.IndexExpr:
+		// s.buf[i] = v mutates what s.buf holds.
+		r.write(e.X)
+		r.read(e.Index)
+	case *ast.StarExpr:
+		// *p = v writes through the pointer; reading p is what
+		// touches the field.
+		r.read(e.X)
+	default:
+		r.read(e)
+	}
+}
+
+// read walks root recording every field access, treating &f as a
+// write (the pointer may be written through) and classifying
+// sync/atomic calls on &f as atomic.
+func (r *accessRec) read(root ast.Node) {
+	if root == nil {
+		return
+	}
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if name, ok := atomicCall(r.c.info, n); ok {
+				for _, arg := range n.Args {
+					if u, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && u.Op.String() == "&" {
+						if sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr); ok {
+							if r.recordAtomic(sel, atomicWrites(name)) {
+								r.read(sel.X)
+								continue
+							}
+						}
+					}
+					r.read(arg)
+				}
+				r.read(n.Fun)
+				return false
+			}
+			return true
+		case *ast.UnaryExpr:
+			if n.Op.String() == "&" {
+				if sel, ok := ast.Unparen(n.X).(*ast.SelectorExpr); ok {
+					if r.record(sel, true, false) {
+						r.read(sel.X)
+						return false
+					}
+				}
+			}
+			return true
+		case *ast.SelectorExpr:
+			if r.record(n, false, false) {
+				r.read(n.X)
+				return false
+			}
+			return true
+		}
+		return true
+	})
+}
+
+// record appends an Access if e selects a struct field of an
+// in-program type, reporting whether it did (so the caller recurses
+// into the base expression itself).
+func (r *accessRec) record(e *ast.SelectorExpr, write, atomic bool) bool {
+	sel, ok := r.c.info.Selections[e]
+	if !ok || sel.Kind() != types.FieldVal {
+		return false
+	}
+	id, fld := r.c.fieldID(sel)
+	if id == "" {
+		return false
+	}
+	switch syncKind(fld.Type()) {
+	case "sync":
+		return true // the lock itself is not guarded data
+	case "atomic":
+		atomic = true
+	}
+	r.s.Accesses = append(r.s.Accesses, &Access{
+		Field:  id,
+		Pos:    e.Sel.Pos(),
+		Write:  write,
+		Atomic: atomic,
+		Test:   r.test,
+		Node:   r.c.n,
+		Held:   cloneSet(r.f.held),
+	})
+	return true
+}
+
+func (r *accessRec) recordAtomic(e *ast.SelectorExpr, write bool) bool {
+	return r.record(e, write, true)
+}
+
+// atomicCall reports whether the call targets sync/atomic, returning
+// the function name.
+func atomicCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return "", false
+	}
+	return fn.Name(), true
+}
+
+// atomicWrites reports whether the named sync/atomic function mutates
+// its target.
+func atomicWrites(name string) bool {
+	return !strings.HasPrefix(name, "Load")
+}
+
+// hotPkgs are the import-path leaves whose error returns must not be
+// dropped — shared vocabulary with the errdrop pass.
+var hotPkgs = map[string]bool{
+	"netcast": true,
+	"wire":    true,
+	"obs":     true,
+}
+
+// hotError reports whether the function returns an error that may
+// originate from a hot-package call — directly (`return wire.X()`),
+// via a local (`err := wire.X(); ...; return err`), or transitively
+// through an in-program callee whose own summary is hot.
+func (c *comp) hotError() bool {
+	if !returnsError(c.n) {
+		return false
+	}
+	// Pass 1: objects assigned from hot calls, flow-insensitively.
+	hot := make(map[types.Object]bool)
+	c.walkOwn(func(n ast.Node) {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return
+		}
+		tainted := false
+		for _, rhs := range as.Rhs {
+			if c.anyHotCall(rhs) {
+				tainted = true
+				break
+			}
+		}
+		if !tainted {
+			return
+		}
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				if obj := c.info.Defs[id]; obj != nil {
+					hot[obj] = true
+				} else if obj := c.info.Uses[id]; obj != nil {
+					hot[obj] = true
+				}
+			}
+		}
+	})
+	// Pass 2: does any return carry the taint?
+	found := false
+	c.walkOwn(func(n ast.Node) {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || found {
+			return
+		}
+		if len(ret.Results) == 0 {
+			// Naked return: named results carry whatever was
+			// assigned to them.
+			for obj := range hot {
+				if v, ok := obj.(*types.Var); ok && isNamedResult(c.n, v) {
+					found = true
+					return
+				}
+			}
+			return
+		}
+		for _, res := range ret.Results {
+			if c.anyHotCall(res) {
+				found = true
+				return
+			}
+			if id, ok := ast.Unparen(res).(*ast.Ident); ok && hot[c.info.Uses[id]] {
+				found = true
+				return
+			}
+		}
+	})
+	return found
+}
+
+// walkOwn visits the function body excluding nested literals.
+func (c *comp) walkOwn(visit func(ast.Node)) {
+	ast.Inspect(c.n.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}
+
+// anyHotCall reports whether e contains a call whose error result
+// originates in a hot package or a hot-summary callee.
+func (c *comp) anyHotCall(e ast.Expr) bool {
+	hot := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if hot {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if c.isHotCall(call) {
+			hot = true
+			return false
+		}
+		return true
+	})
+	return hot
+}
+
+func (c *comp) isHotCall(call *ast.CallExpr) bool {
+	var fn *types.Func
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ = c.info.Uses[fun].(*types.Func)
+	case *ast.SelectorExpr:
+		fn, _ = c.info.Uses[fun.Sel].(*types.Func)
+	}
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	path := fn.Pkg().Path()
+	if hotPkgs[path[strings.LastIndex(path, "/")+1:]] && callReturnsError(c.info, call) {
+		return true
+	}
+	// Transitive: a single in-program callee whose summary is hot.
+	if callee := singleCallee(c.p.sites[call], callgraph.Call); callee != nil {
+		if cs := c.p.Funcs[callee]; cs != nil && cs.HotError {
+			return true
+		}
+	}
+	return false
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func callReturnsError(info *types.Info, call *ast.CallExpr) bool {
+	t := info.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if types.Identical(tuple.At(i).Type(), errorType) {
+				return true
+			}
+		}
+		return false
+	}
+	return types.Identical(t, errorType)
+}
+
+// returnsError reports whether the node's signature includes an error
+// result.
+func returnsError(n *callgraph.Node) bool {
+	sig := n.Signature()
+	if sig == nil {
+		return false
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if types.Identical(res.At(i).Type(), errorType) {
+			return true
+		}
+	}
+	return false
+}
+
+// isNamedResult reports whether v is one of the function's named
+// results.
+func isNamedResult(n *callgraph.Node, v *types.Var) bool {
+	sig := n.Signature()
+	if sig == nil {
+		return false
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if res.At(i) == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,194 @@
+package summary
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"diversecast/internal/analysis"
+)
+
+// guardPrefix introduces a field guard contract:
+//
+//	//diverselint:guard mu            — field is guarded by sibling mutex mu
+//	//diverselint:guard none <reason> — field is deliberately unguarded
+//	                                    (single-owner, immutable-after-init, ...)
+//
+// The directive rides on a struct field's doc comment or line
+// comment. A named guard turns inference into a hard contract: EVERY
+// non-test, non-atomic access must hold the lock, whatever the
+// observed ratio. `none` silences inference for the field and
+// requires a reason, mirroring the audited-suppression rule.
+const guardPrefix = "//diverselint:guard"
+
+// A GuardSpec is one parsed //diverselint:guard directive.
+type GuardSpec struct {
+	// Field is the annotated field ("pkg.Type.field").
+	Field FieldID
+	// Lock is the named guard ("pkg.Type.lockfield"); empty for
+	// none-directives and malformed ones.
+	Lock LockID
+	// None marks a deliberate opt-out.
+	None bool
+	// Reason is the text after `none`.
+	Reason string
+	// Pos is the directive's position.
+	Pos token.Pos
+	// PkgPath is the package the struct is declared in (passes report
+	// a spec only when analyzing its package).
+	PkgPath string
+	// Err describes a malformed directive (unknown lock field,
+	// missing reason); the guardrace pass reports it verbatim.
+	Err string
+}
+
+// collectGuards parses every //diverselint:guard directive in the
+// analyzed packages, in package/file/declaration order.
+func (p *Program) collectGuards(pkgs []*analysis.Package) {
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			if strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "_test.go") {
+				continue
+			}
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					p.guardStruct(pkg, ts.Name.Name, st)
+				}
+			}
+		}
+	}
+}
+
+func (p *Program) guardStruct(pkg *analysis.Package, typeName string, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		text, pos, ok := guardDirective(field)
+		if !ok {
+			continue
+		}
+		for _, name := range fieldNames(field) {
+			spec := &GuardSpec{
+				Field:   FieldID(pkg.Path + "." + typeName + "." + name),
+				Pos:     pos,
+				PkgPath: pkg.Path,
+			}
+			p.parseGuard(spec, pkg, st, text)
+			p.Guards = append(p.Guards, spec)
+		}
+	}
+}
+
+// guardDirective extracts the directive text from a field's doc or
+// line comment.
+func guardDirective(field *ast.Field) (string, token.Pos, bool) {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if c.Text == guardPrefix || strings.HasPrefix(c.Text, guardPrefix+" ") {
+				return strings.TrimSpace(strings.TrimPrefix(c.Text, guardPrefix)), c.Pos(), true
+			}
+		}
+	}
+	return "", token.NoPos, false
+}
+
+// fieldNames lists a field's declared names; an embedded field is
+// named after its type.
+func fieldNames(field *ast.Field) []string {
+	if len(field.Names) > 0 {
+		out := make([]string, len(field.Names))
+		for i, n := range field.Names {
+			out[i] = n.Name
+		}
+		return out
+	}
+	// Embedded: strip pointer and package qualifier.
+	t := field.Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	switch t := t.(type) {
+	case *ast.Ident:
+		return []string{t.Name}
+	case *ast.SelectorExpr:
+		return []string{t.Sel.Name}
+	}
+	return nil
+}
+
+// parseGuard fills spec from the directive text, validating the named
+// lock against the enclosing struct.
+func (p *Program) parseGuard(spec *GuardSpec, pkg *analysis.Package, st *ast.StructType, text string) {
+	if text == "" {
+		spec.Err = "missing guard: want a sibling mutex field name or `none <reason>`"
+		return
+	}
+	name, rest, _ := strings.Cut(text, " ")
+	if name == "none" {
+		reason := strings.TrimSpace(rest)
+		if reason == "" {
+			spec.Err = "guard none needs a reason (why is unguarded access safe?)"
+			return
+		}
+		spec.None = true
+		spec.Reason = reason
+		return
+	}
+	// The guard must be a sibling sync.Mutex/RWMutex field.
+	lockField := findField(st, name)
+	if lockField == nil {
+		spec.Err = "guard names unknown sibling field " + name
+		return
+	}
+	if !isMutexType(pkg, lockField.Type) {
+		spec.Err = "guard field " + name + " is not a sync.Mutex or sync.RWMutex"
+		return
+	}
+	// pkg.Type derived from the annotated field's own ID.
+	prefix := string(spec.Field[:strings.LastIndex(string(spec.Field), ".")])
+	spec.Lock = LockID(prefix + "." + name)
+}
+
+func findField(st *ast.StructType, name string) *ast.Field {
+	for _, field := range st.Fields.List {
+		for _, n := range field.Names {
+			if n.Name == name {
+				return field
+			}
+		}
+		if len(field.Names) == 0 {
+			for _, n := range fieldNames(field) {
+				if n == name {
+					return field
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func isMutexType(pkg *analysis.Package, expr ast.Expr) bool {
+	t := pkg.TypesInfo.TypeOf(expr)
+	if t == nil {
+		return false
+	}
+	named, _ := deref(t).(*types.Named)
+	if named == nil || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return false
+	}
+	return named.Obj().Name() == "Mutex" || named.Obj().Name() == "RWMutex"
+}

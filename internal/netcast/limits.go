@@ -18,11 +18,15 @@ import (
 // and the ring's tiered backpressure (resync, then drop) takes over —
 // the limiter never blocks the caster itself.
 type tokenBucket struct {
-	mu     sync.Mutex
-	rate   float64 // tokens per second
-	burst  float64 // maximum banked tokens
+	mu sync.Mutex
+	//diverselint:guard none immutable after newTokenBucket
+	rate float64 // tokens per second
+	//diverselint:guard none immutable after newTokenBucket
+	burst float64 // maximum banked tokens
+	//diverselint:guard mu
 	tokens float64
-	last   time.Time
+	//diverselint:guard mu
+	last time.Time
 }
 
 // newTokenBucket returns a bucket refilling at rate tokens/second with

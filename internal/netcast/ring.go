@@ -25,9 +25,12 @@ import "sync"
 //     read torn data: claim detects the lap and reports how many
 //     frames were lost instead of returning overwritten buffers.
 type frameRing struct {
-	mu   sync.Mutex
-	buf  [][]byte
+	mu sync.Mutex
+	//diverselint:guard mu
+	buf [][]byte
+	//diverselint:guard mu
 	head uint64
+	//diverselint:guard mu
 	wait chan struct{}
 }
 

@@ -528,8 +528,11 @@ type subscriber struct {
 	// the next frame this subscriber wants. resyncStreak counts
 	// consecutive laps; sentSinceResync clears the streak once the
 	// subscriber has proven it can keep pace for a full ring.
-	cursor          uint64
-	resyncStreak    int
+	//diverselint:guard none owned by the subscriber's single writer goroutine after registration
+	cursor uint64
+	//diverselint:guard none owned by the subscriber's single writer goroutine after registration
+	resyncStreak int
+	//diverselint:guard none owned by the subscriber's single writer goroutine after registration
 	sentSinceResync int
 
 	// out is the queue-mode outbound frame buffer.
@@ -709,9 +712,12 @@ type caster struct {
 	ring      *frameRing
 	chanLimit *tokenBucket
 
-	mu     sync.Mutex
-	subs   map[*subscriber]struct{}
-	closed bool // set by dropAll; add refuses registrations after it
+	mu sync.Mutex
+	//diverselint:guard mu
+	subs map[*subscriber]struct{}
+	// closed is set by dropAll; add refuses registrations after it.
+	//diverselint:guard mu
+	closed bool
 }
 
 func newCaster(srv *Server, channel int, epoch time.Time) *caster {
