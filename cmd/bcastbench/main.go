@@ -6,9 +6,22 @@
 // configurations) but run through testing.Benchmark so a single
 // command produces one self-describing artifact:
 //
-//   - CDSScale: the production-scale CDS grid (N up to 10k, K up to
-//     64) comparing the naive full rescan against the incremental
-//     candidate table, plus the derived naive/incremental speedups.
+//   - CDSScale: the production-scale CDS grid comparing the naive
+//     full rescan against the incremental candidate table (N up to
+//     10k, K up to 64), plus the derived naive/incremental speedups.
+//     Full runs add the large-N cells: N=10^5/K=256 comparing the
+//     incremental engine against StrategyParallel (sharded and
+//     batched), and an N=10^6/K=1024 parallel cell pinned to one
+//     iteration. Every CDS result carries the engine's strategy,
+//     worker count, batch size and the process GOMAXPROCS, so a
+//     single-core run is attributable as such: the sharded sweeps
+//     can only fold wall clock when GOMAXPROCS grants real cores.
+//   - CDSParallel: worker-scaling cells for StrategyParallel plus the
+//     bit-identity gate — the Workers=1 and Workers=8 refinements must
+//     produce identical move traces down to the float bits, and the
+//     batched mode must be worker-count-invariant the same way. A
+//     mismatch fails the run (nonzero exit), so CI enforces the
+//     determinism contract, not just the tests.
 //   - Tables2to4: the paper's worked example (DRP + CDS, cost 22.29).
 //   - Figure6/Figure7: the execution-time comparisons over K and N
 //     with GOPT pinned to Workers: 1 — timing figures measure
@@ -29,8 +42,9 @@
 //
 // Examples:
 //
-//	bcastbench -out BENCH_6.json
-//	bcastbench -quick -benchtime 1x   # CI: smallest honest signal
+//	bcastbench -out BENCH_8.json
+//	bcastbench -quick -benchtime 1x            # CI: smallest honest signal
+//	bcastbench -quick -family cdsparallel      # CI: the bit-identity gate
 package main
 
 import (
@@ -38,6 +52,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"os"
 	"runtime"
@@ -51,13 +66,21 @@ import (
 )
 
 // benchResult is one benchmark's measurements; Metrics carries the
-// custom b.ReportMetric values (cost, Wb_s).
+// custom b.ReportMetric values (cost, Wb_s). The CDS cells also record
+// the engine configuration and the process GOMAXPROCS so a reader can
+// tell a single-core artifact from a multi-core one without guessing:
+// a parallel cell measured at gomaxprocs=1 prices the engine's
+// bookkeeping, not its scaling.
 type benchResult struct {
 	Name        string             `json:"name"`
 	Iterations  int                `json:"iterations"`
 	NsPerOp     float64            `json:"ns_per_op"`
 	BytesPerOp  int64              `json:"bytes_per_op"`
 	AllocsPerOp int64              `json:"allocs_per_op"`
+	Strategy    string             `json:"strategy,omitempty"`
+	Workers     int                `json:"workers,omitempty"`
+	BatchSize   int                `json:"batch_size,omitempty"`
+	GOMAXPROCS  int                `json:"gomaxprocs,omitempty"`
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
@@ -70,13 +93,16 @@ type report struct {
 	GOOS        string             `json:"goos"`
 	GOARCH      string             `json:"goarch"`
 	NumCPU      int                `json:"num_cpu"`
+	GOMAXPROCS  int                `json:"gomaxprocs"`
 	BenchTime   string             `json:"bench_time"`
 	Quick       bool               `json:"quick"`
 	Results     []benchResult      `json:"results"`
 	Derived     map[string]float64 `json:"derived,omitempty"`
 }
 
-func (r *report) record(name string, br testing.BenchmarkResult) {
+// record appends one result and returns a pointer into the report so
+// callers can attach per-result metadata (the CDS engine tags).
+func (r *report) record(name string, br testing.BenchmarkResult) *benchResult {
 	res := benchResult{
 		Name:        name,
 		Iterations:  br.N,
@@ -92,6 +118,16 @@ func (r *report) record(name string, br testing.BenchmarkResult) {
 	}
 	r.Results = append(r.Results, res)
 	fmt.Fprintf(os.Stderr, "%-48s %12.0f ns/op\n", name, res.NsPerOp)
+	return &r.Results[len(r.Results)-1]
+}
+
+// tagCDS stamps a CDS cell's result with the engine configuration it
+// measured plus the process GOMAXPROCS.
+func tagCDS(res *benchResult, c *core.CDS) {
+	res.Strategy = c.Strategy.String()
+	res.Workers = c.Workers
+	res.BatchSize = c.BatchSize
+	res.GOMAXPROCS = runtime.GOMAXPROCS(0)
 }
 
 func main() {
@@ -104,10 +140,10 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("bcastbench", flag.ContinueOnError)
 	fs.SetOutput(out)
-	outPath := fs.String("out", "BENCH_6.json", "report path ('-' for stdout)")
-	quick := fs.Bool("quick", false, "reduced grid: skip N=10000 and the GOPT timing columns")
+	outPath := fs.String("out", "BENCH_8.json", "report path ('-' for stdout)")
+	quick := fs.Bool("quick", false, "reduced grid: skip the large-N cells and the GOPT timing columns")
 	benchTime := fs.String("benchtime", "", "per-benchmark time or iteration budget (default 3x, 1x with -quick)")
-	family := fs.String("family", "", "run only one family: cds, tables, figures, trace or fanout (empty = all)")
+	family := fs.String("family", "", "run only one family: cds, cdsparallel, tables, figures, trace or fanout (empty = all)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -131,6 +167,7 @@ func run(args []string, out io.Writer) error {
 		GOOS:        runtime.GOOS,
 		GOARCH:      runtime.GOARCH,
 		NumCPU:      runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		BenchTime:   bt,
 		Quick:       *quick,
 		Derived:     make(map[string]float64),
@@ -138,12 +175,17 @@ func run(args []string, out io.Writer) error {
 
 	want := func(name string) bool { return *family == "" || *family == name }
 	switch *family {
-	case "", "cds", "tables", "figures", "trace", "fanout":
+	case "", "cds", "cdsparallel", "tables", "figures", "trace", "fanout":
 	default:
-		return fmt.Errorf("unknown family %q (want cds, tables, figures, trace or fanout)", *family)
+		return fmt.Errorf("unknown family %q (want cds, cdsparallel, tables, figures, trace or fanout)", *family)
 	}
 	if want("cds") {
-		if err := cdsScale(rep, *quick); err != nil {
+		if err := cdsScale(rep, *quick, bt); err != nil {
+			return err
+		}
+	}
+	if want("cdsparallel") {
+		if err := cdsParallel(rep, *quick); err != nil {
 			return err
 		}
 	}
@@ -220,10 +262,40 @@ func randomAllocation(db *core.Database, k, seed int) (*core.Allocation, error) 
 	return core.NewAllocation(db, k, channel)
 }
 
+// benchCDS benchmarks one configured engine refining a fixed start,
+// records the cell with its engine tags, reports the refined cost as a
+// metric (the strict and batched engines trade per-move quality
+// differently at a pinned move budget, so the cost belongs next to the
+// timing), and returns ns/op.
+func benchCDS(rep *report, name string, cds *core.CDS, a *core.Allocation) (float64, error) {
+	var benchErr error
+	br := testing.Benchmark(func(b *testing.B) {
+		var cost float64
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			out, err := cds.Refine(a)
+			if err != nil {
+				benchErr = err
+				b.Fatal(err)
+			}
+			cost = core.Cost(out)
+		}
+		b.ReportMetric(cost, "cost")
+	})
+	if benchErr != nil {
+		return 0, benchErr
+	}
+	tagCDS(rep.record(name, br), cds)
+	return float64(br.NsPerOp()), nil
+}
+
 // cdsScale runs the CDSScale grid and derives per-cell speedups.
 // MaxMoves pins the amount of optimization work per op exactly like
 // BenchmarkCDSScale (keep the constant in sync with bench_test.go).
-func cdsScale(rep *report, quick bool) error {
+// Full runs append the large-N parallel cells; bt is the surrounding
+// -benchtime budget, restored after the N=10^6 cell pins itself to a
+// single iteration.
+func cdsScale(rep *report, quick bool, bt string) error {
 	const maxMoves = 200
 	sizes := []int{120, 1000, 10000}
 	if quick {
@@ -239,27 +311,195 @@ func cdsScale(rep *report, quick bool) error {
 			perStrategy := make(map[core.CDSStrategy]float64, 2)
 			for _, strat := range []core.CDSStrategy{core.StrategyNaive, core.StrategyIncremental} {
 				cds := &core.CDS{Strategy: strat, MaxMoves: maxMoves}
-				var benchErr error
-				br := testing.Benchmark(func(b *testing.B) {
-					b.ReportAllocs()
-					for i := 0; i < b.N; i++ {
-						if _, err := cds.Refine(a); err != nil {
-							benchErr = err
-							b.Fatal(err)
-						}
-					}
-				})
-				if benchErr != nil {
-					return benchErr
+				ns, err := benchCDS(rep, fmt.Sprintf("CDSScale/N=%d/K=%d/%s", n, k, strat), cds, a)
+				if err != nil {
+					return err
 				}
-				name := fmt.Sprintf("CDSScale/N=%d/K=%d/%s", n, k, strat)
-				rep.record(name, br)
-				perStrategy[strat] = float64(br.NsPerOp())
+				perStrategy[strat] = ns
 			}
 			if incr := perStrategy[core.StrategyIncremental]; incr > 0 {
 				rep.Derived[fmt.Sprintf("cds_speedup/N=%d/K=%d", n, k)] =
 					perStrategy[core.StrategyNaive] / incr
 			}
+		}
+	}
+	if quick {
+		return nil
+	}
+
+	// Large-N cells: the sizes the parallel engine exists for. The naive
+	// engine is excluded (an O(N·K) sweep per selection is hours here);
+	// the incremental engine is the baseline. MaxMoves=1000 keeps a cell
+	// in whole seconds while amortizing the one-time table build enough
+	// that the per-move machinery dominates. The derived speedups divide
+	// the baseline by the sharded engine (strict descent, identical
+	// moves) and by the batched engine (relaxed descent, same-cost
+	// guarantee per move only) — read them against this result's
+	// gomaxprocs tag: with one core the sharded ratio prices pure
+	// engine bookkeeping, and only the batched ratio (fewer table
+	// repairs per move, a per-core-independent saving) can exceed 1.
+	{
+		const bigN, bigK, bigMoves = 100000, 256, 1000
+		db := workload.Config{N: bigN, Theta: 0.8, Phi: 2, Seed: 1}.MustGenerate()
+		a, err := randomAllocation(db, bigK, 7)
+		if err != nil {
+			return err
+		}
+		base := fmt.Sprintf("CDSScale/N=%d/K=%d/", bigN, bigK)
+		incr, err := benchCDS(rep, base+"incremental",
+			&core.CDS{Strategy: core.StrategyIncremental, MaxMoves: bigMoves}, a)
+		if err != nil {
+			return err
+		}
+		par, err := benchCDS(rep, base+"parallel/W=8",
+			&core.CDS{Strategy: core.StrategyParallel, Workers: 8, MaxMoves: bigMoves}, a)
+		if err != nil {
+			return err
+		}
+		bat, err := benchCDS(rep, base+"parallel/W=8/B=64",
+			&core.CDS{Strategy: core.StrategyParallel, Workers: 8, BatchSize: 64, MaxMoves: bigMoves}, a)
+		if err != nil {
+			return err
+		}
+		cell := fmt.Sprintf("/N=%d/K=%d", bigN, bigK)
+		if par > 0 {
+			rep.Derived["cds_parallel_speedup"+cell] = incr / par
+		}
+		if bat > 0 {
+			rep.Derived["cds_batched_speedup"+cell] = incr / bat
+		}
+	}
+
+	// The N=10^6/K=1024 cell: the paper's environment scaled three
+	// orders past its tables. One iteration — the table build alone is
+	// N·K work, and a multi-iteration budget would push `make bench`
+	// past its patience for one data point.
+	if err := flag.Set("test.benchtime", "1x"); err != nil {
+		return err
+	}
+	defer func() { _ = flag.Set("test.benchtime", bt) }()
+	{
+		const hugeN, hugeK, hugeMoves = 1000000, 1024, 100
+		db := workload.Config{N: hugeN, Theta: 0.8, Phi: 2, Seed: 1}.MustGenerate()
+		a, err := randomAllocation(db, hugeK, 7)
+		if err != nil {
+			return err
+		}
+		name := fmt.Sprintf("CDSScale/N=%d/K=%d/parallel/W=8/B=64", hugeN, hugeK)
+		cds := &core.CDS{Strategy: core.StrategyParallel, Workers: 8, BatchSize: 64, MaxMoves: hugeMoves}
+		if _, err := benchCDS(rep, name, cds, a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sameMoves reports whether two move traces are bit-for-bit identical:
+// same length, and every move agrees on position, groups, batch
+// ordinal and the exact float bits of its Δc and cost chain.
+func sameMoves(a, b []core.Move) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		if x.Pos != y.Pos || x.From != y.From || x.To != y.To || x.Batch != y.Batch ||
+			math.Float64bits(x.Reduction) != math.Float64bits(y.Reduction) ||
+			math.Float64bits(x.CostBefore) != math.Float64bits(y.CostBefore) ||
+			math.Float64bits(x.CostAfter) != math.Float64bits(y.CostAfter) {
+			return false
+		}
+	}
+	return true
+}
+
+// cdsParallel runs the worker-scaling cells and the bit-identity gate.
+// The gate is the determinism contract enforced where CI can see it:
+// the same refinement at Workers=1 and Workers=8 must produce
+// bit-for-bit identical move traces (strict mode), and the batched
+// mode must be worker-count-invariant the same way. Any divergence
+// returns an error before the report gates, failing the run. The gate
+// needs no multi-core host — sharding is by index, so a single core
+// exercises the same shard boundaries and reduction order.
+func cdsParallel(rep *report, quick bool) error {
+	n, k, maxMoves, batch := 20000, 64, 200, 32
+	if quick {
+		n, k, maxMoves = 6000, 32, 60
+	}
+	db := workload.Config{N: n, Theta: 0.8, Phi: 2, Seed: 1}.MustGenerate()
+	a, err := randomAllocation(db, k, 7)
+	if err != nil {
+		return err
+	}
+
+	// Bit-identity gate, strict mode. Workers=1 delegates to the serial
+	// incremental selector, so this also pins parallel == incremental.
+	w1 := &core.CDS{Strategy: core.StrategyParallel, Workers: 1, MaxMoves: maxMoves}
+	w8 := &core.CDS{Strategy: core.StrategyParallel, Workers: 8, MaxMoves: maxMoves}
+	_, t1, err := w1.RefineWithTrace(a)
+	if err != nil {
+		return err
+	}
+	_, t8, err := w8.RefineWithTrace(a)
+	if err != nil {
+		return err
+	}
+	if !sameMoves(t1, t8) {
+		return fmt.Errorf("bit-identity gate: strict parallel traces diverge between Workers=1 and Workers=8 (N=%d K=%d, %d vs %d moves)", n, k, len(t1), len(t8))
+	}
+	rep.Derived["cds_parallel_bit_identity_moves"] = float64(len(t1))
+
+	// Bit-identity gate, batched mode: the descent path may differ from
+	// strict, but it must not depend on the worker count.
+	b1 := &core.CDS{Strategy: core.StrategyParallel, Workers: 1, BatchSize: batch, MaxMoves: maxMoves}
+	b8 := &core.CDS{Strategy: core.StrategyParallel, Workers: 8, BatchSize: batch, MaxMoves: maxMoves}
+	_, tb1, err := b1.RefineWithTrace(a)
+	if err != nil {
+		return err
+	}
+	_, tb8, err := b8.RefineWithTrace(a)
+	if err != nil {
+		return err
+	}
+	if !sameMoves(tb1, tb8) {
+		return fmt.Errorf("bit-identity gate: batched traces diverge between Workers=1 and Workers=8 (N=%d K=%d B=%d, %d vs %d moves)", n, k, batch, len(tb1), len(tb8))
+	}
+	rep.Derived["cds_batched_bit_identity_moves"] = float64(len(tb1))
+
+	// Timing cells: the incremental baseline against the parallel
+	// engine at increasing worker counts, then the batched mode. Quick
+	// runs keep one cell per engine mode at two worker counts — enough
+	// for CI to notice a regression sign, not to measure scaling.
+	workers := []int{1, 2, 4, 8}
+	batches := []int{8, 32}
+	if quick {
+		workers = []int{1, 8}
+		batches = []int{batch}
+	}
+	base := fmt.Sprintf("CDSParallel/N=%d/K=%d/", n, k)
+	incr, err := benchCDS(rep, base+"incremental",
+		&core.CDS{Strategy: core.StrategyIncremental, MaxMoves: maxMoves}, a)
+	if err != nil {
+		return err
+	}
+	for _, w := range workers {
+		cds := &core.CDS{Strategy: core.StrategyParallel, Workers: w, MaxMoves: maxMoves}
+		ns, err := benchCDS(rep, fmt.Sprintf("%sW=%d", base, w), cds, a)
+		if err != nil {
+			return err
+		}
+		if ns > 0 {
+			rep.Derived[fmt.Sprintf("cds_parallel_speedup_w%d/N=%d/K=%d", w, n, k)] = incr / ns
+		}
+	}
+	for _, bsz := range batches {
+		cds := &core.CDS{Strategy: core.StrategyParallel, Workers: 8, BatchSize: bsz, MaxMoves: maxMoves}
+		ns, err := benchCDS(rep, fmt.Sprintf("%sW=8/B=%d", base, bsz), cds, a)
+		if err != nil {
+			return err
+		}
+		if ns > 0 {
+			rep.Derived[fmt.Sprintf("cds_batched_speedup_b%d/N=%d/K=%d", bsz, n, k)] = incr / ns
 		}
 	}
 	return nil

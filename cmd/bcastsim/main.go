@@ -41,6 +41,8 @@ func run(args []string, out io.Writer) error {
 	fs.SetOutput(out)
 	var dbf cli.DBFlags
 	dbf.Register(fs)
+	var cdsf cli.CDSFlags
+	cdsf.Register(fs)
 	k := fs.Int("k", 6, "number of broadcast channels")
 	alg := fs.String("alg", "drp-cds", "allocation algorithm")
 	bandwidth := fs.Float64("bandwidth", 10, "channel bandwidth (size units per second)")
@@ -104,7 +106,11 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unknown mode %q (have push, pull, hybrid)", *mode)
 	}
 
-	allocator, err := cli.NewAllocator(*alg, dbf.Seed)
+	cds, err := cdsf.Refiner()
+	if err != nil {
+		return err
+	}
+	allocator, err := cli.NewAllocatorCDS(*alg, dbf.Seed, cds)
 	if err != nil {
 		return err
 	}

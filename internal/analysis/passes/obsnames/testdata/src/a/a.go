@@ -84,6 +84,29 @@ func registerWorkerPoolDynamic(r *obs.Registry, workers int) *obs.Gauge {
 	return r.Gauge("eval_workers_"+strconv.Itoa(workers), "fitness workers") // want `not a compile-time string constant`
 }
 
+// Clean: the parallel/batched CDS sweep counters — compile-time
+// snake_case names registered once at package init and flushed once
+// per refinement, never inside the sweep loops.
+func registerCDSEngines(r *obs.Registry) (*obs.Counter, *obs.Counter) {
+	sweeps := r.Counter("core_cds_parallel_sweeps_total", "sharded candidate sweeps")
+	batched := r.Counter("core_cds_batched_moves_total", "moves applied in batches")
+	return sweeps, batched
+}
+
+// Flagged: baking the worker count into the sweep counter name forks
+// one series per pool width; width belongs in a label.
+func registerCDSPerWorker(r *obs.Registry, workers int) *obs.Counter {
+	return r.Counter("core_cds_parallel_sweeps_total_"+strconv.Itoa(workers), "per-width sweeps") // want `not a compile-time string constant`
+}
+
+// Flagged: flushing per shard inside the reduction loop pays the
+// registry lock per shard; accumulate locally and flush once.
+func registerCDSInReduce(r *obs.Registry, shards int) {
+	for s := 0; s < shards; s++ {
+		r.Counter("core_cds_batched_moves_total", "moves applied in batches").Inc() // want `inside a loop`
+	}
+}
+
 // Clean: a Counter method on an unrelated type is not a
 // registration.
 type shelf struct{}

@@ -58,6 +58,42 @@ func (f *DBFlags) Load() (*core.Database, map[int]string, error) {
 	return db, nil, err
 }
 
+// CDSFlags selects the CDS move-selection engine for the drp-cds/cds
+// algorithms: strategy name, worker-pool width, and batch size (see
+// core.CDS for the semantics of each).
+type CDSFlags struct {
+	Strategy string
+	Workers  int
+	Batch    int
+}
+
+// Register installs the CDS engine flags on fs.
+func (f *CDSFlags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.Strategy, "cds-strategy", core.StrategyIncremental.String(),
+		"CDS move-selection engine: incremental, naive or parallel")
+	fs.IntVar(&f.Workers, "cds-workers", 0,
+		"parallel CDS sweep workers (0 = GOMAXPROCS, 1 = serial; parallel strategy only)")
+	fs.IntVar(&f.Batch, "cds-batch", 0,
+		"apply up to this many non-conflicting moves per sweep (parallel strategy only; <2 keeps strict steepest descent)")
+}
+
+// Refiner resolves the flags into a CDS refiner, rejecting unknown
+// strategy names and flag combinations core would refuse at Refine
+// time (so the error surfaces before any work is done).
+func (f *CDSFlags) Refiner() (*core.CDS, error) {
+	strat, err := core.ParseCDSStrategy(f.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	if f.Workers < 0 {
+		return nil, fmt.Errorf("-cds-workers must be >= 0, got %d", f.Workers)
+	}
+	if f.Batch > 1 && strat != core.StrategyParallel {
+		return nil, fmt.Errorf("-cds-batch %d requires -cds-strategy parallel, got %q", f.Batch, f.Strategy)
+	}
+	return &core.CDS{Strategy: strat, Workers: f.Workers, BatchSize: f.Batch}, nil
+}
+
 // AlgorithmNames lists the allocators NewAllocator accepts.
 func AlgorithmNames() []string {
 	names := []string{"drp", "drp-cds", "cds", "vfk", "gopt", "flat", "greedy", "contig-dp", "exhaustive"}
@@ -65,14 +101,20 @@ func AlgorithmNames() []string {
 	return names
 }
 
-// NewAllocator constructs an allocator by name. GOPT uses the
-// reference budget with the given seed.
+// NewAllocator constructs an allocator by name with the default CDS
+// engine. GOPT uses the reference budget with the given seed.
 func NewAllocator(name string, seed int64) (core.Allocator, error) {
+	return NewAllocatorCDS(name, seed, core.NewCDS())
+}
+
+// NewAllocatorCDS is NewAllocator with an explicit CDS refiner for
+// the algorithms that end in a CDS pass.
+func NewAllocatorCDS(name string, seed int64, cds *core.CDS) (core.Allocator, error) {
 	switch strings.ToLower(name) {
 	case "drp":
 		return core.NewDRP(), nil
 	case "drp-cds", "cds":
-		return core.NewDRPCDS(), nil
+		return &core.Refined{Base: core.NewDRP(), Refiner: cds}, nil
 	case "vfk":
 		return baseline.NewVFK(), nil
 	case "gopt":

@@ -5,6 +5,8 @@ import (
 	"io"
 	"strings"
 	"testing"
+
+	"diversecast/internal/core"
 )
 
 func parse(t *testing.T, args ...string) *DBFlags {
@@ -92,5 +94,62 @@ func TestNewAllocatorUnknown(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "drp-cds") {
 		t.Fatalf("error %q should list available algorithms", err)
+	}
+}
+
+func parseCDS(t *testing.T, args ...string) *CDSFlags {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	var f CDSFlags
+	f.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return &f
+}
+
+func TestCDSFlagsRoundTrip(t *testing.T) {
+	// Every strategy name round-trips through the flag into a refiner
+	// with the matching engine.
+	for _, s := range []core.CDSStrategy{core.StrategyIncremental, core.StrategyNaive, core.StrategyParallel} {
+		f := parseCDS(t, "-cds-strategy", s.String())
+		cds, err := f.Refiner()
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if cds.Strategy != s {
+			t.Fatalf("strategy %q resolved to %v", s.String(), cds.Strategy)
+		}
+	}
+	// Defaults: incremental, auto workers, strict (unbatched) mode.
+	cds, err := parseCDS(t).Refiner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cds.Strategy != core.StrategyIncremental || cds.Workers != 0 || cds.BatchSize != 0 {
+		t.Fatalf("defaults resolved to %+v", cds)
+	}
+	// Full parallel configuration.
+	cds, err = parseCDS(t, "-cds-strategy", "parallel", "-cds-workers", "8", "-cds-batch", "16").Refiner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cds.Strategy != core.StrategyParallel || cds.Workers != 8 || cds.BatchSize != 16 {
+		t.Fatalf("parallel flags resolved to %+v", cds)
+	}
+}
+
+func TestCDSFlagsErrors(t *testing.T) {
+	cases := [][]string{
+		{"-cds-strategy", "exhaustive"},
+		{"-cds-workers", "-1"},
+		{"-cds-batch", "4"}, // batch without the parallel strategy
+		{"-cds-strategy", "naive", "-cds-batch", "2"},
+	}
+	for _, args := range cases {
+		if _, err := parseCDS(t, args...).Refiner(); err == nil {
+			t.Fatalf("args %v: want error", args)
+		}
 	}
 }

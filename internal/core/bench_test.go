@@ -105,6 +105,44 @@ func BenchmarkCDSScale(b *testing.B) {
 	}
 }
 
+// BenchmarkCDSParallel sweeps the parallel engine's worker count and
+// batch size at a size where sharding engages (N above the serial
+// fallback threshold). Workers=1 delegates to the serial incremental
+// path, so the W=1 cell doubles as the apples-to-apples baseline; the
+// batched cells measure the algorithmic (per-core-independent) win of
+// repairing the tables once per batch. -short skips the family.
+func BenchmarkCDSParallel(b *testing.B) {
+	if testing.Short() {
+		b.Skip("parallel scaling cells need N above the shard threshold")
+	}
+	const maxMoves = 200
+	n, k := 20000, 64
+	db := benchDB(b, n)
+	a := randomAllocation(b, db, k, 7)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("N=%d/K=%d/W=%d", n, k, workers), func(b *testing.B) {
+			cds := &CDS{Strategy: StrategyParallel, Workers: workers, MaxMoves: maxMoves}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := cds.Refine(a); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	for _, batch := range []int{8, 32} {
+		b.Run(fmt.Sprintf("N=%d/K=%d/W=8/B=%d", n, k, batch), func(b *testing.B) {
+			cds := &CDS{Strategy: StrategyParallel, Workers: 8, BatchSize: batch, MaxMoves: maxMoves}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := cds.Refine(a); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkMoveReduction(b *testing.B) {
 	db := benchDB(b, 100)
 	a := randomAllocation(b, db, 8, 3)

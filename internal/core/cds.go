@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"diversecast/internal/obs/trace"
 )
@@ -43,9 +45,30 @@ type CDS struct {
 	// scaled to the problem (1e-12 × initial cost, floored at 1e-300).
 	Epsilon float64
 	// Strategy picks the move-selection engine. The zero value is
-	// StrategyIncremental: the differential trace tests pin both
-	// engines to identical output, so the faster one is the default.
+	// StrategyIncremental: the differential trace tests pin every
+	// engine to identical output, so the fast serial one is the
+	// default.
 	Strategy CDSStrategy
+	// Workers bounds the sweep worker pool of StrategyParallel: 0 uses
+	// GOMAXPROCS, 1 forces the serial path, larger values shard the
+	// candidate sweeps across that many goroutines. The selected moves
+	// are bit-for-bit identical at any width — sharding only changes
+	// who evaluates which item, never the arithmetic or the canonical
+	// reduction order. Negative is an error; ignored by the other
+	// strategies.
+	Workers int
+	// BatchSize > 1 enables the batched mode of StrategyParallel: up
+	// to BatchSize non-conflicting moves — pairwise disjoint
+	// {source, destination} group pairs — are selected per sweep and
+	// applied back to back before the candidate tables are repaired
+	// once. Disjoint moves commute under the Eq. 4 delta algebra, so
+	// each batched move's Δc is exactly the value Eq. 4 assigns at its
+	// application state; the mode relaxes strict steepest descent only
+	// in that moves after the first in a batch are per-group champions
+	// rather than global ones. 0 or 1 keeps strict steepest descent.
+	// Values > 1 with a strategy other than StrategyParallel are an
+	// error.
+	BatchSize int
 
 	// Tracer receives one cds_refine span per call with a cds_move
 	// child per applied move (item, src/dst groups, the Eq. 4 Δc,
@@ -53,12 +76,20 @@ type CDS struct {
 	// which starts disabled, so the zero value stays probe-free until
 	// a daemon enables tracing.
 	Tracer *trace.Tracer
+
+	// forceShard (tests only) makes StrategyParallel shard every
+	// sweep regardless of the size thresholds, so the small
+	// differential workloads exercise the sharded paths that real
+	// inputs only hit at scale.
+	forceShard bool
 }
 
 // CDSStrategy selects how CDS finds the best move each iteration.
-// Both strategies produce move-for-move identical refinements (same
+// All strategies produce move-for-move identical refinements (same
 // tie-break order, same floating-point bits); they differ only in
-// work per iteration.
+// work per iteration. The one documented exception is the batched
+// mode of StrategyParallel (CDS.BatchSize > 1), which relaxes strict
+// steepest descent as described on CDS.BatchSize.
 type CDSStrategy int
 
 const (
@@ -70,17 +101,43 @@ const (
 	// iteration — the paper's literal algorithm, kept as the oracle
 	// for differential tests and benchmarks.
 	StrategyNaive
+	// StrategyParallel is StrategyIncremental with the per-move
+	// candidate sweeps sharded across a bounded by-index worker pool
+	// (CDS.Workers wide) in a fixed reduction order, so the selected
+	// move is bit-for-bit identical to the serial engines at any
+	// worker count. CDS.BatchSize > 1 additionally applies batches of
+	// non-conflicting moves per sweep.
+	StrategyParallel
 )
 
-// String returns the strategy name ("incremental" or "naive").
+// String returns the strategy name ("incremental", "naive" or
+// "parallel").
 func (s CDSStrategy) String() string {
 	switch s {
 	case StrategyIncremental:
 		return "incremental"
 	case StrategyNaive:
 		return "naive"
+	case StrategyParallel:
+		return "parallel"
 	default:
 		return fmt.Sprintf("CDSStrategy(%d)", int(s))
+	}
+}
+
+// ParseCDSStrategy maps a strategy name back to its value — the exact
+// inverse of String over the three engines — for flag and config
+// plumbing.
+func ParseCDSStrategy(name string) (CDSStrategy, error) {
+	switch name {
+	case "incremental":
+		return StrategyIncremental, nil
+	case "naive":
+		return StrategyNaive, nil
+	case "parallel":
+		return StrategyParallel, nil
+	default:
+		return 0, fmt.Errorf("core: unknown CDS strategy %q (want incremental, naive or parallel)", name)
 	}
 }
 
@@ -96,9 +153,15 @@ func (*CDS) Name() string { return "CDS" }
 type Move struct {
 	Pos        int     // database position of the moved item
 	From, To   int     // channel indices
-	Reduction  float64 // the Δc of Eq. (4)
+	Reduction  float64 // the Δc of Eq. (4), exact at the application state
 	CostBefore float64
 	CostAfter  float64
+	// Batch numbers the sweep batch this move was applied in by the
+	// batched mode of StrategyParallel (1-based, in application
+	// order); 0 for the strict steepest-descent engines, which apply
+	// exactly one move per sweep. The batch-replay tests use it to
+	// verify the disjointness and commutation contract.
+	Batch int
 }
 
 // Refine implements Refiner. The input allocation is not mutated.
@@ -123,9 +186,24 @@ func (c *CDS) RefineWithTrace(a *Allocation) (*Allocation, []Move, error) {
 type moveSelector interface {
 	next() (Move, bool)
 	applied(Move)
-	// counts reports selection sweeps and full per-item candidate
-	// recomputations, flushed to obs counters once per refinement.
-	counts() (scans, recomputed int64)
+	// stats reports the selector's work counters, flushed to obs
+	// counters once per refinement.
+	stats() selStats
+}
+
+// selStats aggregates the per-refinement selector counters.
+type selStats struct {
+	// scans counts selection sweeps (one per applied move for the
+	// strict engines, one per assembled batch for the batched mode).
+	scans int64
+	// recomputed counts full per-item candidate recomputations.
+	recomputed int64
+	// parallelSweeps counts candidate sweeps that were actually
+	// sharded across the worker pool (small sweeps fall back to the
+	// serial path and are not counted).
+	parallelSweeps int64
+	// batchedMoves counts moves applied by the batched mode.
+	batchedMoves int64
 }
 
 func (c *CDS) refine(a *Allocation, wantTrace bool) (*Allocation, []Move, error) {
@@ -144,14 +222,37 @@ func (c *CDS) refine(a *Allocation, wantTrace bool) (*Allocation, []Move, error)
 		}
 	}
 
+	if c.Workers < 0 {
+		return nil, nil, fmt.Errorf("core: CDS: negative Workers %d", c.Workers)
+	}
+	if c.BatchSize > 1 && c.Strategy != StrategyParallel {
+		return nil, nil, fmt.Errorf("core: CDS: BatchSize %d requires StrategyParallel, not %v", c.BatchSize, c.Strategy)
+	}
+
 	var sel moveSelector
+	var tables *cdsTables
 	switch c.Strategy {
 	case StrategyNaive:
 		sel = &naiveSelector{cur: cur, agg: agg}
 	case StrategyIncremental:
-		sel = newIncrementalSelector(cur, agg)
+		tables = acquireCDSTables(cur.db.Len(), len(agg))
+		sel = newIncrementalSelector(cur, agg, tables)
+	case StrategyParallel:
+		workers := c.Workers
+		if workers == 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		tables = acquireCDSTables(cur.db.Len(), len(agg))
+		if c.BatchSize > 1 {
+			sel = newBatchedSelector(cur, agg, tables, workers, c.BatchSize, eps, c.forceShard)
+		} else {
+			sel = newParallelSelector(cur, agg, tables, workers, c.forceShard)
+		}
 	default:
 		return nil, nil, fmt.Errorf("core: CDS: unknown strategy %v", c.Strategy)
+	}
+	if tables != nil {
+		defer releaseCDSTables(tables)
 	}
 
 	start := timeNow()
@@ -190,11 +291,20 @@ func (c *CDS) refine(a *Allocation, wantTrace bool) (*Allocation, []Move, error)
 		// the full per-iteration cost of the strategy in use.
 		var mv trace.Span
 		if span.Active() {
-			mv = span.Child(spanCDSMove,
-				trace.Int("pos", int64(best.Pos)),
-				trace.Int("src", int64(best.From)), trace.Int("dst", int64(best.To)),
-				trace.Float("delta", best.Reduction),
-				stratTag)
+			if best.Batch > 0 {
+				mv = span.Child(spanCDSMove,
+					trace.Int("pos", int64(best.Pos)),
+					trace.Int("src", int64(best.From)), trace.Int("dst", int64(best.To)),
+					trace.Float("delta", best.Reduction),
+					trace.Int("batch", int64(best.Batch)),
+					stratTag)
+			} else {
+				mv = span.Child(spanCDSMove,
+					trace.Int("pos", int64(best.Pos)),
+					trace.Int("src", int64(best.From)), trace.Int("dst", int64(best.To)),
+					trace.Float("delta", best.Reduction),
+					stratTag)
+			}
 		}
 
 		cur.move(best.Pos, best.To)
@@ -228,9 +338,11 @@ func (c *CDS) refine(a *Allocation, wantTrace bool) (*Allocation, []Move, error)
 	}
 	cdsRefinements.Inc()
 	cdsMoves.Add(int64(applied))
-	scans, recomputed := sel.counts()
-	cdsScans.Add(scans)
-	cdsCandidatesRecomputed.Add(recomputed)
+	st := sel.stats()
+	cdsScans.Add(st.scans)
+	cdsCandidatesRecomputed.Add(st.recomputed)
+	cdsParallelSweeps.Add(st.parallelSweeps)
+	cdsBatchedMoves.Add(st.batchedMoves)
 	cdsSeconds.Observe(timeNow().Sub(start).Seconds())
 	if span.Active() {
 		span.End(trace.Int("moves", int64(applied)), trace.Float("cost_after", cost))
@@ -293,7 +405,7 @@ func (s *naiveSelector) next() (Move, bool) {
 
 func (s *naiveSelector) applied(Move) {}
 
-func (s *naiveSelector) counts() (int64, int64) { return s.scans, 0 }
+func (s *naiveSelector) stats() selStats { return selStats{scans: s.scans} }
 
 // cdsCandidate is a (destination channel, Δc) pair under the current
 // aggregates. dest is -1 (and dc −Inf) for the "no destination"
@@ -367,25 +479,21 @@ type cdsItem struct {
 	f, z, tfz float64
 }
 
-// incrementalSelector maintains the candidate cache. A move D_p → D_q
-// only changes agg[p] and agg[q], so after a move: items inside p or
-// q recompute over all K destinations, and every other item folds
-// just the two freshly evaluated Δc toward p and q into its cached
-// entry list (see applied). The depth-3 list absorbs repeated
-// invalidations of the same popular destination group — the pattern
-// steepest descent produces — so full rescans stay rare.
-//
-// The selection sweep is folded into the same passes: applied visits
-// every item exactly once (touched groups via recompute, the rest via
-// the merge loop), so it tracks the global champion as it goes and
-// next returns it in O(1).
-type incrementalSelector struct {
-	cur *Allocation
-	agg []GroupAgg
+// cdsTables is the SoA working set shared by the table-driven CDS
+// engines (incremental, parallel, batched): the hot per-item records
+// and the flat per-group shadows, split by access pattern so the
+// per-move sweeps stream exactly the bytes they read. The slices are
+// sized once per refinement and the whole struct is recycled through
+// a sync.Pool — repeated Allocate/Refine calls at production scale
+// stop paying the per-call slice allocations (~56 bytes/item +
+// ~64 bytes/group) entirely. Every element is overwritten by the
+// selector's initial build before it is read, so recycling cannot
+// leak state between refinements.
+type cdsTables struct {
 	fzt []cdsItem
 	// aggZ and aggF shadow agg[q].Z and agg[q].F in flat slices so the
-	// two hot loops stream 16 bytes per destination instead of the
-	// whole GroupAgg; applied refreshes the two touched entries.
+	// hot loops stream 16 bytes per destination instead of the whole
+	// GroupAgg; applied refreshes the two touched entries.
 	aggZ, aggF []float64
 	// chq shadows cur.channel as int32 (applied updates the moved
 	// item's entry), halving the sweep's channel-stream bytes.
@@ -400,30 +508,70 @@ type incrementalSelector struct {
 	delta []cdsDelta
 	// dzs/dfs are per-source-group scratch for scanTop4: the aggregate
 	// differences Z_p−Z_q and F_p−F_q toward every destination, filled
-	// once per source group and shared by every member's scan.
-	dzs, dfs   []float64
+	// once per source group and shared by every member's scan. The
+	// sharded sweeps treat them as read-only and use per-shard scratch
+	// for their own recomputes.
+	dzs, dfs []float64
+}
+
+var cdsTablesPool = sync.Pool{New: func() any { return new(cdsTables) }}
+
+// growSlice returns s resized to n, reusing capacity when possible.
+// Contents are unspecified; callers fully overwrite before reading.
+func growSlice[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// acquireCDSTables returns a table set sized for n items and k groups,
+// recycled from the pool when capacities allow.
+func acquireCDSTables(n, k int) *cdsTables {
+	t := cdsTablesPool.Get().(*cdsTables)
+	t.fzt = growSlice(t.fzt, n)
+	t.chq = growSlice(t.chq, n)
+	t.hot = growSlice(t.hot, n)
+	t.e1dc = growSlice(t.e1dc, n)
+	t.e2dc = growSlice(t.e2dc, n)
+	t.aggZ = growSlice(t.aggZ, k)
+	t.aggF = growSlice(t.aggF, k)
+	t.delta = growSlice(t.delta, k)
+	t.dzs = growSlice(t.dzs, k)
+	t.dfs = growSlice(t.dfs, k)
+	return t
+}
+
+func releaseCDSTables(t *cdsTables) { cdsTablesPool.Put(t) }
+
+// incrementalSelector maintains the candidate cache. A move D_p → D_q
+// only changes agg[p] and agg[q], so after a move: items inside p or
+// q recompute over all K destinations, and every other item folds
+// just the two freshly evaluated Δc toward p and q into its cached
+// entry list (see applied). The depth-3 list absorbs repeated
+// invalidations of the same popular destination group — the pattern
+// steepest descent produces — so full rescans stay rare.
+//
+// The selection sweep is folded into the same passes: applied visits
+// every item exactly once (touched groups via recompute, the rest via
+// the merge loop), so it tracks the global champion as it goes and
+// next returns it in O(1).
+type incrementalSelector struct {
+	*cdsTables
+	cur        *Allocation
+	agg        []GroupAgg
 	champ      Move
 	champFound bool
 	scans      int64
 	recomputed int64
 }
 
-func newIncrementalSelector(cur *Allocation, agg []GroupAgg) *incrementalSelector {
-	n := cur.Database().Len()
-	s := &incrementalSelector{
-		cur:   cur,
-		agg:   agg,
-		fzt:   make([]cdsItem, n),
-		aggZ:  make([]float64, len(agg)),
-		aggF:  make([]float64, len(agg)),
-		chq:   make([]int32, n),
-		hot:   make([]cdsHot, n),
-		e1dc:  make([]float64, n),
-		e2dc:  make([]float64, n),
-		delta: make([]cdsDelta, len(agg)),
-		dzs:   make([]float64, len(agg)),
-		dfs:   make([]float64, len(agg)),
-	}
+// initTables attaches the selector to its allocation and fills every
+// table: item constants, aggregate shadows, channel shadow, and the
+// per-item candidate records (one delta fill per group shared by its
+// members). Shared by all three table-driven engines.
+func (s *incrementalSelector) initTables(cur *Allocation, agg []GroupAgg) {
+	s.cur, s.agg = cur, agg
 	for i, it := range cur.db.items {
 		s.fzt[i] = cdsItem{f: it.Freq, z: it.Size, tfz: 2 * it.Freq * it.Size}
 	}
@@ -433,13 +581,17 @@ func newIncrementalSelector(cur *Allocation, agg []GroupAgg) *incrementalSelecto
 	for pos, p := range cur.channel {
 		s.chq[pos] = int32(p)
 	}
-	// Initial build, one delta fill per group shared by its members.
 	for p := range agg {
 		s.fillDeltas(p)
 		for _, pos := range cur.ChannelPositions(p) {
 			s.scanTop4(pos)
 		}
 	}
+}
+
+func newIncrementalSelector(cur *Allocation, agg []GroupAgg, t *cdsTables) *incrementalSelector {
+	s := &incrementalSelector{cdsTables: t}
+	s.initTables(cur, agg)
 	// Initial champion sweep; applied keeps it current afterwards.
 	champ := Move{Reduction: 0}
 	found := false
@@ -462,17 +614,15 @@ func newIncrementalSelector(cur *Allocation, agg []GroupAgg) *incrementalSelecto
 	return s
 }
 
-// fillDeltas loads the scanTop4 scratch with the aggregate
-// differences from source group p toward every destination q:
-// dzs[q] = Z_p−Z_q, dfs[q] = F_p−F_q — the exact subexpressions of
-// MoveReduction, hoisted so that every member of group p shares one
-// fill. Slot p itself is poked to (−Inf, 0) so its Δc evaluates to
-// −Inf (item frequencies are validated strictly positive and finite)
-// and q == p is excluded branchlessly, exactly as a +Inf aggregate
-// would exclude it.
-func (s *incrementalSelector) fillDeltas(p int) {
-	aggZs, aggFs := s.aggZ, s.aggF
-	dzs, dfs := s.dzs, s.dfs
+// fillDeltasInto loads scratch slices with the aggregate differences
+// from source group p toward every destination q: dzs[q] = Z_p−Z_q,
+// dfs[q] = F_p−F_q — the exact subexpressions of MoveReduction,
+// hoisted so that every member of group p shares one fill. Slot p
+// itself is poked to (−Inf, 0) so its Δc evaluates to −Inf (item
+// frequencies are validated strictly positive and finite) and q == p
+// is excluded branchlessly, exactly as a +Inf aggregate would exclude
+// it.
+func fillDeltasInto(p int, aggZs, aggFs, dzs, dfs []float64) {
 	dfs = dfs[:len(dzs)] // bounds-check elimination
 	apZ, apF := aggZs[p], aggFs[p]
 	for q := range aggZs {
@@ -482,22 +632,37 @@ func (s *incrementalSelector) fillDeltas(p int) {
 	dzs[p], dfs[p] = math.Inf(-1), 0
 }
 
+// fillDeltas is fillDeltasInto targeting the selector-wide scratch.
+func (s *incrementalSelector) fillDeltas(p int) {
+	fillDeltasInto(p, s.aggZ, s.aggF, s.dzs, s.dfs)
+}
+
 // recompute rebuilds the top-4 of the item at pos over all K−1
 // destinations: three exact entries plus the 4th-best as the bound.
 func (s *incrementalSelector) recompute(pos int) {
-	s.fillDeltas(int(s.chq[pos]))
-	s.scanTop4(pos)
+	s.scanTop4Direct(pos, int(s.chq[pos]))
+	s.recomputed++
 }
 
 // scanTop4 rebuilds the top-4 of the item at pos from the deltas
-// fillDeltas prepared for the item's current group. The scan visits
-// destinations ascending with strict comparisons only — an equal Δc
-// never displaces an earlier (smaller) destination — which is exactly
-// the ≻-top-4.
+// fillDeltas prepared for the item's current group, counting one
+// recompute.
 func (s *incrementalSelector) scanTop4(pos int) {
+	s.scanTop4Into(pos, s.dzs, s.dfs)
+	s.recomputed++
+}
+
+// scanTop4Into rebuilds the top-4 of the item at pos from the deltas
+// a fillDeltasInto call prepared for the item's current group in
+// dzs/dfs. The scan visits destinations ascending with strict
+// comparisons only — an equal Δc never displaces an earlier (smaller)
+// destination — which is exactly the ≻-top-4. It writes only the
+// item's own table slots and reads the scratch, so the sharded sweeps
+// may call it concurrently for distinct positions over shared
+// read-only scratch (or per-shard scratch when they refill it).
+func (s *incrementalSelector) scanTop4Into(pos int, dzs, dfs []float64) {
 	it := s.fzt[pos]
 	f, z, tfz := it.f, it.z, it.tfz
-	dzs, dfs := s.dzs, s.dfs
 	dfs = dfs[:len(dzs)] // bounds-check elimination in the scan below
 	negInf := math.Inf(-1)
 	d0, d1, d2, d3 := int32(-1), int32(-1), int32(-1), int32(-1)
@@ -531,7 +696,59 @@ func (s *incrementalSelector) scanTop4(pos int) {
 	}
 	s.hot[pos] = cdsHot{bdc: v3, e0dc: v0, d0: d0, d1: d1, d2: d2, bdest: d3}
 	s.e1dc[pos], s.e2dc[pos] = v1, v2
-	s.recomputed++
+}
+
+// scanTop4Direct is scanTop4Into with the delta fill fused into the
+// scan: for a one-off rebuild of a single item there is no second
+// member to share the scratch with, so staging K deltas through memory
+// only costs bandwidth. Each destination's Δc is computed from the
+// aggregate shadows inline — the same subtractions fillDeltasInto
+// performs, feeding the same fused expression, so the bits match
+// scanTop4Into exactly. The source group p is skipped by branch rather
+// than by the (−Inf, 0) poke; a −Inf Δc never enters the strict-compare
+// cascade, so the result is identical. Reads only the shadows and
+// writes only the item's own slots: safe from sharded sweeps.
+func (s *incrementalSelector) scanTop4Direct(pos, p int) {
+	it := s.fzt[pos]
+	f, z, tfz := it.f, it.z, it.tfz
+	aggZs := s.aggZ
+	aggFs := s.aggF[:len(aggZs)] // bounds-check elimination in the scan below
+	apZ, apF := aggZs[p], aggFs[p]
+	negInf := math.Inf(-1)
+	d0, d1, d2, d3 := int32(-1), int32(-1), int32(-1), int32(-1)
+	v0, v1, v2, v3 := negInf, negInf, negInf, negInf
+	for q := range aggZs {
+		if q == p {
+			continue
+		}
+		// MoveReduction with the aggregate differences and the 2·f·z
+		// term precomputed; same expression, same bits.
+		dc := f*(apZ-aggZs[q]) + z*(apF-aggFs[q]) - tfz
+		if dc > v3 {
+			q32 := int32(q)
+			if dc > v2 {
+				if dc > v1 {
+					if dc > v0 {
+						d3, v3 = d2, v2
+						d2, v2 = d1, v1
+						d1, v1 = d0, v0
+						d0, v0 = q32, dc
+					} else {
+						d3, v3 = d2, v2
+						d2, v2 = d1, v1
+						d1, v1 = q32, dc
+					}
+				} else {
+					d3, v3 = d2, v2
+					d2, v2 = q32, dc
+				}
+			} else {
+				d3, v3 = q32, dc
+			}
+		}
+	}
+	s.hot[pos] = cdsHot{bdc: v3, e0dc: v0, d0: d0, d1: d1, d2: d2, bdest: d3}
+	s.e1dc[pos], s.e2dc[pos] = v1, v2
 }
 
 func (s *incrementalSelector) next() (Move, bool) {
@@ -796,4 +1013,6 @@ func foldTie(dc float64, p, pos int, champDc float64, champFrom, champPos int) b
 	return dc == champDc && (p < champFrom || (p == champFrom && pos < champPos))
 }
 
-func (s *incrementalSelector) counts() (int64, int64) { return s.scans, s.recomputed }
+func (s *incrementalSelector) stats() selStats {
+	return selStats{scans: s.scans, recomputed: s.recomputed}
+}

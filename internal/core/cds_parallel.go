@@ -1,0 +1,336 @@
+package core
+
+import (
+	"math"
+
+	"diversecast/internal/pool"
+)
+
+// Size thresholds below which StrategyParallel's sweeps stay serial:
+// goroutine handoff costs ~1µs, so sharding only pays once a sweep
+// has thousands of items. The decision depends only on sizes — never
+// on scheduling — so the engine stays deterministic. CDS.forceShard
+// (tests only) overrides both to zero.
+const (
+	// cdsParallelMinItems is the smallest whole-database merge sweep
+	// worth sharding.
+	cdsParallelMinItems = 4096
+	// cdsParallelMinGroup is the smallest touched-group rescan worth
+	// sharding.
+	cdsParallelMinGroup = 1024
+)
+
+// cdsShardChamp is one shard's champion under the canonical CDS move
+// order (Δc descending, then source channel ascending, then position
+// ascending). That order is total — (channel, position) is unique per
+// item — so folding per-shard champions in fixed shard order yields
+// exactly the champion a serial sweep over the same items finds,
+// regardless of worker count.
+type cdsShardChamp struct {
+	dc    float64
+	from  int
+	pos   int
+	to    int
+	found bool
+}
+
+// foldChamp folds one candidate into c under the canonical order.
+// Only strictly positive Δc can become champion (matching the naive
+// scan, which starts from a zero-reduction sentinel).
+func foldChamp(c *cdsShardChamp, dc float64, from, pos, to int) {
+	if dc > c.dc {
+		*c = cdsShardChamp{dc: dc, from: from, pos: pos, to: to, found: true}
+		return
+	}
+	//diverselint:ignore floateq deliberate exact tie-break: equal Δc across items must resolve by (channel, position) exactly like the naive scan order
+	if c.found && dc == c.dc && (from < c.from || (from == c.from && pos < c.pos)) {
+		*c = cdsShardChamp{dc: dc, from: from, pos: pos, to: to, found: true}
+	}
+}
+
+// reduceChamp folds a shard champion into the running champion. Shard
+// champions carry dc > 0 whenever found, so foldChamp's zero sentinel
+// never collides with a real candidate.
+func reduceChamp(dst *cdsShardChamp, src cdsShardChamp) {
+	if !src.found {
+		return
+	}
+	foldChamp(dst, src.dc, src.from, src.pos, src.to)
+}
+
+// parallelSelector is the incremental selector with its three per-move
+// sweeps — the two touched-group rescans and the whole-database merge
+// sweep — sharded across a bounded by-index worker pool. Each shard
+// owns a contiguous position range, writes only its own items' table
+// slots plus its own champion/counter slot, and the shard champions
+// are reduced in shard order, so the selected move is bit-for-bit the
+// serial engine's at any worker count. Sweeps below the size
+// thresholds delegate to the embedded serial path.
+type parallelSelector struct {
+	incrementalSelector
+	workers  int
+	minItems int
+	minGroup int
+	// Per-shard reduction slots, sized workers once per refinement.
+	// The rare in-sweep full recomputes use scanTop4Direct, which needs
+	// no scratch, so shards share nothing writable but their own slots.
+	champs    []cdsShardChamp
+	recomp    []int64
+	parSweeps int64
+}
+
+func newParallelSelector(cur *Allocation, agg []GroupAgg, t *cdsTables, workers int, forceShard bool) *parallelSelector {
+	s := &parallelSelector{
+		incrementalSelector: *newIncrementalSelector(cur, agg, t),
+		workers:             workers,
+		minItems:            cdsParallelMinItems,
+		minGroup:            cdsParallelMinGroup,
+	}
+	if forceShard {
+		s.minItems, s.minGroup = 0, 0
+	}
+	if s.workers > 1 {
+		s.champs = make([]cdsShardChamp, s.workers)
+		s.recomp = make([]int64, s.workers)
+	}
+	return s
+}
+
+func (s *parallelSelector) applied(m Move) {
+	if s.workers <= 1 || len(s.chq) < s.minItems {
+		s.incrementalSelector.applied(m)
+		return
+	}
+	s.parSweeps++
+	from, to := m.From, m.To
+	// refine reconciled agg before notifying us; refresh the shadows.
+	s.aggZ[from], s.aggF[from] = s.agg[from].Z, s.agg[from].F
+	s.aggZ[to], s.aggF[to] = s.agg[to].Z, s.agg[to].F
+	s.chq[m.Pos] = int32(to)
+
+	W := s.workers
+	best := cdsShardChamp{}
+
+	// Phases 1–2: the two touched groups. Their members' source
+	// aggregates changed, so every cached Δc of theirs is stale —
+	// full recompute over all K destinations. fillDeltas runs serially
+	// per group; the workers then read the selector-wide scratch
+	// without writing it.
+	for _, g := range [2]int{from, to} {
+		s.fillDeltas(g)
+		members := s.cur.ChannelPositions(g)
+		if len(members) < s.minGroup {
+			for _, pos := range members {
+				s.scanTop4Into(pos, s.dzs, s.dfs)
+				h := &s.hot[pos]
+				foldChamp(&best, h.e0dc, g, pos, int(h.d0))
+			}
+			s.recomputed += int64(len(members))
+			continue
+		}
+		pool.RunRanges(W, W, len(members), func(shard, lo, hi int) {
+			c := cdsShardChamp{}
+			for _, pos := range members[lo:hi] {
+				s.scanTop4Into(pos, s.dzs, s.dfs)
+				h := &s.hot[pos]
+				foldChamp(&c, h.e0dc, g, pos, int(h.d0))
+			}
+			s.champs[shard] = c
+		})
+		for i := 0; i < W; i++ {
+			reduceChamp(&best, s.champs[i])
+		}
+		s.recomputed += int64(len(members))
+	}
+
+	// Phase 3: the merge sweep over every other item. The per-(group,
+	// move) aggregate differences are hoisted serially, then each
+	// shard runs the same merge loop the serial engine uses over its
+	// own position range with its own scratch and champion slot.
+	aggZs, aggFs := s.aggZ, s.aggF
+	fZ, fF := aggZs[from], aggFs[from]
+	tZ, tF := aggZs[to], aggFs[to]
+	deltas := s.delta
+	for p := range aggZs {
+		deltas[p] = cdsDelta{
+			zf: aggZs[p] - fZ, ff: aggFs[p] - fF,
+			zt: aggZs[p] - tZ, ft: aggFs[p] - tF,
+		}
+	}
+	n := len(s.chq)
+	pool.RunRanges(W, W, n, func(shard, lo, hi int) {
+		s.champs[shard], s.recomp[shard] = s.mergeRange(lo, hi, from, to)
+	})
+	for i := 0; i < W; i++ {
+		reduceChamp(&best, s.champs[i])
+		s.recomputed += s.recomp[i]
+	}
+
+	s.champ = Move{Pos: best.pos, From: best.from, To: best.to, Reduction: best.dc}
+	s.champFound = best.found
+}
+
+// mergeRange is the merge loop of incrementalSelector.applied over
+// the position range [lo, hi), with the champion folded into a local
+// slot and full recomputes fused through scanTop4Direct (no scratch).
+// The candidate algebra is kept in lockstep with the serial loop —
+// same expressions, same bits; the differential and fuzz tests pin
+// the two together. It returns the range's champion and the number of
+// full recomputes.
+func (s *parallelSelector) mergeRange(lo, hi, from, to int) (cdsShardChamp, int64) {
+	var champ cdsShardChamp
+	var recomp int64
+	chq := s.chq
+	fzts := s.fzt[:len(chq)]
+	hots := s.hot[:len(chq)]
+	e1dcs, e2dcs := s.e1dc[:len(chq)], s.e2dc[:len(chq)]
+	deltas := s.delta
+	f32, t32 := int32(from), int32(to)
+	negInf := math.Inf(-1)
+	for pos := lo; pos < hi; pos++ {
+		p32 := chq[pos]
+		if p32 == f32 || p32 == t32 {
+			continue
+		}
+		d := deltas[p32]
+		it := fzts[pos]
+		// MoveReduction toward each touched group with the aggregate
+		// differences and the 2·f·z term precomputed; same expression,
+		// same bits.
+		dcF := it.f*d.zf + it.z*d.ff - it.tfz
+		dcT := it.f*d.zt + it.z*d.ft - it.tfz
+		h := &hots[pos]
+		if dcF < h.bdc && dcT < h.bdc {
+			// Both fresh values fall strictly below the bound: at most
+			// the list loses entries that point at a touched group.
+			a0, a1, a2 := h.d0, h.d1, h.d2
+			if a0 != f32 && a0 != t32 && a1 != f32 && a1 != t32 && a2 != f32 && a2 != t32 {
+				foldChamp(&champ, h.e0dc, int(p32), pos, int(a0))
+				continue
+			}
+			var sd [3]int32
+			var sv [3]float64
+			j := 0
+			if a0 >= 0 && a0 != f32 && a0 != t32 {
+				sd[j], sv[j] = a0, h.e0dc
+				j++
+			}
+			if a1 >= 0 && a1 != f32 && a1 != t32 {
+				sd[j], sv[j] = a1, e1dcs[pos]
+				j++
+			}
+			if a2 >= 0 && a2 != f32 && a2 != t32 {
+				sd[j], sv[j] = a2, e2dcs[pos]
+				j++
+			}
+			if j == 0 {
+				// Every listed entry was invalidated; rescan over all
+				// destinations.
+				s.scanTop4Direct(pos, int(p32))
+				recomp++
+			} else {
+				for ; j < 3; j++ {
+					sd[j], sv[j] = -1, negInf
+				}
+				h.e0dc, h.d0, h.d1, h.d2 = sv[0], sd[0], sd[1], sd[2]
+				e1dcs[pos], e2dcs[pos] = sv[1], sv[2]
+			}
+			foldChamp(&champ, h.e0dc, int(p32), pos, int(h.d0))
+			continue
+		}
+		hi2 := cdsCandidate{dest: from, dc: dcF}
+		lo2 := cdsCandidate{dest: to, dc: dcT}
+		if better(lo2, hi2) {
+			hi2, lo2 = lo2, hi2
+		}
+		eD := [3]int32{h.d0, h.d1, h.d2}
+		eV := [3]float64{h.e0dc, e1dcs[pos], e2dcs[pos]}
+		en := 1
+		if eD[1] >= 0 {
+			en = 2
+			if eD[2] >= 0 {
+				en = 3
+			}
+		}
+		bound := cdsCandidate{dest: int(h.bdest), dc: h.bdc}
+		if !better(hi2, bound) {
+			// A fresh Δc ties the bound exactly but loses the
+			// destination tie-break; if no listed entry is touched
+			// either, nothing changes.
+			if eD[0] != f32 && eD[0] != t32 && eD[1] != f32 && eD[1] != t32 &&
+				eD[2] != f32 && eD[2] != t32 {
+				foldChamp(&champ, eV[0], int(p32), pos, int(eD[0]))
+				continue
+			}
+		}
+		// General fold: merge the untouched listed entries with
+		// {hi2, lo2} in ≻ order — see incrementalSelector.applied.
+		ei, fi, out := 0, 0, 0
+		ne := [3]cdsCandidate{{-1, negInf}, {-1, negInf}, {-1, negInf}}
+		newBound := bound
+		for out < 4 {
+			for ei < en {
+				d := eD[ei]
+				if d == f32 || d == t32 {
+					ei++
+					continue
+				}
+				break
+			}
+			var c cdsCandidate
+			switch {
+			case ei < en && fi < 2:
+				fc := hi2
+				if fi == 1 {
+					fc = lo2
+				}
+				c = cdsCandidate{dest: int(eD[ei]), dc: eV[ei]}
+				if better(c, fc) {
+					ei++
+				} else {
+					c = fc
+					fi++
+				}
+			case ei < en:
+				c = cdsCandidate{dest: int(eD[ei]), dc: eV[ei]}
+				ei++
+			case fi < 2:
+				c = hi2
+				if fi == 1 {
+					c = lo2
+				}
+				fi++
+			default:
+				c = cdsCandidate{dest: -1, dc: negInf} // exhausted; fails the bound check
+			}
+			if !better(c, bound) {
+				break
+			}
+			if out < 3 {
+				ne[out] = c
+			} else {
+				newBound = c
+			}
+			out++
+		}
+		if out == 0 {
+			s.scanTop4Direct(pos, int(p32))
+			recomp++
+		} else {
+			*h = cdsHot{
+				bdc: newBound.dc, e0dc: ne[0].dc,
+				d0: int32(ne[0].dest), d1: int32(ne[1].dest), d2: int32(ne[2].dest),
+				bdest: int32(newBound.dest),
+			}
+			e1dcs[pos], e2dcs[pos] = ne[1].dc, ne[2].dc
+		}
+		foldChamp(&champ, h.e0dc, int(p32), pos, int(h.d0))
+	}
+	return champ, recomp
+}
+
+func (s *parallelSelector) stats() selStats {
+	st := s.incrementalSelector.stats()
+	st.parallelSweeps = s.parSweeps
+	return st
+}

@@ -22,6 +22,10 @@ var (
 		"CDS move-selection sweeps (one per iteration, both strategies)")
 	cdsCandidatesRecomputed = obs.Default().Counter("core_cds_candidates_recomputed_total",
 		"full per-item candidate recomputations by the incremental CDS strategy")
+	cdsParallelSweeps = obs.Default().Counter("core_cds_parallel_sweeps_total",
+		"candidate sweeps sharded across the parallel CDS worker pool")
+	cdsBatchedMoves = obs.Default().Counter("core_cds_batched_moves_total",
+		"moves applied by the batched CDS mode (non-conflicting moves per sweep)")
 )
 
 // timeNow is stubbed in tests.

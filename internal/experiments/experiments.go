@@ -9,13 +9,12 @@ package experiments
 import (
 	"fmt"
 	"runtime"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"diversecast/internal/baseline"
 	"diversecast/internal/core"
 	"diversecast/internal/gopt"
+	"diversecast/internal/pool"
 	"diversecast/internal/stats"
 	"diversecast/internal/workload"
 )
@@ -235,9 +234,9 @@ func (c Config) sweepWorkers(cellCount int) int {
 	return workers
 }
 
-// runCells executes run(i) for every cell index on a pool of the
-// given width. Cells only write their own slot, so any width yields
-// the same cells.
+// runCells executes run(i) for every cell index on the shared
+// by-index worker pool (internal/pool). Cells only write their own
+// slot, so any width yields the same cells.
 func runCells[T any](workers int, cells []T, run func(idx int)) {
 	sweepWorkers.Set(int64(workers))
 	if workers <= 1 {
@@ -247,23 +246,10 @@ func runCells[T any](workers int, cells []T, run func(idx int)) {
 		return
 	}
 	sweepQueueDepth.Set(int64(len(cells)))
-	var cursor atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(cursor.Add(1)) - 1
-				if i >= len(cells) {
-					return
-				}
-				run(i)
-				sweepQueueDepth.Dec()
-			}
-		}()
-	}
-	wg.Wait()
+	pool.Run(workers, len(cells), func(i int) {
+		run(i)
+		sweepQueueDepth.Dec()
+	})
 }
 
 // Figure2 sweeps the channel count K from 4 to 10 (paper Figure 2).

@@ -11,8 +11,8 @@ import (
 	"math"
 	"math/rand"
 	"runtime"
-	"sync"
-	"sync/atomic"
+
+	"diversecast/internal/pool"
 )
 
 // Fitness scores a chromosome; higher is better. Implementations must
@@ -309,13 +309,10 @@ func Run(cfg Config, fitness Fitness) (*Result, error) {
 	return res, nil
 }
 
-// evalBatch scores genes[i] into out[i]. With workers > 1 a bounded
-// pool of goroutines pulls indices from an atomic cursor; each result
-// is written to its own slot, so the output (and therefore the whole
-// run) is independent of scheduling. The pool lives only for the
-// batch — a few microseconds of goroutine setup per generation,
-// irrelevant next to the O(PopulationSize × cost(fitness)) work it
-// parallelizes.
+// evalBatch scores genes[i] into out[i] over the shared by-index
+// worker pool (internal/pool): each result is written to its own
+// slot, so the output (and therefore the whole run) is independent of
+// scheduling and pool width.
 func evalBatch(genes [][]int, fitness Fitness, workers int) []float64 {
 	out := make([]float64, len(genes))
 	if len(genes) == 0 {
@@ -333,23 +330,10 @@ func evalBatch(genes [][]int, fitness Fitness, workers int) []float64 {
 	}
 	evalWorkers.Set(int64(workers))
 	evalQueueDepth.Set(int64(len(genes)))
-	var cursor atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(cursor.Add(1)) - 1
-				if i >= len(genes) {
-					return
-				}
-				out[i] = fitness(genes[i])
-				evalQueueDepth.Dec()
-			}
-		}()
-	}
-	wg.Wait()
+	pool.Run(workers, len(genes), func(i int) {
+		out[i] = fitness(genes[i])
+		evalQueueDepth.Dec()
+	})
 	return out
 }
 

@@ -1,0 +1,72 @@
+// Package pool provides the bounded by-index worker pool behind every
+// deterministic parallel fabric in this repository: genetic fitness
+// evaluation, experiment sweep cells, and the sharded CDS candidate
+// sweeps. The contract that makes parallelism safe to put under
+// bit-exact algorithms is the same everywhere:
+//
+//   - work is identified by index, handed out through an atomic
+//     cursor, and every unit writes results only to its own slot (or
+//     its own shard of a larger array);
+//   - any reduction over those slots folds them in index order, so
+//     the outcome is independent of which worker ran which index and
+//     of GOMAXPROCS.
+//
+// The pool lives only for one call — a few microseconds of goroutine
+// setup, irrelevant next to the work it parallelizes — so there is no
+// lifecycle to manage and nothing to leak.
+package pool
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Run executes fn(i) for every i in [0,n) on at most workers
+// goroutines. workers <= 1 (or n <= 1) runs inline on the caller's
+// goroutine. fn must confine its writes to per-index state; under
+// that discipline the result is identical for any pool width.
+func Run(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// RunRanges splits [0,n) into exactly shards contiguous ranges and
+// executes fn(shard, lo, hi) for each on at most workers goroutines.
+// Shard boundaries depend only on (n, shards) — lo = shard*n/shards —
+// never on scheduling, so per-shard partial results reduced in shard
+// order are deterministic at any pool width. Empty ranges (n < shards)
+// still invoke fn so per-shard output slots are always written.
+func RunRanges(workers, shards, n int, fn func(shard, lo, hi int)) {
+	if shards <= 0 {
+		return
+	}
+	Run(workers, shards, func(s int) {
+		fn(s, s*n/shards, (s+1)*n/shards)
+	})
+}
