@@ -6,7 +6,7 @@
 GO ?= go
 DIVERSELINT = bin/diverselint
 
-.PHONY: verify build test race vet lint bench microbench
+.PHONY: verify build test race vet lint hot allocgates bench microbench
 
 verify: vet lint race
 
@@ -49,6 +49,18 @@ lint: $(DIVERSELINT)
 	else \
 		echo "staticcheck not installed; skipping (CI runs it)"; \
 	fi
+
+# hot prints the zero-alloc contract report (DESIGN.md §12): every
+# //diverselint:hotpath root with its reachable set and
+# clean/suppressed/violating status; exits nonzero on a violating
+# root. allocgates runs the runtime half — the AllocsPerRun==0 gate
+# tests — deliberately without -race (the detector's instrumentation
+# allocates, and the gates skip themselves under it).
+hot: $(DIVERSELINT)
+	./$(DIVERSELINT) -hot ./...
+
+allocgates:
+	$(GO) test -run AllocFree -count=1 ./internal/...
 
 $(DIVERSELINT): FORCE
 	$(GO) build -o $(DIVERSELINT) ./cmd/diverselint

@@ -31,6 +31,15 @@ type cgNode struct {
 	HotError   bool     `json:"hot_error,omitempty"`
 	Spawns     int      `json:"spawns,omitempty"`
 	Accesses   int      `json:"accesses,omitempty"`
+
+	// Allocation summary (internal/analysis/escape): the function's
+	// own ungated site count, the transitive Allocates bit with the
+	// callee it flows through, and its hotpath/coldpath directives.
+	AllocSites int    `json:"alloc_sites,omitempty"`
+	Allocates  bool   `json:"allocates,omitempty"`
+	AllocVia   string `json:"alloc_via,omitempty"`
+	Hotpath    bool   `json:"hotpath,omitempty"`
+	Coldpath   bool   `json:"coldpath,omitempty"`
 }
 
 type cgEdge struct {
@@ -72,6 +81,13 @@ func emitCallgraph(prog *summary.Program) int {
 			jn.HotError = s.HotError
 			jn.Spawns = len(s.Spawns)
 			jn.Accesses = len(s.Accesses)
+		}
+		if fi := prog.Alloc.Of(n); fi != nil {
+			jn.AllocSites = len(fi.Sites)
+			jn.Allocates = fi.Allocates
+			jn.AllocVia = fi.AllocVia
+			jn.Hotpath = fi.HotRoot
+			jn.Coldpath = fi.Cold
 		}
 		rep.Nodes = append(rep.Nodes, jn)
 		for _, e := range n.Out {

@@ -12,15 +12,26 @@
 // report (findings plus suppressed/unsuppressed counts) for CI
 // artifacts; the exit codes are unchanged.
 //
+// Hot-path report mode:
+//
+//	diverselint -hot [-json] [packages]
+//
+// lists every //diverselint:hotpath root with its reachable-function
+// count and a clean/suppressed/violating allocation status (with
+// -json, as a deterministic hot_roots document for CI artifacts), and
+// fails (exit 1) when any contract is violated or a hotpath/coldpath
+// directive does not parse.
+//
 // Audit mode:
 //
 //	diverselint -audit [packages]
 //
-// walks every //diverselint:ignore directive in the matched packages
-// (test files included) without type-checking, prints the suppression
-// inventory, and fails (exit 1) on any directive that is malformed or
-// names an unknown analyzer — so the tree's escape hatches stay
-// documented and spellable.
+// walks every //diverselint:ignore, //diverselint:hotpath and
+// //diverselint:coldpath directive in the matched packages (test
+// files included) without type-checking, prints the directive
+// inventory, and fails (exit 1) on any directive that is malformed,
+// names an unknown analyzer, or sits where the analysis cannot see it
+// — so the tree's escape hatches stay documented and spellable.
 //
 // As a go vet tool (the unitchecker protocol):
 //
@@ -68,7 +79,8 @@ func run(args []string) int {
 		showSuppressed = fs.Bool("show-suppressed", false, "also print suppressed findings (marked, not counted)")
 		onlyFlag       = fs.String("only", "", "comma-separated analyzer subset to run")
 		jsonFlag       = fs.Bool("json", false, "emit one JSON report on stdout instead of lines (standalone mode)")
-		auditFlag      = fs.Bool("audit", false, "audit //diverselint:ignore directives instead of linting")
+		auditFlag      = fs.Bool("audit", false, "audit //diverselint:ignore and hotpath/coldpath directives instead of linting")
+		hotFlag        = fs.Bool("hot", false, "report //diverselint:hotpath roots and their allocation status instead of linting (standalone mode)")
 		callgraphFlag  = fs.Bool("callgraph", false, "dump the whole-program call graph and function summaries as JSON instead of linting (standalone mode)")
 	)
 	fs.Parse(args)
@@ -119,6 +131,7 @@ func run(args []string) int {
 		showSuppressed: *showSuppressed,
 		jsonOut:        *jsonFlag,
 		callgraphOut:   *callgraphFlag,
+		hotOut:         *hotFlag,
 	})
 }
 
@@ -127,6 +140,7 @@ type standaloneOpts struct {
 	showSuppressed bool
 	jsonOut        bool
 	callgraphOut   bool
+	hotOut         bool
 }
 
 func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
@@ -190,6 +204,9 @@ func standalone(patterns []string, analyzers []*analysis.Analyzer, opts standalo
 	if opts.callgraphOut {
 		return emitCallgraph(prog)
 	}
+	if opts.hotOut {
+		return emitHot(prog, pkgs, opts.jsonOut)
+	}
 
 	findings, err := analysis.Run(loader.Fset, pkgs, analyzers, prog)
 	if err != nil {
@@ -197,7 +214,7 @@ func standalone(patterns []string, analyzers []*analysis.Analyzer, opts standalo
 		return 2
 	}
 	if opts.jsonOut {
-		return emitJSON(findings)
+		return emitJSON(findings, buildHotReport(prog, pkgs))
 	}
 	unsuppressed := 0
 	for _, f := range findings {
@@ -234,10 +251,13 @@ type jsonReport struct {
 	Findings     []jsonFinding `json:"findings"`
 	Unsuppressed int           `json:"unsuppressed"`
 	Suppressed   int           `json:"suppressed"`
+	// HotRoots is the -hot report inlined: every hotpath contract
+	// with its allocation status, in deterministic root order.
+	HotRoots []hotRoot `json:"hot_roots"`
 }
 
-func emitJSON(findings []analysis.Finding) int {
-	rep := jsonReport{Findings: []jsonFinding{}}
+func emitJSON(findings []analysis.Finding, hotRoots []hotRoot) int {
+	rep := jsonReport{Findings: []jsonFinding{}, HotRoots: hotRoots}
 	for _, f := range findings {
 		rep.Findings = append(rep.Findings, jsonFinding{
 			Analyzer:   f.Analyzer,
@@ -293,7 +313,7 @@ func audit(patterns []string) int {
 	}
 	resolve := mod.Resolver()
 	fset := token.NewFileSet()
-	total, violations := 0, 0
+	total, violations, pathDirs := 0, 0, 0
 	for _, p := range paths {
 		dir, ok := resolve(p)
 		if !ok {
@@ -320,6 +340,15 @@ func audit(patterns []string) int {
 				violations++
 				fmt.Printf("%s: malformed //diverselint:ignore: need an analyzer list and a reason\n", m.Pos)
 			}
+			pathEntries, pathViolations := auditPathDirectives(fset, f)
+			for _, v := range pathViolations {
+				violations++
+				fmt.Printf("%s\n", v)
+			}
+			for _, e := range pathEntries {
+				pathDirs++
+				fmt.Printf("%s\n", e)
+			}
 			for _, s := range valid {
 				total++
 				ok := true
@@ -336,7 +365,7 @@ func audit(patterns []string) int {
 			}
 		}
 	}
-	fmt.Fprintf(os.Stderr, "diverselint: audit: %d suppression(s), %d violation(s)\n", total, violations)
+	fmt.Fprintf(os.Stderr, "diverselint: audit: %d suppression(s), %d hotpath/coldpath directive(s), %d violation(s)\n", total, pathDirs, violations)
 	if violations > 0 {
 		return 1
 	}

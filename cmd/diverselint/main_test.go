@@ -401,3 +401,181 @@ func readFile(t *testing.T, path string) string {
 	}
 	return string(data)
 }
+
+// TestHotReport drives -hot end to end over a module with one clean,
+// one violating, and one fully suppressed hotpath contract: the
+// statuses, the exit code, the hot_roots JSON section, and the
+// byte-identical determinism of two consecutive runs.
+func TestHotReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary; skipped in -short")
+	}
+	tool := buildTool(t)
+	modDir := writeModule(t, map[string]string{
+		"go.mod": "module example.com/hp\n\ngo 1.24\n",
+		"hp.go": `package hp
+
+//diverselint:hotpath summation must stay lean
+func Cheap(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+//diverselint:hotpath growth fixture
+func Grow(xs []int) []int {
+	return append(xs, 1)
+}
+
+//diverselint:hotpath audited fixture
+func Audited() *int {
+	//diverselint:ignore hotalloc fixture keeps the allocation on purpose
+	return new(int)
+}
+`,
+	})
+
+	code, out := runTool(t, tool, modDir, "-hot", "./...")
+	if code != 1 {
+		t.Fatalf("-hot with a violating root: exit %d, want 1\n%s", code, out)
+	}
+	for _, want := range []string{
+		"hp.Cheap (summation must stay lean): clean",
+		"hp.Grow (growth fixture): violating",
+		"hp.Audited (audited fixture): suppressed",
+		"fixture keeps the allocation on purpose",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-hot output missing %q:\n%s", want, out)
+		}
+	}
+
+	code, jsonOut := runTool(t, tool, modDir, "-hot", "-json", "./...")
+	if code != 1 {
+		t.Fatalf("-hot -json: exit %d, want 1\n%s", code, jsonOut)
+	}
+	var rep struct {
+		HotRoots []struct {
+			Func      string `json:"func"`
+			Note      string `json:"note"`
+			Reachable int    `json:"reachable"`
+			Status    string `json:"status"`
+			Sites     []struct {
+				Kind       string `json:"kind"`
+				Suppressed bool   `json:"suppressed"`
+				Reason     string `json:"reason"`
+			} `json:"sites"`
+		} `json:"hot_roots"`
+	}
+	if err := json.Unmarshal([]byte(jsonOut), &rep); err != nil {
+		t.Fatalf("-hot -json output is not JSON: %v\n%s", err, jsonOut)
+	}
+	if len(rep.HotRoots) != 3 {
+		t.Fatalf("want 3 hot roots, got %d:\n%s", len(rep.HotRoots), jsonOut)
+	}
+	status := map[string]string{}
+	for _, r := range rep.HotRoots {
+		status[r.Func] = r.Status
+		if r.Reachable < 1 {
+			t.Errorf("root %s: reachable %d, want >= 1", r.Func, r.Reachable)
+		}
+		if r.Func == "example.com/hp.Audited" {
+			if len(r.Sites) != 1 || !r.Sites[0].Suppressed || r.Sites[0].Reason == "" {
+				t.Errorf("Audited sites = %+v, want one suppressed with reason", r.Sites)
+			}
+		}
+	}
+	want := map[string]string{
+		"example.com/hp.Cheap":   "clean",
+		"example.com/hp.Grow":    "violating",
+		"example.com/hp.Audited": "suppressed",
+	}
+	for fn, st := range want {
+		if status[fn] != st {
+			t.Errorf("root %s: status %q, want %q", fn, status[fn], st)
+		}
+	}
+
+	// The plain -json lint report carries the same roots as its
+	// hot_roots section.
+	_, lintOut := runTool(t, tool, modDir, "-json", "./...")
+	var lintRep struct {
+		HotRoots []struct {
+			Func string `json:"func"`
+		} `json:"hot_roots"`
+	}
+	if err := json.Unmarshal([]byte(lintOut), &lintRep); err != nil {
+		t.Fatalf("-json output is not JSON: %v\n%s", err, lintOut)
+	}
+	if len(lintRep.HotRoots) != 3 {
+		t.Errorf("-json hot_roots has %d roots, want 3:\n%s", len(lintRep.HotRoots), lintOut)
+	}
+
+	// Determinism: two runs must be byte-identical (the CI artifact
+	// diff gate).
+	_, jsonOut2 := runTool(t, tool, modDir, "-hot", "-json", "./...")
+	if jsonOut2 != jsonOut {
+		t.Errorf("-hot -json is not deterministic across runs (%d bytes vs %d)", len(jsonOut2), len(jsonOut))
+	}
+}
+
+// TestAuditPathDirectives checks the -audit extension: hotpath and
+// coldpath directives are inventoried, a reasonless coldpath and a
+// directive outside a function doc comment are violations.
+func TestAuditPathDirectives(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary; skipped in -short")
+	}
+	tool := buildTool(t)
+
+	dirty := writeModule(t, map[string]string{
+		"go.mod": "module example.com/hp\n\ngo 1.24\n",
+		"hp.go": `package hp
+
+//diverselint:hotpath fan-out must not allocate
+func Hot() {}
+
+//diverselint:coldpath
+func Cold() {}
+
+func misplaced() {
+	//diverselint:hotpath inside a body has no effect
+	_ = 0
+}
+`,
+	})
+	code, out := runTool(t, tool, dirty, "-audit", "./...")
+	if code != 1 {
+		t.Fatalf("-audit with path-directive violations: exit %d, want 1\n%s", code, out)
+	}
+	for _, want := range []string{
+		"hotpath: fan-out must not allocate",
+		"//diverselint:coldpath needs a reason",
+		"outside a function doc comment has no effect",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-audit output missing %q:\n%s", want, out)
+		}
+	}
+
+	clean := writeModule(t, map[string]string{
+		"go.mod": "module example.com/hp\n\ngo 1.24\n",
+		"hp.go": `package hp
+
+//diverselint:hotpath fan-out must not allocate
+func Hot() {}
+
+//diverselint:coldpath construction happens once at startup
+func Cold() {}
+`,
+	})
+	code, out = runTool(t, tool, clean, "-audit", "./...")
+	if code != 0 {
+		t.Fatalf("-audit on a clean tree: exit %d, want 0\n%s", code, out)
+	}
+	if !strings.Contains(out, "coldpath: construction happens once at startup") {
+		t.Errorf("-audit inventory does not list the coldpath reason:\n%s", out)
+	}
+}

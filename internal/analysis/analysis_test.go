@@ -178,6 +178,35 @@ func Emit(v any) {
 	wire.WriteJSON(v)
 }
 `,
+		// The PR-9 hot-path allocation shape: a label formatted per
+		// item inside a hotpath root's sweep loop. One line trips all
+		// three escape passes — the fmt.Sprintf call allocates
+		// (hotalloc), the int argument boxes into its variadic
+		// (boxparam), and the site sits in a loop of a hot package
+		// (loopalloc).
+		"core/sweep.go": `package core
+
+import "fmt"
+
+//diverselint:hotpath per-move sweep must not format
+func Sweep(xs []int) string {
+	var last string
+	for _, x := range xs {
+		last = fmt.Sprintf("item-%d", x)
+	}
+	return last
+}
+`,
+		// The defer-in-loop shape: each iteration allocates a defer
+		// record that only runs at function exit.
+		"netcast/flush.go": `package netcast
+
+func flushAll(fns []func()) {
+	for _, fn := range fns {
+		defer fn()
+	}
+}
+`,
 	})
 	findings := lintModule(t, root)
 	want := map[string]bool{
@@ -188,6 +217,9 @@ func Emit(v any) {
 		"detrand":     false,
 		"errdrop":     false,
 		"guardrace":   false,
+		"hotalloc":    false,
+		"boxparam":    false,
+		"loopalloc":   false,
 	}
 	for _, f := range findings {
 		if f.Suppressed {

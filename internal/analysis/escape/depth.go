@@ -1,0 +1,160 @@
+package escape
+
+import (
+	"go/ast"
+
+	"diversecast/internal/analysis/cfg"
+)
+
+// Loop nesting depth comes from the CFG, not from counting for/range
+// keywords: a block's depth is the number of nested strongly
+// connected components it sits in. Peeling is the textbook recursion
+// — find the non-trivial SCCs of the reachable subgraph, bump their
+// members' depth, delete the back edges into each component's entry
+// blocks, and recurse into the component. goto-formed and
+// labeled-branch loops therefore nest exactly like structured ones.
+
+// nodeDepths maps every ast.Node appearing in a reachable CFG block
+// to its loop depth.
+func nodeDepths(g *cfg.Graph) map[ast.Node]int {
+	reach := g.Reach()
+	var blocks []*cfg.Block
+	for _, b := range g.Blocks {
+		if reach[b] {
+			blocks = append(blocks, b)
+		}
+	}
+	succs := make(map[*cfg.Block][]*cfg.Block, len(blocks))
+	in := make(map[*cfg.Block]bool, len(blocks))
+	for _, b := range blocks {
+		in[b] = true
+	}
+	for _, b := range blocks {
+		for _, s := range b.Succs {
+			if in[s] {
+				succs[b] = append(succs[b], s)
+			}
+		}
+	}
+	depth := make(map[*cfg.Block]int, len(blocks))
+	peel(blocks, succs, 1, depth)
+
+	out := make(map[ast.Node]int)
+	for _, b := range blocks {
+		for _, n := range b.Nodes {
+			out[n] = depth[b]
+		}
+	}
+	return out
+}
+
+// peel assigns depth level to the members of every non-trivial SCC of
+// the subgraph (blocks, succs), then recurses into each component
+// with its entry back edges removed.
+func peel(blocks []*cfg.Block, succs map[*cfg.Block][]*cfg.Block, level int, depth map[*cfg.Block]int) {
+	for _, comp := range sccs(blocks, succs) {
+		trivial := len(comp) == 1
+		if trivial {
+			for _, s := range succs[comp[0]] {
+				if s == comp[0] {
+					trivial = false
+					break
+				}
+			}
+		}
+		if trivial {
+			continue
+		}
+		member := make(map[*cfg.Block]bool, len(comp))
+		for _, b := range comp {
+			member[b] = true
+			depth[b] = level
+		}
+		// Entries: blocks with a predecessor outside the component (or,
+		// degenerately, the component's first block when the whole
+		// subgraph is one cycle with no outside edge).
+		entry := make(map[*cfg.Block]bool)
+		outside := make(map[*cfg.Block]bool)
+		for _, b := range blocks {
+			if member[b] {
+				continue
+			}
+			for _, s := range succs[b] {
+				if member[s] {
+					outside[s] = true
+				}
+			}
+		}
+		for _, b := range comp {
+			if outside[b] {
+				entry[b] = true
+			}
+		}
+		if len(entry) == 0 {
+			entry[comp[0]] = true
+		}
+		inner := make(map[*cfg.Block][]*cfg.Block, len(comp))
+		for _, b := range comp {
+			for _, s := range succs[b] {
+				if member[s] && !entry[s] {
+					inner[b] = append(inner[b], s)
+				}
+			}
+		}
+		// Keep the entries themselves in the recursion (an inner loop
+		// may start at one), just not the edges back into them.
+		peel(comp, inner, level+1, depth)
+	}
+}
+
+// sccs is Tarjan over the given subgraph, in the deterministic block
+// order handed in.
+func sccs(blocks []*cfg.Block, succs map[*cfg.Block][]*cfg.Block) [][]*cfg.Block {
+	const unvisited = -1
+	index := make(map[*cfg.Block]int, len(blocks))
+	low := make(map[*cfg.Block]int, len(blocks))
+	onStack := make(map[*cfg.Block]bool, len(blocks))
+	for _, b := range blocks {
+		index[b] = unvisited
+	}
+	var stack []*cfg.Block
+	var out [][]*cfg.Block
+	next := 0
+	var connect func(b *cfg.Block)
+	connect = func(b *cfg.Block) {
+		index[b] = next
+		low[b] = next
+		next++
+		stack = append(stack, b)
+		onStack[b] = true
+		for _, s := range succs[b] {
+			if index[s] == unvisited {
+				connect(s)
+				if low[s] < low[b] {
+					low[b] = low[s]
+				}
+			} else if onStack[s] && index[s] < low[b] {
+				low[b] = index[s]
+			}
+		}
+		if low[b] == index[b] {
+			var comp []*cfg.Block
+			for {
+				m := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[m] = false
+				comp = append(comp, m)
+				if m == b {
+					break
+				}
+			}
+			out = append(out, comp)
+		}
+	}
+	for _, b := range blocks {
+		if index[b] == unvisited {
+			connect(b)
+		}
+	}
+	return out
+}

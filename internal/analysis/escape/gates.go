@@ -1,0 +1,190 @@
+package escape
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Gate detection encodes the repo's disabled-trace contract: the hot
+// allocation invariants cover the path taken when tracing is OFF, so
+// code that provably runs only when tracing is on is exempt. A gate
+// is a call to (*trace.Tracer).Enabled or (trace.Span).Active —
+// matched by method name, receiver type name, and package NAME
+// "trace" (the same convention obsnames uses), so test corpora can
+// stub the package.
+//
+// Two shapes mark regions gated:
+//
+//	if tr.Enabled() { ... }            // then-branch gated
+//	if x == nil || !span.Active() {    // early-out: the remainder of
+//	        return                     // the enclosing statement list
+//	}                                  // is gated
+//	... gated ...
+//
+// plus the local-flag idiom the CDS refinement loop uses:
+//
+//	wantTrace := tr.Enabled() && ...
+//	if wantTrace { ... }               // then-branch gated
+//
+// An `else` of a negated gate (runs when tracing is on) is gated too.
+// The match is syntactic and conservative in the safe direction:
+// anything not provably enabled-only stays subject to the contracts.
+
+// gatedRanges returns the position ranges of body that execute only
+// when tracing is enabled.
+func gatedRanges(info *types.Info, body *ast.BlockStmt) []posRange {
+	gv := gateVars(info, body)
+	var out []posRange
+	var list func(stmts []ast.Stmt, end ast.Node)
+	list = func(stmts []ast.Stmt, end ast.Node) {
+		for i, s := range stmts {
+			ifs, ok := s.(*ast.IfStmt)
+			if !ok {
+				continue
+			}
+			pos, neg := condGate(info, gv, ifs.Cond)
+			if pos {
+				out = append(out, posRange{ifs.Body.Pos(), ifs.Body.End()})
+			}
+			if neg {
+				if ifs.Else != nil {
+					out = append(out, posRange{ifs.Else.Pos(), ifs.Else.End()})
+				}
+				if terminates(ifs.Body) && i+1 < len(stmts) {
+					out = append(out, posRange{stmts[i+1].Pos(), end.End()})
+				}
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			list(n.List, n)
+		case *ast.CaseClause:
+			if len(n.Body) > 0 {
+				list(n.Body, n)
+			}
+		case *ast.CommClause:
+			if len(n.Body) > 0 {
+				list(n.Body, n)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// gateVars finds locals defined once as a (conjunction containing a)
+// positive gate call: `wantTrace := tr.Enabled() && n > 1`.
+func gateVars(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if pos, neg := condGate(info, nil, as.Rhs[0]); pos && !neg {
+			if obj := info.Defs[id]; obj != nil {
+				out[obj] = true
+			} else if obj := info.Uses[id]; obj != nil {
+				out[obj] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// condGate classifies a condition: pos when it contains an un-negated
+// gate (truth implies tracing on), neg when it contains a negated one
+// (truth implies tracing off, on the gate's account).
+func condGate(info *types.Info, gv map[types.Object]bool, cond ast.Expr) (pos, neg bool) {
+	var walk func(e ast.Expr, negated bool)
+	walk = func(e ast.Expr, negated bool) {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.UnaryExpr:
+			if e.Op.String() == "!" {
+				walk(e.X, !negated)
+			}
+		case *ast.BinaryExpr:
+			walk(e.X, negated)
+			walk(e.Y, negated)
+		case *ast.CallExpr:
+			if isGateCall(info, e) {
+				if negated {
+					neg = true
+				} else {
+					pos = true
+				}
+			}
+		case *ast.Ident:
+			if gv != nil {
+				if obj := info.Uses[e]; obj != nil && gv[obj] {
+					if negated {
+						neg = true
+					} else {
+						pos = true
+					}
+				}
+			}
+		}
+	}
+	walk(cond, false)
+	return pos, neg
+}
+
+// isGateCall matches (*Tracer).Enabled and (Span).Active of a package
+// named "trace".
+func isGateCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Name() != "trace" {
+		return false
+	}
+	switch {
+	case fn.Name() == "Enabled" && named.Obj().Name() == "Tracer":
+		return true
+	case fn.Name() == "Active" && named.Obj().Name() == "Span":
+		return true
+	}
+	return false
+}
+
+// terminates reports whether a block's last statement leaves the
+// enclosing statement list (return, break/continue/goto, or a
+// no-return call like panic).
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch s := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}

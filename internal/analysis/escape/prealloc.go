@@ -1,0 +1,137 @@
+package escape
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// An append only grows when the destination's capacity runs out, and
+// the repo's hot loops lean on exactly that: claim() drains into the
+// caller's scratch via dst[:0], the batched selector refills pending
+// from a 3·k-capacity buffer. preallocVars is the syntactic
+// must-analysis behind the exemption — a local is "preallocated" when
+// every assignment to it is one of:
+//
+//	v := make(T, n, c)       // explicit capacity
+//	v = x[:0]  /  v = v[:j]  // reslice of existing storage
+//	v = append(v, ...)       // self-append (growth is the question,
+//	                         // not a disqualifier)
+//
+// Any other assignment (including `var v []T`, whose nil value grows
+// from zero) disqualifies. append to a disqualified or unknown
+// destination is an Append site; append directly to a slice
+// expression (append(dst[:0], ...)) is exempt by form.
+
+// preallocVars returns the set of local variable objects that are
+// provably preallocated in body.
+func preallocVars(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	hasPre := make(map[types.Object]bool)
+	hasOther := make(map[types.Object]bool)
+
+	classify := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj == nil {
+			return
+		}
+		if rhs == nil {
+			hasOther[obj] = true // var v []T — nil, grows from zero
+			return
+		}
+		switch e := ast.Unparen(rhs).(type) {
+		case *ast.CallExpr:
+			switch fun := ast.Unparen(e.Fun).(type) {
+			case *ast.Ident:
+				if b, ok := info.Uses[fun].(*types.Builtin); ok {
+					switch b.Name() {
+					case "make":
+						if len(e.Args) == 3 {
+							hasPre[obj] = true
+							return
+						}
+					case "append":
+						if dest := appendDestObj(info, e); dest != nil && dest == obj {
+							return // self-append: neutral
+						}
+					}
+				}
+			}
+			hasOther[obj] = true
+		case *ast.SliceExpr:
+			hasPre[obj] = true
+		default:
+			hasOther[obj] = true
+		}
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // its own node classifies its own locals
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					classify(n.Lhs[i], n.Rhs[i])
+				}
+			} else {
+				for i := range n.Lhs {
+					classify(n.Lhs[i], n.Rhs[0])
+				}
+			}
+		case *ast.DeclStmt:
+			gd, ok := n.Decl.(*ast.GenDecl)
+			if !ok {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					var rhs ast.Expr
+					if i < len(vs.Values) {
+						rhs = vs.Values[i]
+					}
+					classify(name, rhs)
+				}
+			}
+		}
+		return true
+	})
+
+	out := make(map[types.Object]bool)
+	for obj := range hasPre {
+		if !hasOther[obj] {
+			out[obj] = true
+		}
+	}
+	return out
+}
+
+// appendDestObj resolves the destination object of an append call:
+// the identifier itself, or the identifier under a slice expression
+// (append(v[:0], ...)).
+func appendDestObj(info *types.Info, call *ast.CallExpr) types.Object {
+	if len(call.Args) == 0 {
+		return nil
+	}
+	dst := ast.Unparen(call.Args[0])
+	if se, ok := dst.(*ast.SliceExpr); ok {
+		dst = ast.Unparen(se.X)
+	}
+	id, ok := dst.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}

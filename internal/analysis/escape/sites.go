@@ -1,0 +1,354 @@
+package escape
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// collector walks one function body recording allocation sites, with
+// the CFG-derived loop depth tracked through the traversal: entering
+// any node the CFG placed in a block adopts that block's depth, and
+// the ast.Inspect pop (the f(nil) call) restores the previous one.
+type collector struct {
+	p    *Program
+	fi   *FuncInfo
+	info *types.Info
+	fset *token.FileSet
+
+	nodeDepth map[ast.Node]int
+	prealloc  map[types.Object]bool
+
+	depth int
+	saved []int
+}
+
+func (c *collector) walk(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			c.depth = c.saved[len(c.saved)-1]
+			c.saved = c.saved[:len(c.saved)-1]
+			return true
+		}
+		// Adopt the node's own block depth before visiting it:
+		// statement-level sites (go, defer in loop, map writes) must see
+		// the depth of the block the statement lives in, not the
+		// enclosing context's.
+		prev := c.depth
+		if d, ok := c.nodeDepth[n]; ok {
+			c.depth = d
+		}
+		if !c.visit(n) {
+			c.depth = prev // pruned subtree: no pop will restore
+			return false
+		}
+		c.saved = append(c.saved, prev)
+		return true
+	})
+}
+
+func (c *collector) site(kind SiteKind, pos token.Pos, what string) {
+	c.fi.Sites = append(c.fi.Sites, &Site{
+		Kind:  kind,
+		Pos:   pos,
+		Depth: c.depth,
+		Gated: c.fi.GatedAt(pos),
+		What:  what,
+	})
+}
+
+func (c *collector) visit(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.FuncLit:
+		// The literal's body belongs to its own call-graph node; here
+		// only the closure value itself is the cost — and only when it
+		// captures (a capture-free literal is a static function value).
+		if name := c.captures(n); name != "" {
+			c.site(Closure, n.Pos(), "func literal captures "+name+" (heap closure if it escapes)")
+		}
+		return false
+
+	case *ast.GoStmt:
+		c.site(GoSpawn, n.Pos(), "go statement spawns a goroutine")
+		return true
+
+	case *ast.DeferStmt:
+		if c.depth > 0 {
+			c.site(DeferLoop, n.Pos(), "defer in a loop allocates a record per iteration")
+		}
+		return true
+
+	case *ast.CompositeLit:
+		switch c.typeOf(n).(type) {
+		case *types.Slice:
+			c.site(Composite, n.Pos(), exprString(n.Type)+" literal allocates its backing array")
+		case *types.Map:
+			c.site(Composite, n.Pos(), exprString(n.Type)+" literal allocates")
+		}
+		return true
+
+	case *ast.UnaryExpr:
+		if n.Op == token.AND {
+			if lit, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+				switch c.typeOf(lit).(type) {
+				case *types.Struct, *types.Array:
+					c.site(Composite, n.Pos(), "&"+exprString(lit.Type)+"{...} escapes to the heap")
+				}
+			}
+		}
+		return true
+
+	case *ast.BinaryExpr:
+		if n.Op == token.ADD && isString(c.info.TypeOf(n)) && c.info.Types[n].Value == nil {
+			c.site(StringConv, n.Pos(), "string concatenation allocates")
+		}
+		return true
+
+	case *ast.AssignStmt:
+		for _, lhs := range n.Lhs {
+			ix, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+			if !ok {
+				continue
+			}
+			if _, isMap := c.typeOf(ix.X).(*types.Map); isMap {
+				c.site(MapWrite, ix.Pos(), "map write may grow buckets")
+			}
+		}
+		return true
+
+	case *ast.CallExpr:
+		c.call(n)
+		return true
+	}
+	return true
+}
+
+func (c *collector) call(call *ast.CallExpr) {
+	// Conversions: only the string↔bytes/runes family allocates.
+	if tv, ok := c.info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 && c.info.Types[call].Value == nil {
+			dst, src := tv.Type, c.info.TypeOf(call.Args[0])
+			switch {
+			case isString(dst) && isBytesOrRunes(src):
+				c.site(StringConv, call.Pos(), "string(...) conversion copies")
+			case isBytesOrRunes(dst) && isString(src):
+				c.site(StringConv, call.Pos(), exprString(call.Fun)+"(...) conversion copies")
+			}
+		}
+		return
+	}
+
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := c.info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				if len(call.Args) > 0 {
+					c.site(Make, call.Pos(), "make("+exprString(call.Args[0])+")")
+				}
+			case "new":
+				if len(call.Args) > 0 {
+					c.site(New, call.Pos(), "new("+exprString(call.Args[0])+")")
+				}
+			case "append":
+				c.appendCall(call)
+			}
+			return
+		}
+	}
+
+	// Known-allocating stdlib families — in-program wrappers need no
+	// list, the SCC propagation carries their bit.
+	if name := c.allocCallee(call); name != "" {
+		c.site(AllocCall, call.Pos(), "call to "+name+" allocates")
+	}
+
+	// Interface boxing at the call site, any/error variadics included.
+	c.boxing(call)
+}
+
+// appendCall flags appends that may grow: destination neither a
+// provably preallocated local nor a direct slice expression.
+func (c *collector) appendCall(call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	dst := ast.Unparen(call.Args[0])
+	if _, ok := dst.(*ast.SliceExpr); ok {
+		return // append(x[:0], ...): the caller's-scratch idiom
+	}
+	if id, ok := dst.(*ast.Ident); ok {
+		obj := c.info.Uses[id]
+		if obj == nil {
+			obj = c.info.Defs[id]
+		}
+		if obj != nil && c.prealloc[obj] {
+			return
+		}
+	}
+	c.site(Append, call.Pos(), "append to "+exprString(call.Args[0])+" may grow (not provably preallocated)")
+}
+
+// allocCallee matches the known-allocating stdlib families: all of
+// fmt, errors.New/Join, the timer constructors, and strconv
+// formatting. Everything else in the stdlib is assumed clean — the
+// documented imprecision the AllocsPerRun gate tests backstop.
+func (c *collector) allocCallee(call *ast.CallExpr) string {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = c.info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = c.info.Uses[fun.Sel]
+	default:
+		return ""
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return ""
+	}
+	name := fn.Name()
+	switch fn.Pkg().Path() {
+	case "fmt":
+		return "fmt." + name
+	case "errors":
+		if name == "New" || name == "Join" {
+			return "errors." + name
+		}
+	case "time":
+		switch name {
+		case "NewTimer", "NewTicker", "After", "Tick":
+			return "time." + name
+		}
+	case "strconv":
+		switch name {
+		case "Itoa", "FormatInt", "FormatUint", "FormatFloat", "Quote":
+			return "strconv." + name
+		}
+	}
+	return ""
+}
+
+// boxing flags concrete, non-pointer-shaped, non-constant arguments
+// passed to interface parameters. Constants are exempt (their eface
+// is static data), as are pointer-shaped values (the interface data
+// word holds them directly).
+func (c *collector) boxing(call *ast.CallExpr) {
+	sig, ok := c.info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	np := sig.Params().Len()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= np-1:
+			if call.Ellipsis.IsValid() {
+				return // slice passed through, no per-element boxing
+			}
+			st, ok := sig.Params().At(np - 1).Type().(*types.Slice)
+			if !ok {
+				return
+			}
+			pt = st.Elem()
+		case i < np:
+			pt = sig.Params().At(i).Type()
+		default:
+			return
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		tv, ok := c.info.Types[arg]
+		if !ok || tv.Type == nil || tv.Value != nil {
+			continue
+		}
+		at := tv.Type
+		if types.IsInterface(at) || pointerShaped(at) || isUntypedNil(at) {
+			continue
+		}
+		c.site(Box, arg.Pos(),
+			typeString(at)+" boxed into interface argument of "+exprString(call.Fun))
+	}
+}
+
+// captures returns the name of the first enclosing-function variable
+// the literal captures, "" when it captures nothing.
+func (c *collector) captures(lit *ast.FuncLit) string {
+	name := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if name != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := c.info.Uses[id].(*types.Var)
+		if !ok || v.IsField() || v.Pkg() == nil {
+			return true
+		}
+		if v.Parent() != nil && v.Pkg().Scope() == v.Parent() {
+			return true // package-level var, not a capture
+		}
+		if v.Pos() >= lit.Pos() && v.Pos() < lit.End() {
+			return true // the literal's own local/param
+		}
+		name = v.Name()
+		return false
+	})
+	return name
+}
+
+func (c *collector) typeOf(e ast.Expr) types.Type {
+	t := c.info.TypeOf(e)
+	if t == nil {
+		return nil
+	}
+	return t.Underlying()
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isBytesOrRunes(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+func isUntypedNil(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+// pointerShaped reports whether a value of type t fits the interface
+// data word without boxing: pointers, channels, maps, functions, and
+// unsafe.Pointer.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+func exprString(e ast.Expr) string { return types.ExprString(e) }
+
+func typeString(t types.Type) string {
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}

@@ -1,0 +1,60 @@
+// Package esc is the escape-layer unit-test corpus: directives (one
+// deliberately malformed), a two-hop hot chain, a mutually recursive
+// allocating pair, a gated site, and a preallocated append.
+package esc
+
+import "trace"
+
+var tr *trace.Tracer
+
+// Root reaches alloc through wrap.
+//
+//diverselint:hotpath kernel
+func Root(xs []int64) int64 {
+	return wrap(xs)
+}
+
+func wrap(xs []int64) int64 { return alloc(xs) }
+
+func alloc(xs []int64) int64 {
+	b := make([]int64, len(xs))
+	copy(b, xs)
+	return b[0]
+}
+
+//diverselint:coldpath
+func badCold() {}
+
+//diverselint:coldpath genuinely startup-only
+func goodCold() []byte { return make([]byte, 1) }
+
+func gated(n int64) {
+	if tr.Enabled() {
+		b := make([]byte, int(n))
+		_ = b
+	}
+}
+
+func loopy(xs []int64) []int64 {
+	out := make([]int64, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, x)
+		b := make([]byte, 1)
+		_ = b
+	}
+	return out
+}
+
+func recurA(n int) {
+	if n > 0 {
+		recurB(n - 1)
+	}
+}
+
+func recurB(n int) {
+	b := make([]byte, 1)
+	_ = b
+	if n > 0 {
+		recurA(n - 1)
+	}
+}

@@ -1,0 +1,49 @@
+// Package boxparam flags values escaping into interface{}/error
+// parameters on hot paths — the trace-attr and metrics-label class of
+// allocation: a concrete, non-pointer-shaped value passed where an
+// interface (including an any/error variadic) is expected forces a
+// heap box the caller never sees in the source. The hot-reachable
+// set, gating, and coldpath pruning are shared with hotalloc through
+// the escape layer; this pass owns exactly the boxing sites hotalloc
+// excludes, so one line never draws two spellings of the same
+// contract.
+//
+// Constants are exempt (their interface value is static data), as are
+// pointer-shaped values (pointers, maps, channels, funcs — the
+// interface data word holds them directly) and interface-to-interface
+// assignments.
+package boxparam
+
+import (
+	"diversecast/internal/analysis"
+	"diversecast/internal/analysis/escape"
+	"diversecast/internal/analysis/summary"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "boxparam",
+	Doc:  "interface boxing at call sites on //diverselint:hotpath paths",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	prog, _ := pass.Inter.(*summary.Program)
+	if prog == nil || prog.Alloc == nil {
+		return nil
+	}
+	pkgPath := pass.Pkg.Path()
+	for _, f := range prog.Alloc.HotFindings() {
+		if f.Site.Kind != escape.Box || f.Node.Pkg.Path != pkgPath {
+			continue
+		}
+		root := escape.ShortName(f.Root.Node.Name)
+		if via := f.Root.Via(f.Node); via != "" {
+			pass.Reportf(f.Site.Pos, "boxes on hot path from %s (via %s): %s",
+				root, via, f.Site.What)
+		} else {
+			pass.Reportf(f.Site.Pos, "boxes on hot path from %s: %s",
+				root, f.Site.What)
+		}
+	}
+	return nil
+}

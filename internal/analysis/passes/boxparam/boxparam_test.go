@@ -1,0 +1,12 @@
+package boxparam_test
+
+import (
+	"testing"
+
+	"diversecast/internal/analysis/analysistest"
+	"diversecast/internal/analysis/passes/boxparam"
+)
+
+func TestBoxParam(t *testing.T) {
+	analysistest.Run(t, "testdata", boxparam.Analyzer, "box")
+}

@@ -1,0 +1,65 @@
+// Package hotalloc enforces the repo's zero-allocation hot-path
+// contracts: a function marked //diverselint:hotpath — and everything
+// it reaches synchronously (Call/Defer edges, plus closures defined
+// in hot code) — must not allocate on the disabled-trace path. Each
+// violation is reported at the allocation site with its reachability
+// chain back to the hot root, so the finding reads as the reviewer
+// question it answers: "who dragged an allocation into the sweep?".
+//
+// Interface-boxing sites are boxparam's domain and excluded here;
+// //diverselint:coldpath prunes reachability (reason mandatory,
+// audited); sites that provably execute only when tracing is enabled
+// are exempt everywhere. Without whole-program summaries (vet mode
+// loads one package at a time) the pass still checks hot roots
+// against their same-package callees — the cross-package chains need
+// the standalone driver.
+package hotalloc
+
+import (
+	"diversecast/internal/analysis"
+	"diversecast/internal/analysis/escape"
+	"diversecast/internal/analysis/summary"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc:  "allocations reachable from //diverselint:hotpath roots",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	prog, _ := pass.Inter.(*summary.Program)
+	if prog == nil || prog.Alloc == nil {
+		return nil
+	}
+	pkgPath := pass.Pkg.Path()
+
+	// Files of this package, for attributing malformed directives.
+	inPkg := make(map[string]bool, len(pass.Files))
+	for _, f := range pass.Files {
+		inPkg[pass.Fset.Position(f.Pos()).Filename] = true
+	}
+	for _, m := range prog.Alloc.Malformed {
+		if inPkg[pass.Fset.Position(m.Pos).Filename] {
+			pass.Reportf(m.Pos, "%s", m.Msg)
+		}
+	}
+
+	for _, f := range prog.Alloc.HotFindings() {
+		if f.Site.Kind == escape.Box {
+			continue // boxparam reports these
+		}
+		if f.Node.Pkg.Path != pkgPath {
+			continue
+		}
+		root := escape.ShortName(f.Root.Node.Name)
+		if via := f.Root.Via(f.Node); via != "" {
+			pass.Reportf(f.Site.Pos, "allocates on hot path from %s (via %s): %s",
+				root, via, f.Site.What)
+		} else {
+			pass.Reportf(f.Site.Pos, "allocates on hot path from %s: %s",
+				root, f.Site.What)
+		}
+	}
+	return nil
+}

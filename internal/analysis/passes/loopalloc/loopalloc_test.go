@@ -1,0 +1,12 @@
+package loopalloc_test
+
+import (
+	"testing"
+
+	"diversecast/internal/analysis/analysistest"
+	"diversecast/internal/analysis/passes/loopalloc"
+)
+
+func TestLoopAlloc(t *testing.T) {
+	analysistest.Run(t, "testdata", loopalloc.Analyzer, "core", "plain")
+}

@@ -1,0 +1,13 @@
+// Package plain is not a hot package: the same per-iteration
+// allocations that loopalloc flags in core are silent here.
+package plain
+
+func collect(items []int64) []int64 {
+	var out []int64
+	for _, it := range items {
+		out = append(out, it)
+		buf := make([]byte, 8)
+		_ = buf
+	}
+	return out
+}

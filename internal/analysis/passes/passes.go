@@ -5,6 +5,7 @@ package passes
 
 import (
 	"diversecast/internal/analysis"
+	"diversecast/internal/analysis/passes/boxparam"
 	"diversecast/internal/analysis/passes/ctxloop"
 	"diversecast/internal/analysis/passes/detrand"
 	"diversecast/internal/analysis/passes/errdrop"
@@ -12,15 +13,18 @@ import (
 	"diversecast/internal/analysis/passes/floateq"
 	"diversecast/internal/analysis/passes/goroleak"
 	"diversecast/internal/analysis/passes/guardrace"
+	"diversecast/internal/analysis/passes/hotalloc"
 	"diversecast/internal/analysis/passes/lockbalance"
 	"diversecast/internal/analysis/passes/lockorder"
 	"diversecast/internal/analysis/passes/locksend"
+	"diversecast/internal/analysis/passes/loopalloc"
 	"diversecast/internal/analysis/passes/obsnames"
 )
 
 // All returns the full diverselint suite in stable order.
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		boxparam.Analyzer,
 		ctxloop.Analyzer,
 		detrand.Analyzer,
 		errdrop.Analyzer,
@@ -28,9 +32,11 @@ func All() []*analysis.Analyzer {
 		floateq.Analyzer,
 		goroleak.Analyzer,
 		guardrace.Analyzer,
+		hotalloc.Analyzer,
 		lockbalance.Analyzer,
 		lockorder.Analyzer,
 		locksend.Analyzer,
+		loopalloc.Analyzer,
 		obsnames.Analyzer,
 	}
 }

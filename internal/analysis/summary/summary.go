@@ -57,6 +57,7 @@ import (
 	"diversecast/internal/analysis"
 	"diversecast/internal/analysis/callgraph"
 	"diversecast/internal/analysis/cfg"
+	"diversecast/internal/analysis/escape"
 )
 
 // A LockID names a mutex by type identity: "pkgpath.Type.field" for a
@@ -141,6 +142,10 @@ type Program struct {
 	// Guards are the //diverselint:guard field contracts, in file
 	// order (see guards.go).
 	Guards []*GuardSpec
+	// Alloc is the whole-program allocation summary set (hot-path
+	// roots, per-function sites, the transitive Allocates bit) the
+	// hotalloc/loopalloc/boxparam passes and the -hot report share.
+	Alloc *escape.Program
 
 	inProgram map[string]bool
 	sites     map[*ast.CallExpr][]*callgraph.Edge
@@ -242,6 +247,7 @@ func Build(fset *token.FileSet, pkgs []*analysis.Package, g *callgraph.Graph) *P
 	}
 
 	p.collectGuards(pkgs)
+	p.Alloc = escape.Build(fset, pkgs, g)
 	return p
 }
 

@@ -54,6 +54,8 @@ func NewAllocation(db *Database, k int, channel []int) (*Allocation, error) {
 // buildMembers (re)derives the per-channel position lists from the
 // channel vector. Appending in ascending pos order keeps each list
 // sorted.
+//
+//diverselint:coldpath O(N+K) reconstruction at allocation build time; per-move updates go through move
 func (a *Allocation) buildMembers() {
 	counts := make([]int, a.k)
 	for _, c := range a.channel {
@@ -87,6 +89,8 @@ func (a *Allocation) Assignment() []int {
 // Groups returns, per channel, the database positions assigned to it,
 // in ascending position order. The returned lists are copies; see
 // ChannelPositions for an allocation-free view.
+//
+//diverselint:coldpath copying accessor by contract; hot loops use ChannelPositions
 func (a *Allocation) Groups() [][]int {
 	groups := make([][]int, a.k)
 	for c, m := range a.members {
@@ -104,6 +108,8 @@ func (a *Allocation) Groups() [][]int {
 func (a *Allocation) ChannelPositions(c int) []int { return a.members[c] }
 
 // GroupItems returns, per channel, the items assigned to it.
+//
+//diverselint:coldpath copying accessor for reports and tests, not per-move
 func (a *Allocation) GroupItems() [][]Item {
 	groups := a.Groups()
 	out := make([][]Item, a.k)
@@ -152,6 +158,8 @@ func (a *Allocation) aggregatesInto(agg []GroupAgg) {
 
 // Clone returns a deep copy that can be mutated independently (the
 // database is shared; it is immutable).
+//
+//diverselint:coldpath deep copy for snapshots and refinement forks, O(N+K) by design
 func (a *Allocation) Clone() *Allocation {
 	channel := make([]int, len(a.channel))
 	copy(channel, a.channel)

@@ -96,6 +96,7 @@ func newParallelSelector(cur *Allocation, agg []GroupAgg, t *cdsTables, workers 
 	return s
 }
 
+//diverselint:hotpath per-move sharded sweep dispatch
 func (s *parallelSelector) applied(m Move) {
 	if s.workers <= 1 || len(s.chq) < s.minItems {
 		s.incrementalSelector.applied(m)
@@ -128,6 +129,7 @@ func (s *parallelSelector) applied(m Move) {
 			s.recomputed += int64(len(members))
 			continue
 		}
+		//diverselint:ignore loopalloc,hotalloc one closure header per parallel member sweep is the dispatch cost of sharding; the sweep itself is allocation-free
 		pool.RunRanges(W, W, len(members), func(shard, lo, hi int) {
 			c := cdsShardChamp{}
 			for _, pos := range members[lo:hi] {
@@ -158,6 +160,7 @@ func (s *parallelSelector) applied(m Move) {
 		}
 	}
 	n := len(s.chq)
+	//diverselint:ignore hotalloc one closure header per sharded merge sweep is the dispatch cost of parallelism; mergeRange itself is allocation-free
 	pool.RunRanges(W, W, n, func(shard, lo, hi int) {
 		s.champs[shard], s.recomp[shard] = s.mergeRange(lo, hi, from, to)
 	})

@@ -137,6 +137,7 @@ func (d *DRP) AllocateWithTrace(db *Database, k int) (*Allocation, *Trace, error
 	return d.allocate(db, k, true)
 }
 
+//diverselint:coldpath one-shot O(N log N + K log K) channel planning, not per-broadcast-cycle
 func (d *DRP) allocate(db *Database, k int, wantTrace bool) (*Allocation, *Trace, error) {
 	n := db.Len()
 	if k < 1 || k > n {

@@ -44,6 +44,8 @@ var (
 // caller may reuse it. Frequencies and sizes must be positive and
 // finite and IDs unique; frequencies need not sum to one (see
 // Normalized).
+//
+//diverselint:coldpath one-time validated construction; the database is immutable afterwards
 func NewDatabase(items []Item) (*Database, error) {
 	if len(items) == 0 {
 		return nil, ErrEmptyDatabase
@@ -157,6 +159,8 @@ func (db *Database) MeanSize() float64 {
 }
 
 // IndexByID returns a map from item ID to database position.
+//
+//diverselint:coldpath O(N) lookup-table build for clients and tests, not per-access
 func (db *Database) IndexByID() map[int]int {
 	m := make(map[int]int, len(db.items))
 	for i, it := range db.items {

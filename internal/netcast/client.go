@@ -104,6 +104,8 @@ func (c *Client) Close() error { return c.conn.Close() }
 // received and returns it. A transmission already in progress when the
 // client tuned in is skipped (its beginning was missed, exactly as in
 // the paper's model). deadline (if nonzero) bounds the whole wait.
+//
+//diverselint:coldpath client-side reception hands one Reception per item to the caller by API contract; the server fan-out is the hot side
 func (c *Client) NextItem(deadline time.Time) (*Reception, error) {
 	if err := c.conn.SetReadDeadline(deadline); err != nil {
 		return nil, fmt.Errorf("netcast: setting deadline: %w", err)

@@ -1,0 +1,85 @@
+package netcast
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"diversecast/internal/alloctest"
+	"diversecast/internal/obs"
+)
+
+// nullConn is a no-op net.Conn whose writes succeed without touching
+// the heap, isolating writeBatch's own allocation behavior from the
+// kernel socket path.
+type nullConn struct{}
+
+func (nullConn) Read(b []byte) (int, error)       { return 0, nil }
+func (nullConn) Write(b []byte) (int, error)      { return len(b), nil }
+func (nullConn) Close() error                     { return nil }
+func (nullConn) LocalAddr() net.Addr              { return nil }
+func (nullConn) RemoteAddr() net.Addr             { return nil }
+func (nullConn) SetDeadline(time.Time) error      { return nil }
+func (nullConn) SetReadDeadline(time.Time) error  { return nil }
+func (nullConn) SetWriteDeadline(time.Time) error { return nil }
+
+// TestWriteBatchAllocFree gates the //diverselint:hotpath contract on
+// subscriber.writeBatch: a steady-state drain write adds nothing to
+// the heap. net.Buffers.WriteTo consumes the batch slice (it nils the
+// entries as it goes), so the frames are re-staged each run exactly
+// as ringLoop re-claims them into its scratch.
+func TestWriteBatchAllocFree(t *testing.T) {
+	ca := &caster{met: newCasterMetrics(obs.NewRegistry(), 0, 64)}
+	sub := &subscriber{conn: nullConn{}, done: make(chan struct{}), wrTmo: time.Second}
+	f0, f1, f2 := []byte("frame-a"), []byte("frame-bb"), []byte("frame-ccc")
+	frames := make([][]byte, 3)
+	alloctest.MustZeroAllocs(t, "subscriber.writeBatch", 2, func() {
+		frames[0], frames[1], frames[2] = f0, f1, f2
+		if !sub.writeBatch(ca, frames) {
+			t.Fatal("writeBatch reported failure on a null conn")
+		}
+	})
+}
+
+// TestRingClaimAllocFree gates frameRing.claim: draining into a
+// caller-owned scratch slice allocates nothing, in every outcome —
+// a non-empty batch, the fully-drained park, and the lapped resync.
+func TestRingClaimAllocFree(t *testing.T) {
+	r := newFrameRing(8)
+	r.publish([]byte("a"), []byte("b"), []byte("c"))
+	scratch := make([][]byte, 0, 8)
+	alloctest.MustZeroAllocs(t, "frameRing.claim", 2, func() {
+		batch, next, _, skipped, _ := r.claim(0, 8, scratch)
+		if len(batch) != 3 || next != 3 || skipped != 0 {
+			t.Fatalf("claim: got %d frames, next %d, skipped %d", len(batch), next, skipped)
+		}
+		// Drained outcome: cursor at head parks on the wait channel.
+		if b, _, _, _, wait := r.claim(3, 8, scratch); len(b) != 0 || wait == nil {
+			t.Fatal("claim at head should park")
+		}
+	})
+	// Lapped outcome: publish past capacity, claim from zero.
+	for i := 0; i < 16; i++ {
+		r.publish([]byte("x"))
+	}
+	alloctest.MustZeroAllocs(t, "frameRing.claim lapped", 2, func() {
+		if _, _, _, skipped, _ := r.claim(0, 8, scratch); skipped == 0 {
+			t.Fatal("claim from 0 after 19 publishes into capacity 8 must report a lap")
+		}
+	})
+}
+
+// TestThrottleSteadyStateAllocFree pins the throttle fix: after the
+// lazily created per-subscriber timer exists, a throttled write sleeps
+// without allocating a new timer per call.
+func TestThrottleSteadyStateAllocFree(t *testing.T) {
+	sub := &subscriber{conn: nullConn{}, done: make(chan struct{}), wrTmo: time.Second}
+	// An empty bucket whose refill rate makes every reserve wait ~10µs:
+	// long enough to take the timer path, short enough to run 100×.
+	b := &tokenBucket{rate: 1e8, burst: 1e6, last: time.Now()}
+	alloctest.MustZeroAllocs(t, "subscriber.throttle", 2, func() {
+		if !sub.throttle(b, 1000) {
+			t.Fatal("throttle reported closed subscriber")
+		}
+	})
+}

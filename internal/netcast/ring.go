@@ -85,6 +85,7 @@ func (r *frameRing) depth() int {
 //     a channel closed by the next publish.
 //   - batch non-empty: frames to write. lag is head-cursor at claim
 //     time, the subscriber's backlog before this drain.
+//diverselint:hotpath per-drain ring claim runs under the ring mutex
 func (r *frameRing) claim(cursor uint64, max int, dst [][]byte) (batch [][]byte, next uint64, lag, skipped uint64, wait <-chan struct{}) {
 	r.mu.Lock()
 	defer r.mu.Unlock()

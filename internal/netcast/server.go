@@ -284,6 +284,8 @@ func newServer(cfg ServerConfig, ln net.Listener) *Server {
 
 // Serve starts a broadcast server listening on addr (e.g.
 // "127.0.0.1:0"). All channels begin their first cycle immediately.
+//
+//diverselint:coldpath one-time server startup: caster spawn and listener setup
 func Serve(addr string, cfg ServerConfig) (*Server, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
@@ -393,6 +395,7 @@ const (
 	acceptBackoffMax = time.Second
 )
 
+//diverselint:coldpath connection admission, off the per-frame path; per-accept spawns and per-retry backoff timers are inherent
 func (s *Server) acceptLoop() {
 	defer s.doneOnce.Do(func() { close(s.done) })
 	backoff := time.Duration(0)
@@ -523,6 +526,14 @@ type subscriber struct {
 	wrTmo time.Duration
 	// limit is the per-client egress token bucket (nil = unlimited).
 	limit *tokenBucket
+	// bufs stages each vectored write for net.Buffers.WriteTo; a
+	// field instead of a local so the slice header never escapes to
+	// the heap (see writeBatch). Cleared after every write.
+	bufs net.Buffers
+	// throttleTimer is created on the first throttled write and
+	// reused for every later throttle (the writer goroutine is the
+	// only user), so steady-state backpressure allocates nothing.
+	throttleTimer *time.Timer
 
 	// cursor is the ring-mode read position: the sequence number of
 	// the next frame this subscriber wants. resyncStreak counts
@@ -575,12 +586,20 @@ func (sub *subscriber) throttle(b *tokenBucket, n int) bool {
 	if d <= 0 {
 		return true
 	}
-	timer := time.NewTimer(d)
-	defer timer.Stop()
+	if sub.throttleTimer == nil {
+		// One timer per subscriber, created the first time the bucket
+		// actually forces a sleep; Go 1.23 timer semantics make the
+		// bare Reset below safe without draining.
+		//diverselint:ignore hotalloc one-time lazy timer construction; every later throttle reuses it via Reset
+		sub.throttleTimer = time.NewTimer(d)
+	} else {
+		sub.throttleTimer.Reset(d)
+	}
 	select {
 	case <-sub.done:
+		sub.throttleTimer.Stop()
 		return false
-	case <-timer.C:
+	case <-sub.throttleTimer.C:
 		return true
 	}
 }
@@ -589,6 +608,8 @@ func (sub *subscriber) throttle(b *tokenBucket, n int) bool {
 // limiters and onto the socket as one vectored write, then accounts
 // the written frames and bytes. It reports false when the subscriber
 // should be torn down (write error, timeout, or close).
+//
+//diverselint:hotpath per-drain vectored write, zero allocations per batch
 func (sub *subscriber) writeBatch(ca *caster, frames [][]byte) bool {
 	n := 0
 	for _, f := range frames {
@@ -603,8 +624,15 @@ func (sub *subscriber) writeBatch(ca *caster, frames [][]byte) bool {
 	if err := sub.conn.SetWriteDeadline(time.Now().Add(sub.wrTmo)); err != nil {
 		return false
 	}
-	bufs := net.Buffers(frames)
-	if _, err := bufs.WriteTo(sub.conn); err != nil {
+	// The vectored write goes through sub.bufs rather than a local
+	// net.Buffers: WriteTo takes its receiver by pointer and hands it
+	// to an interface method, so a local would escape and cost one
+	// heap-allocated slice header per drain. The field lives in the
+	// already-heap subscriber; the write loop is its only user.
+	sub.bufs = net.Buffers(frames)
+	_, err := sub.bufs.WriteTo(sub.conn)
+	sub.bufs = nil
+	if err != nil {
 		return false
 	}
 	ca.met.framesSent.Add(int64(len(frames)))
@@ -651,6 +679,7 @@ func (sub *subscriber) ringLoop(ca *caster) {
 				return
 			}
 			sub.cursor = next
+			//diverselint:ignore loopalloc resync frame wrapper is built only when the subscriber was lapped, not per drained frame
 			if !sub.writeBatch(ca, [][]byte{rf}) {
 				return
 			}
@@ -846,6 +875,7 @@ func (ca *caster) publish(frames ...[]byte) {
 				dropped = true
 			}
 			if dropped {
+				//diverselint:ignore loopalloc grows only when a subscriber's queue overflows; the drop path already pays a disconnect
 				drop = append(drop, sub)
 				break
 			}
@@ -922,6 +952,40 @@ type slotPlan struct {
 	slot       broadcast.Slot
 	payloadLen int
 	chunks     [][]byte
+	// batch is the publish template [begin, chunks...]: slot 0 is
+	// rewritten with the cycle's begin envelope each transmission, the
+	// chunk tail is shared. The ring copies the frame pointers out of
+	// it, so reusing the slice across cycles is safe and the steady
+	// state publishes without growing anything.
+	batch [][]byte
+}
+
+// buildPlans encodes every slot's payload chunks once for the caster's
+// lifetime and lays down the per-slot publish templates.
+//
+//diverselint:coldpath one-time per-caster plan construction; cycles replay the encoded frames
+func (ca *caster) buildPlans(ch broadcast.Channel) ([]slotPlan, bool) {
+	plans := make([]slotPlan, len(ch.Slots))
+	for i, slot := range ch.Slots {
+		payload := Payload(slot.ItemID, PayloadLen(slot.Size, ca.srv.cfg.BytesPerUnit))
+		chunks := make([][]byte, 0, (len(payload)+chunkSize-1)/chunkSize)
+		for off := 0; off < len(payload); off += chunkSize {
+			end := off + chunkSize
+			if end > len(payload) {
+				end = len(payload)
+			}
+			cf, err := wire.EncodeFrame(wire.MsgItemChunk, payload[off:end])
+			if err != nil {
+				// Unreachable: chunkSize is far below MaxFrameSize.
+				return nil, false
+			}
+			chunks = append(chunks, cf)
+		}
+		batch := make([][]byte, 1+len(chunks))
+		copy(batch[1:], chunks)
+		plans[i] = slotPlan{slot: slot, payloadLen: len(payload), chunks: chunks, batch: batch}
+	}
+	return plans, true
 }
 
 // run plays the cyclic schedule forever (until server close). Pacing
@@ -932,23 +996,9 @@ func (ca *caster) run() {
 		<-ca.srv.closed
 		return
 	}
-	plans := make([]slotPlan, len(ch.Slots))
-	for i, slot := range ch.Slots {
-		payload := Payload(slot.ItemID, PayloadLen(slot.Size, ca.srv.cfg.BytesPerUnit))
-		var chunks [][]byte
-		for off := 0; off < len(payload); off += chunkSize {
-			end := off + chunkSize
-			if end > len(payload) {
-				end = len(payload)
-			}
-			cf, err := wire.EncodeFrame(wire.MsgItemChunk, payload[off:end])
-			if err != nil {
-				// Unreachable: chunkSize is far below MaxFrameSize.
-				return
-			}
-			chunks = append(chunks, cf)
-		}
-		plans[i] = slotPlan{slot: slot, payloadLen: len(payload), chunks: chunks}
+	plans, ok := ca.buildPlans(ch)
+	if !ok {
+		return
 	}
 	for cycle := 0; ; cycle++ {
 		cycleStart := float64(cycle) * ch.CycleLength
@@ -966,10 +1016,8 @@ func (ca *caster) run() {
 				// Unreachable: the body is always marshalable.
 				return
 			}
-			batch := make([][]byte, 0, len(pl.chunks)+1)
-			batch = append(batch, begin)
-			batch = append(batch, pl.chunks...)
-			ca.publish(batch...)
+			pl.batch[0] = begin
+			ca.publish(pl.batch...)
 			if !ca.sleepUntil(cycleStart + pl.slot.End()) {
 				return
 			}

@@ -34,6 +34,8 @@ func newHistogram(lo, hi float64, bins int) *Histogram {
 }
 
 // Observe records one value.
+//
+//diverselint:hotpath per-sample histogram record
 func (h *Histogram) Observe(x float64) {
 	h.count.Add(1)
 	for {

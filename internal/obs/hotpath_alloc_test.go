@@ -1,0 +1,26 @@
+package obs_test
+
+import (
+	"testing"
+
+	"diversecast/internal/alloctest"
+	"diversecast/internal/obs"
+)
+
+// TestMetricUpdatesAllocFree gates the //diverselint:hotpath contracts
+// on the per-sample metric updates: once an instrument exists
+// (construction is the cold path), recording into it is atomics only.
+func TestMetricUpdatesAllocFree(t *testing.T) {
+	r := obs.NewRegistry()
+	c := r.Counter("gate_events_total", "gate test counter")
+	g := r.Gauge("gate_level", "gate test gauge")
+	h := r.Histogram("gate_seconds", "gate test histogram", 0, 1, 16)
+	alloctest.MustZeroAllocs(t, "Counter.Inc/Add Gauge.Set Histogram.Observe", 2, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(42)
+		h.Observe(0.25)
+		h.Observe(-1) // underflow bin
+		h.Observe(2)  // overflow bin
+	})
+}

@@ -21,9 +21,13 @@ type Counter struct {
 }
 
 // Inc adds one.
+//
+//diverselint:hotpath per-sample counter bump
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Add adds n (n must be non-negative; counters only go up).
+//
+//diverselint:hotpath per-sample counter bump
 func (c *Counter) Add(n int64) {
 	if n > 0 {
 		c.v.Add(n)
@@ -39,6 +43,8 @@ type Gauge struct {
 }
 
 // Set replaces the value.
+//
+//diverselint:hotpath per-sample gauge store
 func (g *Gauge) Set(n int64) { g.v.Store(n) }
 
 // Add adjusts the value by delta (which may be negative).

@@ -1,0 +1,36 @@
+package trace_test
+
+import (
+	"testing"
+
+	"diversecast/internal/alloctest"
+	"diversecast/internal/obs/trace"
+)
+
+// TestDisabledTracerAllocFree gates the //diverselint:hotpath
+// contracts on the probe path: with tracing off, every instrumented
+// operation in core/netcast costs a nil check plus one atomic load and
+// zero heap. Attribute-carrying calls are deliberately absent here —
+// building a variadic []Attr allocates at the call site, which is
+// exactly why production probes gate attribute construction behind
+// Enabled()/Active() (the escape passes enforce that shape statically).
+func TestDisabledTracerAllocFree(t *testing.T) {
+	disabled := &trace.Tracer{}
+	var nilTracer *trace.Tracer
+	alloctest.MustZeroAllocs(t, "disabled tracer probes", 2, func() {
+		if disabled.Enabled() || nilTracer.Enabled() {
+			t.Fatal("tracer unexpectedly enabled")
+		}
+		sp := disabled.Start("gate_span")
+		if sp.Active() {
+			t.Fatal("span from a disabled tracer must be inactive")
+		}
+		sp.End()
+		disabled.Event("gate_event")
+		var zero trace.Span
+		if zero.Active() {
+			t.Fatal("zero span must be inactive")
+		}
+		zero.End()
+	})
+}

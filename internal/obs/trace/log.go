@@ -90,6 +90,8 @@ func (h *logHandler) Handle(ctx context.Context, rec slog.Record) error {
 }
 
 // WithAttrs implements slog.Handler.
+//
+//diverselint:coldpath handler construction at logger-setup time, not per log record
 func (h *logHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
 	nh := *h
 	nh.attrs = make([]slog.Attr, 0, len(h.attrs)+len(attrs))

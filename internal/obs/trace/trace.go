@@ -136,6 +136,8 @@ func (t *Tracer) Enable(cfg Config) {
 func (t *Tracer) Disable() { t.enabled.Store(false) }
 
 // Enabled reports whether the tracer is currently recording.
+//
+//diverselint:hotpath probe check on every instrumented operation
 func (t *Tracer) Enabled() bool { return t != nil && t.enabled.Load() }
 
 // RunID returns the current run-correlation ID ("" when the tracer
@@ -168,6 +170,8 @@ func (t *Tracer) Snapshot() Snapshot {
 
 // Start begins a root span. On a disabled tracer it returns the
 // inactive zero Span, whose methods all no-op.
+//
+//diverselint:hotpath disabled-tracer path must be allocation-free
 func (t *Tracer) Start(name string, attrs ...Attr) Span {
 	if !t.Enabled() {
 		return Span{}
@@ -187,6 +191,8 @@ func (t *Tracer) StartAt(name string, ts int64, attrs ...Attr) Span {
 }
 
 // Event records an instant event outside any span.
+//
+//diverselint:hotpath disabled-tracer path must be allocation-free
 func (t *Tracer) Event(name string, attrs ...Attr) {
 	if !t.Enabled() {
 		return
@@ -218,6 +224,8 @@ type Span struct {
 
 // Active reports whether the span is recording; use it to skip
 // expensive attribute computation when tracing is off.
+//
+//diverselint:hotpath probe check on every instrumented operation
 func (s Span) Active() bool { return s.t != nil }
 
 // ID returns the span's identifier (0 for an inactive span).
@@ -261,6 +269,8 @@ func (s Span) EventAt(name string, ts int64, attrs ...Attr) {
 // duration. extra attributes (results, counts, outcomes) are appended
 // after the ones given at Start. Ending an inactive span is a no-op;
 // ending twice records twice — don't.
+//
+//diverselint:hotpath inactive-span path must be allocation-free
 func (s Span) End(extra ...Attr) {
 	if s.t == nil || !s.t.Enabled() {
 		return

@@ -1,0 +1,27 @@
+package pool_test
+
+import (
+	"testing"
+
+	"diversecast/internal/alloctest"
+	"diversecast/internal/pool"
+)
+
+// TestRunInlineAllocFree gates the //diverselint:hotpath contract on
+// pool.Run: with workers <= 1 (or n == 1) dispatch runs inline on the
+// caller's goroutine and adds zero allocations to whatever fn itself
+// does. The parallel path's W goroutine spawns are the audited
+// suppressions in pool.go, priced separately.
+func TestRunInlineAllocFree(t *testing.T) {
+	sum := 0
+	fn := func(i int) { sum += i }
+	alloctest.MustZeroAllocs(t, "pool.Run workers=1", 2, func() {
+		pool.Run(1, 64, fn)
+	})
+	alloctest.MustZeroAllocs(t, "pool.Run n=1", 2, func() {
+		pool.Run(8, 1, fn)
+	})
+	if sum == 0 {
+		t.Fatal("fn never ran")
+	}
+}
