@@ -39,12 +39,19 @@
 //     plus a 100k-subscriber ring cell with byte-parity verifiers.
 //     Full runs gate the ring/queue gain at 10x, parity failures and
 //     100k backpressure events at zero.
+//   - TelemetryOverhead: what the costmon cost-attribution probes cost
+//     the fan-out drain (see telemetry.go) — ring cells with the
+//     monitor absent and present, microbenchmarks pricing one
+//     estimator update, one wait record and each per-batch probe, and
+//     an analytically derived overhead percentage gated at 2% for
+//     both the enabled and the disabled configuration.
 //
 // Examples:
 //
-//	bcastbench -out BENCH_8.json
+//	bcastbench -out BENCH_10.json
 //	bcastbench -quick -benchtime 1x            # CI: smallest honest signal
 //	bcastbench -quick -family cdsparallel      # CI: the bit-identity gate
+//	bcastbench -quick -family telemetry       # CI: the costmon overhead gate
 package main
 
 import (
@@ -140,10 +147,10 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("bcastbench", flag.ContinueOnError)
 	fs.SetOutput(out)
-	outPath := fs.String("out", "BENCH_8.json", "report path ('-' for stdout)")
+	outPath := fs.String("out", "BENCH_10.json", "report path ('-' for stdout)")
 	quick := fs.Bool("quick", false, "reduced grid: skip the large-N cells and the GOPT timing columns")
 	benchTime := fs.String("benchtime", "", "per-benchmark time or iteration budget (default 3x, 1x with -quick)")
-	family := fs.String("family", "", "run only one family: cds, cdsparallel, tables, figures, trace or fanout (empty = all)")
+	family := fs.String("family", "", "run only one family: cds, cdsparallel, tables, figures, trace, fanout or telemetry (empty = all)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -175,9 +182,9 @@ func run(args []string, out io.Writer) error {
 
 	want := func(name string) bool { return *family == "" || *family == name }
 	switch *family {
-	case "", "cds", "cdsparallel", "tables", "figures", "trace", "fanout":
+	case "", "cds", "cdsparallel", "tables", "figures", "trace", "fanout", "telemetry":
 	default:
-		return fmt.Errorf("unknown family %q (want cds, cdsparallel, tables, figures, trace or fanout)", *family)
+		return fmt.Errorf("unknown family %q (want cds, cdsparallel, tables, figures, trace, fanout or telemetry)", *family)
 	}
 	if want("cds") {
 		if err := cdsScale(rep, *quick, bt); err != nil {
@@ -206,6 +213,11 @@ func run(args []string, out io.Writer) error {
 	}
 	if want("fanout") {
 		if err := netcastFanout(rep, *quick); err != nil {
+			return err
+		}
+	}
+	if want("telemetry") {
+		if err := telemetryOverhead(rep, *quick); err != nil {
 			return err
 		}
 	}
@@ -247,6 +259,16 @@ func run(args []string, out io.Writer) error {
 	// Parity is correctness, not noise: gate it even in -quick.
 	if pf, ok := rep.Derived["netcast_fanout_parity_failures"]; ok && pf != 0 {
 		return fmt.Errorf("%.0f payload parity failures across fan-out cells: subscribers received bytes that differ from the deterministic generator", pf)
+	}
+	// The telemetry overheads are analytic bounds (probe costs measured
+	// over thousand-iteration batches against the cell's per-delivery
+	// cost), robust even at -quick iteration counts, so they gate every
+	// run like the bit-identity and parity checks.
+	if pct, ok := rep.Derived["telemetry_overhead_enabled_pct"]; ok && pct > 2 {
+		return fmt.Errorf("enabled cost-telemetry overhead %.3f%% exceeds the 2%% budget: the steady-state probe must stay a nil check and a bool load per batch", pct)
+	}
+	if pct, ok := rep.Derived["telemetry_overhead_disabled_pct"]; ok && pct > 2 {
+		return fmt.Errorf("disabled cost-telemetry overhead %.3f%% exceeds the 2%% budget: servers without -telemetry must pay only the nil check", pct)
 	}
 	return nil
 }

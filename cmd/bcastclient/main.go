@@ -7,6 +7,7 @@
 //
 //	bcastclient -addr 127.0.0.1:7070 -channel 0 -item 3
 //	bcastclient -addr 127.0.0.1:7070 -channel 2 -listen 10
+//	bcastclient -addr 127.0.0.1:7070 -channel 0 -item 3 -stats
 package main
 
 import (
@@ -34,6 +35,7 @@ func run(args []string, out io.Writer) error {
 	item := fs.Int("item", 0, "item ID to wait for (0 = none)")
 	listen := fs.Int("listen", 0, "number of transmissions to monitor (0 = none)")
 	timeout := fs.Duration("timeout", time.Minute, "overall receive timeout")
+	stats := fs.Bool("stats", false, "print a reception summary on exit (receptions, resyncs, first-delivery latency)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -41,11 +43,35 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("pass -item <id> and/or -listen <n>")
 	}
 
-	c, err := netcast.Tune(*addr, *channel, 10*time.Second)
+	// When an item is wanted, declare it in the subscription so a
+	// server running -telemetry attributes this tune-in to the item's
+	// access-frequency estimate.
+	var c *netcast.Client
+	var err error
+	if *item != 0 {
+		c, err = netcast.TuneItem(*addr, *channel, *item, 10*time.Second)
+	} else {
+		c, err = netcast.Tune(*addr, *channel, 10*time.Second)
+	}
 	if err != nil {
 		return err
 	}
 	defer c.Close()
+	if *stats {
+		defer func() {
+			s := c.Stats()
+			first := "none"
+			if s.FirstDelivery > 0 {
+				first = s.FirstDelivery.Round(time.Microsecond).String()
+				if h := c.Hello(); h.TimeScale > 0 {
+					first = fmt.Sprintf("%s wall (%.3fs virtual)",
+						first, s.FirstDelivery.Seconds()/h.TimeScale)
+				}
+			}
+			fmt.Fprintf(out, "stats: %d receptions, %d resyncs, first delivery %s\n",
+				s.Receptions, s.Resyncs, first)
+		}()
+	}
 	h := c.Hello()
 	fmt.Fprintf(out, "tuned to channel %d of %d (bandwidth %g, timescale %g)\n",
 		*channel, h.K, h.Bandwidth, h.TimeScale)

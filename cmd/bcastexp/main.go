@@ -14,8 +14,10 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"diversecast/internal/experiments"
+	"diversecast/internal/obs"
 	"diversecast/internal/obs/trace"
 )
 
@@ -36,8 +38,21 @@ func run(args []string, out io.Writer) error {
 	quick := fs.Bool("quick", false, "reduced configuration (smaller N, fewer seeds, smaller GA budget)")
 	csv := fs.Bool("csv", false, "emit CSV instead of a table")
 	traceOut := fs.String("trace", "", "write a Chrome trace_event JSON of the run to this file (open in chrome://tracing or Perfetto)")
+	dumpStats := fs.Bool("stats", false, "dump the process metrics registry (Prometheus text format) on exit, with runtime-health gauges sampled over the run")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *dumpStats {
+		// Long sweeps (GA budgets, many seeds) can run for minutes;
+		// the sampler tracks goroutines/heap/GC over the run and a
+		// final sample pins end-of-run pressure before the dump.
+		stopSampler := obs.StartRuntimeSampler(obs.Default(), 5*time.Second)
+		defer func() {
+			stopSampler()
+			obs.SampleRuntime(obs.Default())
+			fmt.Fprintln(out, "---- metrics ----")
+			_ = obs.Default().WriteText(out)
+		}()
 	}
 	if *traceOut != "" {
 		// Figures run many allocations back to back; keep a deep ring

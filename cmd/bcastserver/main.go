@@ -7,6 +7,7 @@
 //	bcastserver -addr 127.0.0.1:7070 -catalog media-portal -k 6
 //	bcastserver -paper -k 5 -timescale 0.1
 //	bcastserver -paper -k 5 -metrics 127.0.0.1:9090
+//	bcastserver -paper -k 5 -telemetry -metrics 127.0.0.1:9090
 package main
 
 import (
@@ -26,6 +27,7 @@ import (
 	"diversecast/internal/core"
 	"diversecast/internal/netcast"
 	"diversecast/internal/obs"
+	"diversecast/internal/obs/costmon"
 	"diversecast/internal/obs/trace"
 )
 
@@ -62,10 +64,12 @@ func main() {
 // app bundles the broadcast server with its optional metrics endpoint
 // so main and the tests share one lifecycle.
 type app struct {
-	srv         *netcast.Server
-	metricsLn   net.Listener
-	metricsSv   *http.Server
-	stopSampler func()
+	srv           *netcast.Server
+	metricsLn     net.Listener
+	metricsSv     *http.Server
+	stopSampler   func()
+	mon           *costmon.Monitor
+	stopTelemetry func()
 }
 
 // Addr returns the broadcast listening address.
@@ -82,6 +86,9 @@ func (a *app) MetricsAddr() net.Addr {
 
 // Close stops the metrics endpoint and the broadcast server.
 func (a *app) Close() error {
+	if a.stopTelemetry != nil {
+		a.stopTelemetry()
+	}
 	if a.stopSampler != nil {
 		a.stopSampler()
 	}
@@ -111,6 +118,9 @@ func start(args []string, out io.Writer) (*app, error) {
 	clientRate := fs.Float64("client-rate", 0, "per-subscriber egress cap in bytes/second (0 = unlimited)")
 	channelRate := fs.Float64("channel-rate", 0, "per-channel aggregate egress cap in bytes/second (0 = unlimited)")
 	metricsAddr := fs.String("metrics", "", "serve /metrics and /debug/pprof on this address (empty = disabled)")
+	telemetry := fs.Bool("telemetry", false, "enable cost-attribution telemetry: realized vs predicted wait per channel, tune-in frequency estimation and drift sensing (report on /debug/cost when -metrics is set)")
+	driftThreshold := fs.Float64("drift-threshold", costmon.DefaultDriftThreshold, "total-variation drift between live and solved-for frequencies that trips the drift alarm (with -telemetry)")
+	halfLife := fs.Float64("halflife", costmon.DefaultHalfLife, "tune-in frequency estimator decay half-life in wall seconds (with -telemetry)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -132,6 +142,26 @@ func start(args []string, out io.Writer) (*app, error) {
 		return nil, err
 	}
 
+	// The cost monitor is built before the server so tune-ins are
+	// attributed from the first connection. Waits are recorded in
+	// virtual seconds (the server divides wall waits by TimeScale);
+	// the estimator decays in wall time.
+	var mon *costmon.Monitor
+	if *telemetry {
+		mon, err = costmon.New(costmon.Config{
+			Items:          db.Len(),
+			HalfLife:       *halfLife,
+			DriftThreshold: *driftThreshold,
+			Wait:           costmon.WaitFirstDelivery,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := mon.SetProgram(p, db.Frequencies()); err != nil {
+			return nil, err
+		}
+	}
+
 	srv, err := netcast.Serve(*addr, netcast.ServerConfig{
 		Program:          p,
 		TimeScale:        *timescale,
@@ -141,11 +171,17 @@ func start(args []string, out io.Writer) (*app, error) {
 		ResyncLimit:      *resyncLimit,
 		ClientRateLimit:  *clientRate,
 		ChannelRateLimit: *channelRate,
+		CostMonitor:      mon,
 	})
 	if err != nil {
 		return nil, err
 	}
-	ap := &app{srv: srv}
+	ap := &app{srv: srv, mon: mon}
+	if mon != nil {
+		ap.stopTelemetry = mon.Start(10 * time.Second)
+		fmt.Fprintf(out, "cost telemetry on (wait kind first_delivery, drift threshold %.3f, half-life %gs)\n",
+			*driftThreshold, *halfLife)
+	}
 
 	if *metricsAddr != "" {
 		ln, err := net.Listen("tcp", *metricsAddr)
@@ -163,6 +199,9 @@ func start(args []string, out io.Writer) (*app, error) {
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", obs.Default().Handler())
 		mux.Handle("/debug/obstrace", obstraceHandler())
+		if mon != nil {
+			mux.Handle("/debug/cost", mon.Handler())
+		}
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -171,7 +210,11 @@ func start(args []string, out io.Writer) (*app, error) {
 		ap.metricsLn = ln
 		ap.metricsSv = &http.Server{Handler: mux}
 		go ap.metricsSv.Serve(ln)
-		fmt.Fprintf(out, "metrics on http://%s/metrics (trace snapshots on /debug/obstrace, pprof on /debug/pprof/)\n", ln.Addr())
+		extra := ""
+		if mon != nil {
+			extra = ", cost report on /debug/cost"
+		}
+		fmt.Fprintf(out, "metrics on http://%s/metrics (trace snapshots on /debug/obstrace, pprof on /debug/pprof/%s)\n", ln.Addr(), extra)
 	}
 
 	fmt.Fprintf(out, "broadcasting on %s (%s, W_b = %.4fs, timescale %g)\n",

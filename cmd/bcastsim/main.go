@@ -15,6 +15,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"time"
 
 	"diversecast/internal/airsim"
 	"diversecast/internal/broadcast"
@@ -62,7 +63,13 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	if *dumpStats {
+		// Runtime-health gauges ride along with the metric dump: the
+		// sampler covers the run, and a final sample right before the
+		// dump captures end-of-run memory pressure.
+		stopSampler := obs.StartRuntimeSampler(obs.Default(), 5*time.Second)
 		defer func() {
+			stopSampler()
+			obs.SampleRuntime(obs.Default())
 			fmt.Fprintln(out, "---- metrics ----")
 			_ = obs.Default().WriteText(out)
 		}()

@@ -148,6 +148,28 @@ func Replan(prev *core.Allocation, db *core.Database) (*core.Allocation, Churn, 
 	return next, ChurnBetween(prev, next), nil
 }
 
+// ReplanFromFrequencies adapts a previous allocation to a fresh
+// frequency profile over the same items (database order, e.g. a
+// costmon estimator's Frequencies snapshot): it re-weights the
+// previous database and runs Replan. This is the re-allocation half
+// of the sense→replan control loop; the sensing half lives in
+// internal/obs/costmon.
+func ReplanFromFrequencies(prev *core.Allocation, freqs []float64) (*core.Allocation, Churn, error) {
+	db := prev.Database()
+	if len(freqs) != db.Len() {
+		return nil, Churn{}, fmt.Errorf("%w: %d frequencies vs %d items", ErrShapeMismatch, len(freqs), db.Len())
+	}
+	items := db.Items()
+	for i := range items {
+		items[i].Freq = freqs[i]
+	}
+	next, err := core.NewDatabase(items)
+	if err != nil {
+		return nil, Churn{}, fmt.Errorf("adapt: re-weighting database: %w", err)
+	}
+	return Replan(prev, next)
+}
+
 // ChurnBetween measures the placement difference between two
 // allocations over databases of the same length. Frequencies are taken
 // from b's database (the current profile).

@@ -1,0 +1,79 @@
+package adapt_test
+
+import (
+	"math"
+	"testing"
+
+	"diversecast/internal/adapt"
+	"diversecast/internal/core"
+	"diversecast/internal/obs/costmon"
+)
+
+// TestReplanFromFrequencies closes the sense→replan loop: feed a
+// costmon estimator a skewed workload, hand its frequency snapshot to
+// ReplanFromFrequencies, and check the result is a valid allocation
+// over the new profile that never costs more than carrying the stale
+// assignment unrefined.
+func TestReplanFromFrequencies(t *testing.T) {
+	db := core.PaperExampleDatabase()
+	prev, err := core.NewDRPCDS().Allocate(db, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Sense a workload where item 9 (cold in the paper profile) has
+	// become the hottest item.
+	e := costmon.NewEstimator(db.Len(), 60, 4)
+	for i := 0; i < 2000; i++ {
+		e.Observe(9)
+		e.Observe(i % 3)
+	}
+	freqs := e.Frequencies(0)
+
+	next, churn, err := adapt.ReplanFromFrequencies(prev, freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.K() != prev.K() || next.Database().Len() != db.Len() {
+		t.Fatalf("replan changed shape: K=%d len=%d", next.K(), next.Database().Len())
+	}
+	// The new database carries the sensed (normalized) profile.
+	for i := 0; i < db.Len(); i++ {
+		if got := next.Database().Item(i).Freq; math.Abs(got-freqs[i]/sum(freqs)) > 1e-9 {
+			t.Fatalf("item %d freq %v, want sensed %v", i, got, freqs[i])
+		}
+	}
+
+	// CDS refinement can only improve on the carried assignment.
+	carried, err := core.NewAllocation(next.Database(), prev.K(), prev.Assignment())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cNext, cCarried := core.Cost(next), core.Cost(carried); cNext > cCarried+1e-9 {
+		t.Fatalf("replanned cost %v exceeds carried cost %v", cNext, cCarried)
+	}
+
+	// Churn bookkeeping is consistent with the assignments.
+	moved := 0
+	for pos := 0; pos < db.Len(); pos++ {
+		if prev.ChannelOf(pos) != next.ChannelOf(pos) {
+			moved++
+		}
+	}
+	if churn.Moved != moved {
+		t.Fatalf("churn.Moved = %d, recount = %d", churn.Moved, moved)
+	}
+
+	// Shape mismatch is rejected.
+	if _, _, err := adapt.ReplanFromFrequencies(prev, []float64{1, 2}); err == nil {
+		t.Fatal("short frequency profile accepted")
+	}
+}
+
+func sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"diversecast/internal/broadcast"
+	"diversecast/internal/obs/costmon"
 	"diversecast/internal/obs/trace"
 	"diversecast/internal/sim"
 	"diversecast/internal/stats"
@@ -36,6 +37,12 @@ type Options struct {
 	// trace is deterministic and viewer timelines read in sim time.
 	// Nil uses trace.Default(), which starts disabled.
 	Tracer *trace.Tracer
+	// CostMonitor, when set, receives one tune-in (with the requested
+	// item's position) and one realized wait per request, both in
+	// virtual seconds. Build it with Wait: costmon.WaitRequest and a
+	// ManualClock driven in virtual time; the golden tests pin its
+	// realized means to the analytic Eq. (1) expectations this way.
+	CostMonitor *costmon.Monitor
 }
 
 // virtualNS converts virtual simulation seconds to the integer
@@ -101,6 +108,10 @@ func MeasureWith(p *broadcast.Program, reqs []workload.Request, opts Options) (*
 		download.Add(d)
 		wait.Add(pr + d)
 		perChannel[c].Add(pr + d)
+		if opts.CostMonitor != nil {
+			opts.CostMonitor.ObserveTuneIn(c, req.Pos)
+			opts.CostMonitor.RecordWait(c, pr+d)
+		}
 		if end := start + d; end > horizon {
 			horizon = end
 		}
@@ -200,6 +211,10 @@ func EventDrivenWith(p *broadcast.Program, reqs []workload.Request, opts Options
 		i, req := i, req
 		if err := s.At(req.Time, func() {
 			waiting[req.Pos] = append(waiting[req.Pos], pendingReq{index: i, arrival: req.Time})
+			if opts.CostMonitor != nil {
+				c, _, _ := p.Locate(req.Pos)
+				opts.CostMonitor.ObserveTuneIn(c, req.Pos)
+			}
 			if traceOn {
 				tr.EventAt(eventClientTuneIn, virtualNS(req.Time),
 					trace.Int("item", int64(req.Pos)))
@@ -230,6 +245,9 @@ func EventDrivenWith(p *broadcast.Program, reqs []workload.Request, opts Options
 					probes[pr.index] = at - pr.arrival
 					waits[pr.index] = at + slot.Duration - pr.arrival
 					served++
+					if opts.CostMonitor != nil {
+						opts.CostMonitor.RecordWait(c, at+slot.Duration-pr.arrival)
+					}
 					if traceOn {
 						tr.EventAt(eventClientServed, virtualNS(at+slot.Duration),
 							trace.Int("channel", int64(c)), trace.Int("item", int64(slot.Pos)),

@@ -107,6 +107,41 @@ func registerCDSInReduce(r *obs.Registry, shards int) {
 	}
 }
 
+// Clean: the costmon per-channel instrument bundle — one helper
+// registering compile-time names with the channel as a label, called
+// per channel at SetProgram time (not syntactically in a loop at the
+// registration sites).
+type costmonChanInstruments struct {
+	tuneIns *obs.Counter
+	waits   *obs.Histogram
+	regret  *obs.Gauge
+}
+
+func registerCostmonChannel(r *obs.Registry, channel int, hi float64, bins int) costmonChanInstruments {
+	ch := strconv.Itoa(channel)
+	return costmonChanInstruments{
+		tuneIns: r.Counter("costmon_tune_ins_total", "tune-ins attributed to the channel", "channel", ch),
+		waits:   r.Histogram("costmon_wait_seconds", "realized waits", 0, hi, bins, "channel", ch),
+		regret:  r.Gauge("costmon_cost_regret_us", "realized minus predicted mean wait", "channel", ch),
+	}
+}
+
+// Flagged: baking the channel index into the name forks one series
+// per channel; the index belongs in a label like every other
+// per-channel instrument.
+func registerCostmonDynamic(r *obs.Registry, channel int) *obs.Counter {
+	return r.Counter("costmon_tune_ins_"+strconv.Itoa(channel), "per-channel tune-ins") // want `not a compile-time string constant`
+}
+
+// Flagged: re-registering the drift gauge on every sampler pass pays
+// the registry lock per tick; resolve the handle at monitor
+// construction.
+func registerCostmonPerSample(r *obs.Registry, samples int) {
+	for i := 0; i < samples; i++ {
+		r.Gauge("costmon_drift_score_milli", "frequency drift") // want `inside a loop`
+	}
+}
+
 // Clean: a Counter method on an unrelated type is not a
 // registration.
 type shelf struct{}

@@ -1,0 +1,66 @@
+package broadcast
+
+// Analytic wait expectations for a scheduled channel, in virtual
+// seconds. These are the "predicted" side of the cost-attribution
+// telemetry (internal/obs/costmon): the runtime records what clients
+// actually waited and holds it against these closed forms, which are
+// the scheduled-program counterparts of the paper's Eq. (1) per-channel
+// waiting time Z_i/(2b) + download/(b·F_i).
+
+// ExpectedWait returns the mean access time experienced by a request
+// arriving uniformly at random in the cycle for an item drawn from
+// freqs (indexed by database position): mean probe wait Z/2 plus the
+// frequency-weighted mean download time of the channel's slots.
+//
+// With slot durations z_j/b this is exactly Eq. (1) for the channel,
+// so on a Build program it agrees with core.ChannelWaitingTime to
+// floating-point accuracy. Slots whose position carries zero (or
+// missing) frequency mass fall back to an unweighted mean download,
+// and an empty channel has zero expected wait.
+func (c Channel) ExpectedWait(freqs []float64) float64 {
+	if len(c.Slots) == 0 || c.CycleLength <= 0 {
+		return 0
+	}
+	var mass, weighted, flat float64
+	for _, s := range c.Slots {
+		var f float64
+		if s.Pos >= 0 && s.Pos < len(freqs) {
+			f = freqs[s.Pos]
+		}
+		mass += f
+		weighted += f * s.Duration
+		flat += s.Duration
+	}
+	download := flat / float64(len(c.Slots))
+	if mass > 0 {
+		download = weighted / mass
+	}
+	return c.CycleLength/2 + download
+}
+
+// ExpectedFirstDelivery returns the mean time from a uniformly-random
+// tune-in instant until the end of the first complete item
+// transmission on the channel. A listener joining during slot j (an
+// event of probability d_j/Z) waits out the remainder of that slot
+// (d_j/2 in expectation — its head was already missed) and then the
+// whole of the next slot:
+//
+//	E = Σ_j (d_j/Z) · (d_j/2 + d_{j+1 mod n})
+//
+// This is the quantity the netcast server realizes per subscriber
+// (tune-in → first MsgItemEnd preceded by a MsgItemBegin), as opposed
+// to ExpectedWait, which is the per-request access time airsim
+// realizes. The two differ: first delivery does not condition on
+// which item the listener wants.
+func (c Channel) ExpectedFirstDelivery() float64 {
+	n := len(c.Slots)
+	if n == 0 || c.CycleLength <= 0 {
+		return 0
+	}
+	var sum float64
+	for j, s := range c.Slots {
+		next := c.Slots[(j+1)%n].Duration
+		sum += s.Duration / c.CycleLength * (s.Duration/2 + next)
+	}
+	return sum
+}

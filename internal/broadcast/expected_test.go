@@ -1,0 +1,119 @@
+package broadcast_test
+
+import (
+	"math"
+	"testing"
+
+	"diversecast/internal/broadcast"
+	"diversecast/internal/core"
+)
+
+// TestExpectedWaitMatchesChannelWaitingTime cross-checks the
+// schedule-level expectation against the model-level one: on a Build
+// program, Channel.ExpectedWait under the database frequencies must
+// equal core.ChannelWaitingTime (Eq. 1) for every channel of the
+// paper's worked example.
+func TestExpectedWaitMatchesChannelWaitingTime(t *testing.T) {
+	db := core.PaperExampleDatabase()
+	for _, bandwidth := range []float64{1, 10} {
+		a, err := core.NewDRPExampleConsistent().Allocate(db, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := broadcast.Build(a, bandwidth, broadcast.ByPosition)
+		if err != nil {
+			t.Fatal(err)
+		}
+		freqs := db.Frequencies()
+		for c, ch := range p.Channels {
+			want := core.ChannelWaitingTime(a, c, bandwidth)
+			got := ch.ExpectedWait(freqs)
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("bandwidth %g channel %d: ExpectedWait %v, ChannelWaitingTime %v",
+					bandwidth, c, got, want)
+			}
+		}
+	}
+}
+
+// TestExpectedFirstDelivery pins the closed form on a hand-computed
+// two-slot channel: durations 1 and 3, cycle 4.
+//
+//	E = (1/4)(0.5 + 3) + (3/4)(1.5 + 1) = 0.875 + 1.875 = 2.75
+func TestExpectedFirstDelivery(t *testing.T) {
+	db, err := core.NewDatabase([]core.Item{
+		{ID: 1, Freq: 0.5, Size: 1},
+		{ID: 2, Freq: 0.5, Size: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.NewAllocation(db, 1, []int{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := broadcast.Build(a, 1, broadcast.ByPosition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Channels[0].ExpectedFirstDelivery(); math.Abs(got-2.75) > 1e-12 {
+		t.Fatalf("ExpectedFirstDelivery = %v, want 2.75", got)
+	}
+
+	// Uniform slots degenerate to 1.5 slot durations: remainder d/2
+	// plus the next full slot d.
+	db2, err := core.NewDatabase([]core.Item{
+		{ID: 1, Freq: 0.5, Size: 2},
+		{ID: 2, Freq: 0.5, Size: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := core.NewAllocation(db2, 1, []int{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := broadcast.Build(a2, 1, broadcast.ByPosition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p2.Channels[0].ExpectedFirstDelivery(); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("uniform ExpectedFirstDelivery = %v, want 3", got)
+	}
+}
+
+// TestExpectedWaitEdgeCases: zero-mass profiles fall back to the
+// unweighted mean download, and empty channels report zero.
+func TestExpectedWaitEdgeCases(t *testing.T) {
+	db, err := core.NewDatabase([]core.Item{
+		{ID: 1, Freq: 0.9, Size: 1},
+		{ID: 2, Freq: 0.1, Size: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.NewAllocation(db, 1, []int{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := broadcast.Build(a, 1, broadcast.ByPosition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := p.Channels[0]
+	// Zero mass: cycle/2 + mean(1,3) = 2 + 2 = 4.
+	if got := ch.ExpectedWait([]float64{0, 0}); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("zero-mass ExpectedWait = %v, want 4", got)
+	}
+	// Short profile: slots outside the profile carry zero mass.
+	if got := ch.ExpectedWait([]float64{1}); math.Abs(got-(2+1)) > 1e-12 {
+		t.Fatalf("short-profile ExpectedWait = %v, want 3", got)
+	}
+	var empty broadcast.Channel
+	if got := empty.ExpectedWait([]float64{1}); got != 0 {
+		t.Fatalf("empty channel ExpectedWait = %v", got)
+	}
+	if got := empty.ExpectedFirstDelivery(); got != 0 {
+		t.Fatalf("empty channel ExpectedFirstDelivery = %v", got)
+	}
+}

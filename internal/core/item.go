@@ -158,6 +158,17 @@ func (db *Database) MeanSize() float64 {
 	return db.totalSize / float64(len(db.items))
 }
 
+// Frequencies returns every item's access frequency in database
+// order — the profile an allocation over this database was solved
+// for, in the shape estimators and drift scorers consume.
+func (db *Database) Frequencies() []float64 {
+	f := make([]float64, len(db.items))
+	for i, it := range db.items {
+		f[i] = it.Freq
+	}
+	return f
+}
+
 // IndexByID returns a map from item ID to database position.
 //
 //diverselint:coldpath O(N) lookup-table build for clients and tests, not per-access

@@ -31,6 +31,13 @@ type Client struct {
 	r       *bufio.Reader
 	hello   wire.Hello
 	channel int
+
+	// Per-client reception statistics (see Stats). A Client is
+	// single-goroutine by contract, so plain fields suffice.
+	tunedAt       time.Time
+	receptions    int64
+	resyncs       int64
+	firstDelivery time.Duration
 }
 
 // Reception is one fully received item transmission.
@@ -53,6 +60,20 @@ var (
 // Tune connects to a broadcast server and subscribes to the given
 // channel. timeout bounds the dial and handshake.
 func Tune(addr string, channel int, timeout time.Duration) (*Client, error) {
+	return tune(addr, timeout, wire.Subscribe{Channel: channel})
+}
+
+// TuneItem is Tune with the wanted item declared in the subscription:
+// a server running cost telemetry (-telemetry) attributes the tune-in
+// to the item's access-frequency estimate, which is what the drift
+// sensor and any replanning feed on. Servers without telemetry ignore
+// the declaration; reception behavior is identical to Tune.
+func TuneItem(addr string, channel, itemID int, timeout time.Duration) (*Client, error) {
+	return tune(addr, timeout, wire.Subscribe{Channel: channel, Item: itemID, HasItem: true})
+}
+
+func tune(addr string, timeout time.Duration, sub wire.Subscribe) (*Client, error) {
+	channel := sub.Channel
 	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("netcast: dial %s: %w", addr, err)
@@ -79,7 +100,7 @@ func Tune(addr string, channel int, timeout time.Duration) (*Client, error) {
 		conn.Close()
 		return nil, fmt.Errorf("netcast: channel %d outside [0,%d)", channel, c.hello.K)
 	}
-	if err := wire.WriteJSON(conn, wire.MsgSubscribe, wire.Subscribe{Channel: channel}); err != nil {
+	if err := wire.WriteJSON(conn, wire.MsgSubscribe, sub); err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("netcast: subscribing: %w", err)
 	}
@@ -87,6 +108,7 @@ func Tune(addr string, channel int, timeout time.Duration) (*Client, error) {
 		conn.Close()
 		return nil, fmt.Errorf("netcast: clearing deadline: %w", err)
 	}
+	c.tunedAt = time.Now()
 	return c, nil
 }
 
@@ -147,6 +169,7 @@ func (c *Client) NextItem(deadline time.Time) (*Reception, error) {
 				// A gap in the stream (e.g. the server dropped us and
 				// we reconnected); resynchronize.
 				cliResyncs.Inc()
+				c.resyncs++
 				rec = nil
 				continue
 			}
@@ -158,6 +181,10 @@ func (c *Client) NextItem(deadline time.Time) (*Reception, error) {
 					ErrBadPayload, len(rec.Payload), rec.Begin.PayloadLen)
 			}
 			cliReceptions.Inc()
+			c.receptions++
+			if c.firstDelivery == 0 && !c.tunedAt.IsZero() {
+				c.firstDelivery = rec.EndAt.Sub(c.tunedAt)
+			}
 			return rec, nil
 		case wire.MsgResync:
 			// The server lapped us in its frame ring and resumed the
@@ -168,6 +195,7 @@ func (c *Client) NextItem(deadline time.Time) (*Reception, error) {
 				return nil, err
 			}
 			cliResyncs.Inc()
+			c.resyncs++
 			rec = nil
 			payload.Reset()
 		case wire.MsgError:
@@ -200,6 +228,33 @@ func (c *Client) WaitForItem(itemID int, timeout time.Duration) (*Reception, tim
 		if rec.Begin.ItemID == itemID {
 			return rec, time.Since(start), nil
 		}
+	}
+}
+
+// ClientStats summarizes one client's reception history — the
+// client-side realized numbers a live verification run reports
+// (bcastclient -stats).
+type ClientStats struct {
+	// Receptions counts complete item transmissions received.
+	Receptions int64
+	// Resyncs counts stream gaps (server ring laps and torn
+	// transmissions) the receiver recovered from.
+	Resyncs int64
+	// FirstDelivery is the wall time from tune-in to the end of the
+	// first complete reception — the client-side realized
+	// first-delivery wait the server's cost monitor predicts with
+	// Channel.ExpectedFirstDelivery. Zero until one arrives.
+	FirstDelivery time.Duration
+}
+
+// Stats returns the client's reception statistics so far. Like every
+// Client method, it must be called from the goroutine that drives
+// NextItem.
+func (c *Client) Stats() ClientStats {
+	return ClientStats{
+		Receptions:    c.receptions,
+		Resyncs:       c.resyncs,
+		FirstDelivery: c.firstDelivery,
 	}
 }
 

@@ -1,0 +1,146 @@
+package netcast
+
+import (
+	"testing"
+	"time"
+
+	"diversecast/internal/obs"
+	"diversecast/internal/obs/costmon"
+	"diversecast/internal/obs/trace"
+)
+
+// TestCostMonitorOverTCP wires a Monitor into a fast-timescale server
+// and tunes a real client to a declared item: the monitor must see the
+// tune-in (channel counter and estimator), and record exactly one
+// first-delivery wait once a complete item lands. The client-side
+// -stats counters must agree.
+func TestCostMonitorOverTCP(t *testing.T) {
+	a, p := testProgram(t)
+	db := a.Database()
+	mon, err := costmon.New(costmon.Config{
+		Items:           db.Len(),
+		Wait:            costmon.WaitFirstDelivery,
+		MinObservations: 1,
+		Registry:        obs.NewRegistry(),
+		Tracer:          trace.New(trace.Config{Capacity: 256}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mon.SetProgram(p, db.Frequencies()); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := Serve("127.0.0.1:0", ServerConfig{
+		Program: p, TimeScale: 0.002, CostMonitor: mon,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Find item ID 2's database position and serving channel.
+	pos, ok := db.IndexByID()[2]
+	if !ok {
+		t.Fatal("item 2 missing from test database")
+	}
+	ch := a.ChannelOf(pos)
+
+	c, err := TuneItem(srv.Addr().String(), ch, 2, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Read until a full item arrives (the first reception may need a
+	// resync past a mid-slot join).
+	if _, err := c.NextItem(time.Now().Add(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+
+	rep := mon.Report()
+	cr := rep.Channels[ch]
+	if cr.TuneIns != 1 {
+		t.Fatalf("channel %d tune-ins = %d, want 1", ch, cr.TuneIns)
+	}
+	if rep.Observations != 1 {
+		t.Fatalf("estimator observations = %d, want 1 (declared item)", rep.Observations)
+	}
+	if mon.PosOfItem(2) != pos {
+		t.Fatalf("PosOfItem(2) = %d, want %d", mon.PosOfItem(2), pos)
+	}
+
+	// The first complete delivery is recorded exactly once, in virtual
+	// seconds: bounded by one cycle plus the longest item.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		cr = mon.Report().Channels[ch]
+		if cr.Waits > 0 || time.Now().After(deadline) {
+			break
+		}
+		if _, err := c.NextItem(time.Now().Add(time.Second)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cr.Waits != 1 {
+		t.Fatalf("channel %d waits = %d, want exactly 1 (first delivery only)", ch, cr.Waits)
+	}
+	maxWait := p.Channels[ch].CycleLength + 25 // slack: accelerated wall time is noisy
+	if cr.RealizedMeanS <= 0 || cr.RealizedMeanS > maxWait {
+		t.Fatalf("first-delivery wait %v virtual seconds, want in (0, %v]", cr.RealizedMeanS, maxWait)
+	}
+	if cr.PredictedS != p.Channels[ch].ExpectedFirstDelivery() {
+		t.Fatalf("predicted %v, want ExpectedFirstDelivery %v", cr.PredictedS, p.Channels[ch].ExpectedFirstDelivery())
+	}
+
+	st := c.Stats()
+	if st.Receptions < 1 {
+		t.Fatalf("client stats receptions = %d, want ≥ 1", st.Receptions)
+	}
+	if st.FirstDelivery <= 0 {
+		t.Fatalf("client stats first delivery = %v, want > 0", st.FirstDelivery)
+	}
+}
+
+// TestTuneWithoutItemDeclaration: a plain Tune (no item) still counts
+// the tune-in on the channel but contributes nothing to the estimator.
+func TestTuneWithoutItemDeclaration(t *testing.T) {
+	a, p := testProgram(t)
+	db := a.Database()
+	mon, err := costmon.New(costmon.Config{
+		Items:    db.Len(),
+		Wait:     costmon.WaitFirstDelivery,
+		Registry: obs.NewRegistry(),
+		Tracer:   trace.New(trace.Config{Capacity: 64}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mon.SetProgram(p, db.Frequencies()); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := Serve("127.0.0.1:0", ServerConfig{
+		Program: p, TimeScale: 0.002, CostMonitor: mon,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c, err := Tune(srv.Addr().String(), 0, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.NextItem(time.Now().Add(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+
+	rep := mon.Report()
+	if rep.Channels[0].TuneIns != 1 {
+		t.Fatalf("tune-ins = %d, want 1", rep.Channels[0].TuneIns)
+	}
+	if rep.Observations != 0 {
+		t.Fatalf("estimator observations = %d, want 0 without a declared item", rep.Observations)
+	}
+}

@@ -87,7 +87,7 @@ func TestSubscriberGaugeNeverNegativeUnderChurn(t *testing.T) {
 				defer adders.Done()
 				for i := 0; i < 64; i++ {
 					server, client := net.Pipe()
-					if !ca.add(server, trace.Span{}) {
+					if !ca.add(server, trace.Span{}, -1) {
 						server.Close()
 						client.Close()
 						return
@@ -151,7 +151,7 @@ func TestStallCatchUpSkipsCycles(t *testing.T) {
 
 	server, client := net.Pipe()
 	defer client.Close()
-	if !ca.add(server, trace.Span{}) {
+	if !ca.add(server, trace.Span{}, -1) {
 		t.Fatal("caster refused the subscriber")
 	}
 	s.wg.Add(1)
@@ -261,7 +261,7 @@ func TestWrittenVsBroadcastAccounting(t *testing.T) {
 	s := newServer(cfg, nil)
 	ca := newCaster(s, 0, time.Now())
 	server, client := net.Pipe()
-	if !ca.add(server, trace.Span{}) {
+	if !ca.add(server, trace.Span{}, -1) {
 		t.Fatal("caster refused the subscriber")
 	}
 	frame, err := wire.EncodeFrame(wire.MsgItemChunk, []byte("payload"))
@@ -442,7 +442,7 @@ func TestLagResyncBeforeDrop(t *testing.T) {
 	server, client := net.Pipe()
 	defer client.Close()
 	sp := tr.Start(spanNetcastConn, trace.Str("peer", "pipe"))
-	if !ca.add(server, sp) {
+	if !ca.add(server, sp, -1) {
 		t.Fatal("caster refused the subscriber")
 	}
 	if err := client.SetReadDeadline(time.Now().Add(10 * time.Second)); err != nil {

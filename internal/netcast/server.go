@@ -29,6 +29,7 @@ import (
 
 	"diversecast/internal/broadcast"
 	"diversecast/internal/obs"
+	"diversecast/internal/obs/costmon"
 	"diversecast/internal/obs/trace"
 	"diversecast/internal/wire"
 )
@@ -109,6 +110,14 @@ type ServerConfig struct {
 	// trace.Default(), which starts disabled, so an unconfigured
 	// server stays probe-free.
 	Tracer *trace.Tracer
+	// CostMonitor, when set, receives cost-attribution signals: one
+	// tune-in per subscriber (with the declared item position when
+	// the Subscribe carried one) and one realized first-delivery wait
+	// — tune-in to the end of the first complete item transmission,
+	// converted to virtual seconds via TimeScale. Nil (the default)
+	// keeps the fan-out path free of telemetry beyond a per-batch nil
+	// check.
+	CostMonitor *costmon.Monitor
 }
 
 func (c ServerConfig) withDefaults() (ServerConfig, error) {
@@ -358,7 +367,7 @@ func (s *Server) Attach(conn net.Conn, channel int) error {
 		sp = s.cfg.Tracer.Start(spanNetcastConn,
 			trace.Str("peer", conn.RemoteAddr().String()))
 	}
-	if !s.casters[channel].add(conn, sp) {
+	if !s.casters[channel].add(conn, sp, -1) {
 		if sp.Active() {
 			sp.End(trace.Str("outcome", "handshake_failed"), trace.Str("reason", "shutdown"))
 		}
@@ -496,11 +505,18 @@ func (s *Server) handshake(conn net.Conn) {
 		s.failHandshake(conn, sp, "clear_deadline")
 		return
 	}
+	// Resolve the declared item (if any) to its database position for
+	// the cost monitor's frequency estimator. Cold path: once per
+	// connection, and an unknown ID degrades to the -1 sentinel.
+	pos := -1
+	if s.cfg.CostMonitor != nil && sub.HasItem {
+		pos = s.cfg.CostMonitor.PosOfItem(sub.Item)
+	}
 	// The caster itself decides — under its lock — whether it is still
 	// accepting subscribers. Checking s.closed here instead would race
 	// with Close: a registration slipping in after dropAll would leave
 	// a write loop nobody stops and deadlock s.wg.Wait().
-	if !s.casters[sub.Channel].add(conn, sp) {
+	if !s.casters[sub.Channel].add(conn, sp, pos) {
 		s.failHandshake(conn, sp, "shutdown")
 	}
 }
@@ -534,6 +550,20 @@ type subscriber struct {
 	// reused for every later throttle (the writer goroutine is the
 	// only user), so steady-state backpressure allocates nothing.
 	throttleTimer *time.Timer
+
+	// Cost-attribution state: tunedAt is the registration instant
+	// (zero when telemetry is off); sawBegin and delivered drive the
+	// first-complete-delivery detection in the write loops — a
+	// delivery only counts once a MsgItemBegin has been seen, so a
+	// mid-slot joiner's orphaned MsgItemEnd (whose payload it missed)
+	// is not mistaken for one. All written only by the subscriber's
+	// writer goroutine.
+	//diverselint:guard none owned by the subscriber's single writer goroutine after registration
+	tunedAt time.Time
+	//diverselint:guard none owned by the subscriber's single writer goroutine after registration
+	sawBegin bool
+	//diverselint:guard none owned by the subscriber's single writer goroutine after registration
+	delivered bool
 
 	// cursor is the ring-mode read position: the sequence number of
 	// the next frame this subscriber wants. resyncStreak counts
@@ -624,6 +654,16 @@ func (sub *subscriber) writeBatch(ca *caster, frames [][]byte) bool {
 	if err := sub.conn.SetWriteDeadline(time.Now().Add(sub.wrTmo)); err != nil {
 		return false
 	}
+	// Cost attribution, first delivery only: once delivered is set the
+	// whole block is a nil check and a bool load per batch — that pair
+	// is the entire steady-state telemetry cost on the fan-out drain
+	// (priced by the TelemetryOverhead bench family). The scan must
+	// run before the vectored write: net.Buffers.WriteTo consumes its
+	// elements (nils out fully-written entries in the shared backing
+	// array), so afterwards there is nothing left to inspect.
+	if ca.mon != nil && !sub.delivered {
+		sub.observeDelivery(ca, frames)
+	}
 	// The vectored write goes through sub.bufs rather than a local
 	// net.Buffers: WriteTo takes its receiver by pointer and hands it
 	// to an interface method, so a local would escape and cost one
@@ -641,6 +681,46 @@ func (sub *subscriber) writeBatch(ca *caster, frames [][]byte) bool {
 		sub.frames.Add(int64(len(frames)))
 	}
 	return true
+}
+
+// observeDelivery scans a written batch for the end of the first
+// complete item transmission — a MsgItemEnd after a MsgItemBegin; an
+// orphaned end frame from the slot a mid-cycle joiner tuned into does
+// not count — and records the realized wait in virtual seconds. Runs
+// only until the first delivery is found, i.e. for the first batch or
+// two of a subscriber's lifetime.
+//
+//diverselint:coldpath first-delivery detection runs at most a handful of batches per subscriber, then the delivered flag short-circuits it forever
+func (sub *subscriber) observeDelivery(ca *caster, frames [][]byte) {
+	for _, f := range frames {
+		sub.observeFrame(ca, f)
+		if sub.delivered {
+			return
+		}
+	}
+}
+
+// observeFrame advances the first-delivery state machine by one
+// written frame (see observeDelivery).
+//
+//diverselint:coldpath shares observeDelivery's bounded lifetime: never called once delivered is set
+func (sub *subscriber) observeFrame(ca *caster, f []byte) {
+	if len(f) < 5 {
+		return
+	}
+	switch wire.MsgType(f[4]) {
+	case wire.MsgItemBegin:
+		sub.sawBegin = true
+	case wire.MsgItemEnd:
+		if !sub.sawBegin {
+			return
+		}
+		sub.delivered = true
+		// Realized wall wait, converted to virtual program seconds
+		// (real = virtual·TimeScale).
+		wait := time.Since(sub.tunedAt).Seconds() / ca.srv.cfg.TimeScale
+		ca.mon.RecordWait(ca.channel, wait)
+	}
 }
 
 // ringLoop drains the channel's shared frame ring onto the socket:
@@ -725,6 +805,9 @@ func (sub *subscriber) queueLoop(ca *caster) {
 			if sub.span.Active() {
 				sub.frames.Add(1)
 			}
+			if ca.mon != nil && !sub.delivered {
+				sub.observeFrame(ca, f)
+			}
 		}
 	}
 }
@@ -737,9 +820,11 @@ type caster struct {
 	met     casterMetrics
 	// ring is the shared frame ring (FanoutRing mode; nil in queue
 	// mode). chanLimit is the channel-wide egress bucket (nil when
-	// unlimited).
+	// unlimited). mon is the optional cost monitor (nil when
+	// telemetry is off).
 	ring      *frameRing
 	chanLimit *tokenBucket
+	mon       *costmon.Monitor
 
 	mu sync.Mutex
 	//diverselint:guard mu
@@ -754,6 +839,7 @@ func newCaster(srv *Server, channel int, epoch time.Time) *caster {
 		srv: srv, channel: channel, epoch: epoch,
 		met:  newCasterMetrics(srv.cfg.Metrics, channel, srv.cfg.RingCapacity),
 		subs: make(map[*subscriber]struct{}),
+		mon:  srv.cfg.CostMonitor,
 	}
 	if srv.cfg.Fanout == FanoutRing {
 		ca.ring = newFrameRing(srv.cfg.RingCapacity)
@@ -767,13 +853,18 @@ func newCaster(srv *Server, channel int, epoch time.Time) *caster {
 // add registers a new subscriber connection and starts its write
 // loop. It reports false — without taking ownership of conn — when the
 // caster has already shut down, so a handshake racing with Close can
-// never strand a write-loop goroutine past dropAll.
-func (ca *caster) add(conn net.Conn, sp trace.Span) bool {
+// never strand a write-loop goroutine past dropAll. pos is the
+// declared item's database position for the cost monitor (-1 when the
+// subscriber declared none).
+func (ca *caster) add(conn net.Conn, sp trace.Span, pos int) bool {
 	sub := &subscriber{
 		conn:  conn,
 		done:  make(chan struct{}),
 		wrTmo: ca.srv.cfg.WriteTimeout,
 		span:  sp,
+	}
+	if ca.mon != nil {
+		sub.tunedAt = time.Now()
 	}
 	if ca.srv.cfg.ClientRateLimit > 0 {
 		sub.limit = newTokenBucket(ca.srv.cfg.ClientRateLimit, ca.srv.cfg.ClientRateLimit)
@@ -801,9 +892,13 @@ func (ca *caster) add(conn net.Conn, sp trace.Span) bool {
 	// wg.Wait cannot race a late Add.
 	ca.srv.wg.Add(1)
 	ca.mu.Unlock()
+	if ca.mon != nil {
+		ca.mon.ObserveTuneIn(ca.channel, pos)
+	}
 	if sp.Active() {
 		sp.Event(eventNetcastSubscribe, trace.Int("channel", int64(ca.channel)))
 	}
+	//diverselint:ignore detrand first-delivery waits are intrinsically wall-clock: sub.tunedAt anchors a realized latency measurement and never feeds a simulated cost
 	go func() {
 		defer ca.srv.wg.Done()
 		if ca.ring != nil {

@@ -88,7 +88,7 @@ func TestAddAfterCloseRefusesSubscriber(t *testing.T) {
 	}
 	server, client := net.Pipe()
 	defer client.Close()
-	if ca.add(server, trace.Span{}) {
+	if ca.add(server, trace.Span{}, -1) {
 		t.Fatal("caster accepted a subscriber after shutdown")
 	}
 	ca.mu.Lock()

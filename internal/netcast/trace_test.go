@@ -55,7 +55,7 @@ func TestQueueDropLifecycleSequence(t *testing.T) {
 	server, client := net.Pipe()
 	defer client.Close()
 	sp := tr.Start(spanNetcastConn, trace.Str("peer", "pipe"))
-	if !ca.add(server, sp) {
+	if !ca.add(server, sp, -1) {
 		t.Fatal("caster refused the subscriber")
 	}
 	frame, err := wire.EncodeFrame(wire.MsgItemChunk, []byte("payload"))

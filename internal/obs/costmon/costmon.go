@@ -1,0 +1,478 @@
+package costmon
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"diversecast/internal/broadcast"
+	"diversecast/internal/obs"
+	"diversecast/internal/obs/trace"
+)
+
+// Defaults for Config zero values.
+const (
+	// DefaultHalfLife is the estimator decay halflife in seconds of
+	// the monitor's clock (virtual seconds under a ManualClock).
+	DefaultHalfLife = 60.0
+	// DefaultShards splits the estimator fold into this many
+	// contiguous ranges.
+	DefaultShards = 8
+	// DefaultDriftThreshold is the total-variation distance between
+	// the live estimate and the solved-for profile at which the drift
+	// alarm trips. TV distance lives in [0,1]: 0.15 means 15% of the
+	// access-probability mass has moved.
+	DefaultDriftThreshold = 0.15
+	// DefaultMinObservations gates drift scoring until the estimator
+	// has seen enough tune-ins to mean anything.
+	DefaultMinObservations = 64
+	// DefaultWaitBins is the per-channel realized-wait histogram
+	// resolution.
+	DefaultWaitBins = 32
+)
+
+// Trace event names emitted by the monitor.
+const (
+	eventSnapshot = "costmon_snapshot"
+	eventDrift    = "costmon_drift"
+)
+
+// WaitKind names which wait the monitor's realized histograms hold;
+// it selects the matching analytic prediction. Mixing kinds in one
+// monitor would make the regret gauges meaningless, so a monitor has
+// exactly one.
+type WaitKind int
+
+const (
+	// WaitRequest is per-request access time: request issued →
+	// wanted item fully downloaded (airsim's measure; the paper's
+	// Eq. (1) expectation). Predicted by Channel.ExpectedWait under
+	// the solved-for frequencies.
+	WaitRequest WaitKind = iota
+	// WaitFirstDelivery is per-subscriber time from tune-in to the
+	// end of the first complete item transmission (what the netcast
+	// server can observe without knowing which item a subscriber
+	// wants). Predicted by Channel.ExpectedFirstDelivery.
+	WaitFirstDelivery
+)
+
+// String returns the wire name used in reports and metrics help text.
+func (k WaitKind) String() string {
+	switch k {
+	case WaitFirstDelivery:
+		return "first_delivery"
+	default:
+		return "request"
+	}
+}
+
+// Config parameterizes a Monitor. The zero value of every field is
+// usable: defaults above, the process-default registry and tracer,
+// and a wall clock rooted at monitor construction.
+type Config struct {
+	// Items is the database length the estimator covers. Required.
+	Items int
+	// HalfLife is the estimator decay halflife in clock seconds.
+	HalfLife float64
+	// Shards is the estimator shard count.
+	Shards int
+	// DriftThreshold is the total-variation distance that trips the
+	// drift alarm.
+	DriftThreshold float64
+	// MinObservations gates drift scoring until the estimator has
+	// seen this many tune-ins.
+	MinObservations int64
+	// Wait selects which realized wait the monitor records.
+	Wait WaitKind
+	// WaitBins is the realized-wait histogram bin count per channel.
+	WaitBins int
+	// Registry receives the monitor's metrics (obs.Default() when
+	// nil).
+	Registry *obs.Registry
+	// Tracer receives snapshot and drift events (trace.Default()
+	// when nil; events are dropped while it is disabled).
+	Tracer *trace.Tracer
+	// Clock supplies nanosecond timestamps for decay and trace
+	// events. Nil means wall time measured from New. airsim passes
+	// its virtual clock so decay runs in simulated seconds.
+	Clock trace.Clock
+}
+
+// Monitor is the cost-attribution sensor: it aggregates tune-in
+// frequencies, realized waits, and drift against the profile the
+// current broadcast program was solved for. The observation paths
+// (ObserveTuneIn, RecordWait) are lock-free and allocation-free; the
+// aggregation paths (Sample, Report, DriftScore) take per-shard and
+// snapshot locks and are meant for a sampling cadence of seconds.
+type Monitor struct {
+	est      *Estimator
+	reg      *obs.Registry
+	tracer   *trace.Tracer
+	clock    trace.Clock
+	kind     WaitKind
+	waitBins int
+	minObs   int64
+
+	// threshold in TV distance; fixed at construction.
+	threshold float64
+
+	// state is the current program view, swapped atomically by
+	// SetProgram so the hot paths never lock.
+	state atomic.Pointer[programState]
+
+	// setMu serializes SetProgram and owns instruments, the
+	// per-channel metric cache (get-or-create keyed by channel index
+	// so replans keep series continuity and histogram bounds come
+	// from the first program that introduced the channel).
+	setMu       sync.Mutex
+	instruments map[int]*chanInstruments
+
+	// sampleMu serializes Sample and owns exceeded, the drift alarm's
+	// edge-trigger latch.
+	sampleMu sync.Mutex
+	exceeded bool
+
+	driftScore     *obs.Gauge
+	driftThreshold *obs.Gauge
+	driftExceeded  *obs.Gauge
+	observations   *obs.Gauge
+}
+
+// programState is the immutable per-program view the hot paths load.
+type programState struct {
+	chans    []*channelMon
+	idToPos  map[int]int
+	solved   []float64 // normalized solved-for frequencies
+	cycleSum float64
+}
+
+// channelMon pairs a channel's analytic expectation with its realized
+// instruments.
+type channelMon struct {
+	predicted float64 // expected wait of the monitor's kind, seconds
+	groupCost float64 // F·Z term the allocator minimized (Eq. 4)
+	cycle     float64
+	*chanInstruments
+}
+
+type chanInstruments struct {
+	tuneIns     *obs.Counter
+	waits       *obs.Histogram
+	predictedUS *obs.Gauge
+	regretUS    *obs.Gauge
+}
+
+// epochClock is the default wall clock: nanoseconds since New, so
+// decay timestamps start near zero like a ManualClock's.
+type epochClock struct{ start time.Time }
+
+func (c epochClock) Now() int64 { return int64(time.Since(c.start)) }
+
+// New builds a Monitor. The estimator exists immediately; predictions
+// and per-channel instruments appear at the first SetProgram.
+func New(cfg Config) (*Monitor, error) {
+	if cfg.Items < 1 {
+		return nil, fmt.Errorf("costmon: need Items >= 1, got %d", cfg.Items)
+	}
+	if cfg.HalfLife == 0 {
+		cfg.HalfLife = DefaultHalfLife
+	}
+	if cfg.HalfLife <= 0 {
+		return nil, fmt.Errorf("costmon: half-life must be positive, got %v", cfg.HalfLife)
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = DefaultShards
+	}
+	if cfg.DriftThreshold == 0 {
+		cfg.DriftThreshold = DefaultDriftThreshold
+	}
+	if cfg.MinObservations == 0 {
+		cfg.MinObservations = DefaultMinObservations
+	}
+	if cfg.WaitBins <= 0 {
+		cfg.WaitBins = DefaultWaitBins
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = obs.Default()
+	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = trace.Default()
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = epochClock{start: time.Now()}
+	}
+	m := &Monitor{
+		est:         NewEstimator(cfg.Items, cfg.HalfLife, cfg.Shards),
+		reg:         cfg.Registry,
+		tracer:      cfg.Tracer,
+		clock:       cfg.Clock,
+		kind:        cfg.Wait,
+		waitBins:    cfg.WaitBins,
+		minObs:      cfg.MinObservations,
+		threshold:   cfg.DriftThreshold,
+		instruments: make(map[int]*chanInstruments),
+	}
+	m.driftScore = m.reg.Gauge("costmon_drift_score_milli", "total-variation distance between live and solved-for frequencies, in thousandths")
+	m.driftThreshold = m.reg.Gauge("costmon_drift_threshold_milli", "drift alarm threshold, in thousandths")
+	m.driftExceeded = m.reg.Gauge("costmon_drift_exceeded", "1 while the drift score is at or above the threshold")
+	m.observations = m.reg.Gauge("costmon_estimator_observations", "total tune-ins folded into the frequency estimator")
+	m.driftThreshold.Set(int64(cfg.DriftThreshold * 1000))
+	return m, nil
+}
+
+// Estimator exposes the underlying frequency estimator (for feeding
+// adapt.ReplanFromFrequencies from its live estimate).
+func (m *Monitor) Estimator() *Estimator { return m.est }
+
+// Kind returns the wait semantics this monitor records.
+func (m *Monitor) Kind() WaitKind { return m.kind }
+
+// newChanInstruments registers the per-channel metric family; called
+// once per channel index for the life of the monitor.
+func newChanInstruments(r *obs.Registry, channel int, kind WaitKind, hi float64, bins int) *chanInstruments {
+	ch := strconv.Itoa(channel)
+	if hi <= 0 {
+		hi = 1
+	}
+	return &chanInstruments{
+		tuneIns:     r.Counter("costmon_tune_ins_total", "tune-ins attributed to the channel", "channel", ch),
+		waits:       r.Histogram("costmon_wait_seconds", "realized wait ("+kind.String()+") in virtual seconds", 0, hi, bins, "channel", ch),
+		predictedUS: r.Gauge("costmon_predicted_wait_us", "analytic expected wait for the live program, microseconds (virtual)", "channel", ch),
+		regretUS:    r.Gauge("costmon_cost_regret_us", "realized mean wait minus predicted, microseconds (virtual); positive means users wait longer than the model promises", "channel", ch),
+	}
+}
+
+// SetProgram points the monitor at the live broadcast program and the
+// frequency profile it was solved for (database order; normalized
+// internally). It recomputes every channel's analytic expectation and
+// swaps the hot-path view atomically — observation paths never see a
+// half-updated program. solvedFor must cover the monitor's item
+// count.
+//
+//diverselint:coldpath program swap runs once per re-allocation; all map and per-channel state construction happens here, never on the observation paths
+func (m *Monitor) SetProgram(p *broadcast.Program, solvedFor []float64) error {
+	if p == nil {
+		return fmt.Errorf("costmon: nil program")
+	}
+	if len(solvedFor) != m.est.Len() {
+		return fmt.Errorf("costmon: solved-for profile covers %d items, monitor tracks %d", len(solvedFor), m.est.Len())
+	}
+	var mass float64
+	for _, f := range solvedFor {
+		if f < 0 {
+			return fmt.Errorf("costmon: negative frequency %v in solved-for profile", f)
+		}
+		mass += f
+	}
+	if mass <= 0 {
+		return fmt.Errorf("costmon: solved-for profile has no mass")
+	}
+	solved := make([]float64, len(solvedFor))
+	for i, f := range solvedFor {
+		solved[i] = f / mass
+	}
+
+	st := &programState{
+		chans:   make([]*channelMon, len(p.Channels)),
+		idToPos: make(map[int]int),
+		solved:  solved,
+	}
+	m.setMu.Lock()
+	defer m.setMu.Unlock()
+	for i, ch := range p.Channels {
+		var maxDur float64
+		for _, s := range ch.Slots {
+			if s.Duration > maxDur {
+				maxDur = s.Duration
+			}
+			st.idToPos[s.ItemID] = s.Pos
+		}
+		ins, ok := m.instruments[i]
+		if !ok {
+			ins = newChanInstruments(m.reg, i, m.kind, ch.CycleLength+maxDur, m.waitBins)
+			m.instruments[i] = ins
+		}
+		predicted := ch.ExpectedWait(solved)
+		if m.kind == WaitFirstDelivery {
+			predicted = ch.ExpectedFirstDelivery()
+		}
+		ins.predictedUS.Set(int64(predicted * 1e6))
+		st.chans[i] = &channelMon{
+			predicted:       predicted,
+			groupCost:       ch.GroupCost,
+			cycle:           ch.CycleLength,
+			chanInstruments: ins,
+		}
+		st.cycleSum += ch.CycleLength
+	}
+	m.state.Store(st)
+	return nil
+}
+
+// PosOfItem resolves an item ID to its database position under the
+// current program, or -1 when unknown (no program yet, or an ID the
+// program does not carry). Cold path — the netcast handshake calls it
+// once per connection.
+func (m *Monitor) PosOfItem(id int) int {
+	st := m.state.Load()
+	if st == nil {
+		return -1
+	}
+	if pos, ok := st.idToPos[id]; ok {
+		return pos
+	}
+	return -1
+}
+
+// ObserveTuneIn attributes one tune-in to a channel and, when the
+// subscriber declared the item it wants (pos >= 0), feeds the
+// frequency estimator. Safe for any number of concurrent callers.
+//
+//diverselint:hotpath per-subscribe attribution: one atomic state load, a counter bump and the estimator's atomic adds
+func (m *Monitor) ObserveTuneIn(channel, pos int) {
+	if st := m.state.Load(); st != nil && channel >= 0 && channel < len(st.chans) {
+		st.chans[channel].tuneIns.Inc()
+	}
+	m.est.Observe(pos)
+}
+
+// RecordWait records one realized wait (seconds of the monitor's
+// clock) on a channel. Out-of-range channels and pre-SetProgram calls
+// are dropped. Safe for any number of concurrent callers.
+//
+//diverselint:hotpath per-delivery wait record: one atomic state load and a histogram observe
+func (m *Monitor) RecordWait(channel int, seconds float64) {
+	st := m.state.Load()
+	if st == nil || channel < 0 || channel >= len(st.chans) {
+		return
+	}
+	st.chans[channel].waits.Observe(seconds)
+}
+
+// now returns the monitor clock in seconds.
+func (m *Monitor) now() float64 { return float64(m.clock.Now()) / 1e9 }
+
+// DriftScore returns the total-variation distance between the live
+// frequency estimate and the solved-for profile: ½·Σ|f̂_j − f_j|, the
+// fraction of access-probability mass that has moved. ok is false
+// until a program is set and the estimator has MinObservations of
+// signal.
+func (m *Monitor) DriftScore() (score float64, ok bool) {
+	st := m.state.Load()
+	if st == nil || m.est.Observations() < m.minObs {
+		return 0, false
+	}
+	return tvDistance(m.est.Frequencies(m.now()), st.solved), true
+}
+
+func tvDistance(a, b []float64) float64 {
+	var sum float64
+	for i := range a {
+		d := a[i] - b[i]
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+	}
+	return sum / 2
+}
+
+// Sample runs one aggregation pass: folds the estimator, refreshes
+// the regret and drift gauges, emits a costmon_snapshot trace event,
+// and — on a threshold crossing in either direction — the
+// edge-triggered costmon_drift event. bcastserver calls it on a
+// ticker; tests call it directly under a ManualClock.
+func (m *Monitor) Sample() {
+	m.sampleMu.Lock()
+	defer m.sampleMu.Unlock()
+	st := m.state.Load()
+	if st == nil {
+		return
+	}
+	nowNS := m.clock.Now()
+	now := float64(nowNS) / 1e9
+
+	worst := 0.0
+	worstCh := -1
+	var waits int64
+	for i, cm := range st.chans {
+		hs := cm.waits.Snapshot()
+		waits += hs.Count
+		if hs.Count == 0 {
+			continue
+		}
+		regret := hs.Sum/float64(hs.Count) - cm.predicted
+		cm.regretUS.Set(int64(regret * 1e6))
+		if regret > worst || worstCh < 0 {
+			worst, worstCh = regret, i
+		}
+	}
+
+	obsCount := m.est.Observations()
+	m.observations.Set(obsCount)
+	score, scored := 0.0, false
+	if obsCount >= m.minObs {
+		score = tvDistance(m.est.Frequencies(now), st.solved)
+		scored = true
+		m.driftScore.Set(int64(score * 1000))
+		exceeded := score >= m.threshold
+		if exceeded {
+			m.driftExceeded.Set(1)
+		} else {
+			m.driftExceeded.Set(0)
+		}
+		if exceeded != m.exceeded && m.tracer.Enabled() {
+			m.tracer.EventAt(eventDrift, nowNS,
+				trace.Bool("exceeded", exceeded),
+				trace.Float("score", score),
+				trace.Float("threshold", m.threshold))
+		}
+		m.exceeded = exceeded
+	}
+
+	if m.tracer.Enabled() {
+		attrs := []trace.Attr{
+			trace.Int("observations", obsCount),
+			trace.Int("waits", waits),
+			trace.Bool("drift_scored", scored),
+			trace.Float("drift_score", score),
+		}
+		if worstCh >= 0 {
+			attrs = append(attrs,
+				trace.Int("worst_regret_channel", int64(worstCh)),
+				trace.Float("worst_regret_seconds", worst))
+		}
+		m.tracer.EventAt(eventSnapshot, nowNS, attrs...)
+	}
+}
+
+// Start samples on the given wall-clock interval until the returned
+// stop function is called (idempotent). Intervals under a second are
+// clamped; non-positive means a 10s default. One sample runs
+// immediately.
+func (m *Monitor) Start(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	if interval < time.Second {
+		interval = time.Second
+	}
+	m.Sample()
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				m.Sample()
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}

@@ -1,0 +1,264 @@
+package costmon
+
+import (
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"testing"
+
+	"diversecast/internal/broadcast"
+	"diversecast/internal/core"
+	"diversecast/internal/obs"
+	"diversecast/internal/obs/trace"
+)
+
+// testProgram builds a 2-channel program over 4 unit-frequency items
+// with sizes {1,1,2,2}: channel 0 carries items 0,1 (cycle 2s at
+// bandwidth 1), channel 1 carries items 2,3 (cycle 4s).
+func testProgram(t *testing.T) (*broadcast.Program, *core.Database) {
+	t.Helper()
+	items := []core.Item{
+		{ID: 10, Freq: 0.25, Size: 1},
+		{ID: 11, Freq: 0.25, Size: 1},
+		{ID: 12, Freq: 0.25, Size: 2},
+		{ID: 13, Freq: 0.25, Size: 2},
+	}
+	db, err := core.NewDatabase(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.NewAllocation(db, 2, []int{0, 0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := broadcast.Build(a, 1, broadcast.ByPosition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, db
+}
+
+func newTestMonitor(t *testing.T, cfg Config) (*Monitor, *obs.Registry, *trace.ManualClock, *trace.Tracer) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	clk := &trace.ManualClock{}
+	tr := trace.New(trace.Config{Capacity: 1 << 10, Clock: clk})
+	cfg.Registry = reg
+	cfg.Tracer = tr
+	cfg.Clock = clk
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, reg, clk, tr
+}
+
+func TestMonitorPredictedAndRegret(t *testing.T) {
+	p, db := testProgram(t)
+	m, reg, clk, _ := newTestMonitor(t, Config{Items: db.Len(), Wait: WaitRequest, MinObservations: 1})
+	if err := m.SetProgram(p, db.Frequencies()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Predicted per channel must equal the broadcast helper.
+	rep := m.Report()
+	for i, ch := range p.Channels {
+		want := ch.ExpectedWait(db.Frequencies())
+		// db frequencies are already normalized (sum 1), so the
+		// monitor's internal normalization is the identity.
+		if got := rep.Channels[i].PredictedS; math.Abs(got-want) > 1e-12 {
+			t.Fatalf("channel %d predicted %v, want %v", i, got, want)
+		}
+	}
+
+	// Record waits 1s above prediction on channel 0: regret gauge
+	// lands at +1s (in µs).
+	pred := rep.Channels[0].PredictedS
+	for i := 0; i < 10; i++ {
+		m.ObserveTuneIn(0, i%2)
+		m.RecordWait(0, pred+1)
+	}
+	clk.Set(5e9)
+	m.Sample()
+	snap := reg.Snapshot()
+	if got := snap.Gauge(`costmon_cost_regret_us{channel="0"}`); got < 999_900 || got > 1_000_100 {
+		t.Fatalf("regret gauge = %dµs, want ~1s", got)
+	}
+	if got := snap.Counter(`costmon_tune_ins_total{channel="0"}`); got != 10 {
+		t.Fatalf("tune-in counter = %d, want 10", got)
+	}
+
+	rep = m.Report()
+	if got := rep.Channels[0].RegretS; math.Abs(got-1) > 1e-9 {
+		t.Fatalf("report regret %v, want 1", got)
+	}
+	if rep.Channels[0].Waits != 10 {
+		t.Fatalf("report waits %d, want 10", rep.Channels[0].Waits)
+	}
+	if rep.WaitKind != "request" {
+		t.Fatalf("wait kind %q", rep.WaitKind)
+	}
+}
+
+func TestMonitorDriftEdgeTrigger(t *testing.T) {
+	p, db := testProgram(t)
+	m, reg, clk, tr := newTestMonitor(t, Config{
+		Items: db.Len(), Wait: WaitFirstDelivery,
+		MinObservations: 8, DriftThreshold: 0.3,
+	})
+	if err := m.SetProgram(p, db.Frequencies()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Hammer item 0: the estimate concentrates there (solved-for is
+	// uniform 0.25), pushing TV distance toward 0.75.
+	for i := 0; i < 100; i++ {
+		m.ObserveTuneIn(0, 0)
+	}
+	clk.Set(1e9)
+	m.Sample()
+	snap := reg.Snapshot()
+	if got := snap.Gauge("costmon_drift_exceeded"); got != 1 {
+		t.Fatalf("drift_exceeded = %d, want 1", got)
+	}
+	if got := snap.Gauge("costmon_drift_score_milli"); got < 500 {
+		t.Fatalf("drift_score_milli = %d, want > 500", got)
+	}
+	score, ok := m.DriftScore()
+	if !ok || score < 0.5 {
+		t.Fatalf("DriftScore = %v, %v", score, ok)
+	}
+
+	// Edge trigger: repeated sampling in the exceeded state emits
+	// exactly one costmon_drift event.
+	clk.Set(2e9)
+	m.Sample()
+	clk.Set(3e9)
+	m.Sample()
+	var drifts, snapshots int
+	for _, r := range tr.Snapshot().Records {
+		switch r.Name {
+		case "costmon_drift":
+			drifts++
+			if a, ok := r.Attr("exceeded"); !ok || a.Int != 1 {
+				t.Fatalf("drift event lacks exceeded=true: %+v", r)
+			}
+		case "costmon_snapshot":
+			snapshots++
+		}
+	}
+	if drifts != 1 {
+		t.Fatalf("%d costmon_drift events, want exactly 1 (edge-triggered)", drifts)
+	}
+	if snapshots != 3 {
+		t.Fatalf("%d costmon_snapshot events, want 3", snapshots)
+	}
+
+	rep := m.Report()
+	if !rep.DriftExceeded || !rep.DriftScored {
+		t.Fatalf("report drift flags: %+v", rep)
+	}
+	if len(rep.TopDrift) == 0 || rep.TopDrift[0].Pos != 0 {
+		t.Fatalf("top drift should lead with item 0: %+v", rep.TopDrift)
+	}
+}
+
+func TestMonitorBeforeProgramAndBadInput(t *testing.T) {
+	m, _, _, _ := newTestMonitor(t, Config{Items: 4})
+	// Hot paths must be safe before SetProgram.
+	m.ObserveTuneIn(0, 1)
+	m.RecordWait(0, 1)
+	m.Sample()
+	if pos := m.PosOfItem(10); pos != -1 {
+		t.Fatalf("PosOfItem before program = %d, want -1", pos)
+	}
+	rep := m.Report()
+	if len(rep.Channels) != 0 {
+		t.Fatalf("pre-program report has channels: %+v", rep.Channels)
+	}
+
+	p, db := testProgram(t)
+	if err := m.SetProgram(nil, db.Frequencies()); err == nil {
+		t.Fatal("nil program accepted")
+	}
+	if err := m.SetProgram(p, []float64{1}); err == nil {
+		t.Fatal("short profile accepted")
+	}
+	if err := m.SetProgram(p, []float64{0, 0, 0, 0}); err == nil {
+		t.Fatal("zero-mass profile accepted")
+	}
+	if err := m.SetProgram(p, db.Frequencies()); err != nil {
+		t.Fatal(err)
+	}
+	if pos := m.PosOfItem(12); pos != 2 {
+		t.Fatalf("PosOfItem(12) = %d, want 2", pos)
+	}
+	if pos := m.PosOfItem(99); pos != -1 {
+		t.Fatalf("PosOfItem(99) = %d, want -1", pos)
+	}
+
+	if _, err := New(Config{Items: 0}); err == nil {
+		t.Fatal("Items=0 accepted")
+	}
+	if _, err := New(Config{Items: 1, HalfLife: -1}); err == nil {
+		t.Fatal("negative half-life accepted")
+	}
+}
+
+func TestMonitorHandlerJSON(t *testing.T) {
+	p, db := testProgram(t)
+	m, _, clk, _ := newTestMonitor(t, Config{Items: db.Len(), MinObservations: 1})
+	if err := m.SetProgram(p, db.Frequencies()); err != nil {
+		t.Fatal(err)
+	}
+	m.ObserveTuneIn(1, 2)
+	m.RecordWait(1, 3.5)
+	clk.Set(2e9)
+
+	rr := httptest.NewRecorder()
+	m.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/cost", nil))
+	if rr.Code != 200 {
+		t.Fatalf("status %d", rr.Code)
+	}
+	var rep Report
+	if err := json.Unmarshal(rr.Body.Bytes(), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, rr.Body.String())
+	}
+	if rep.Items != 4 || len(rep.Channels) != 2 {
+		t.Fatalf("report shape: %+v", rep)
+	}
+	if rep.Channels[1].Waits != 1 || math.Abs(rep.Channels[1].RealizedMeanS-3.5) > 1e-9 {
+		t.Fatalf("channel 1 report: %+v", rep.Channels[1])
+	}
+	if rep.GeneratedAtNS != 2e9 {
+		t.Fatalf("generated_at %d", rep.GeneratedAtNS)
+	}
+}
+
+// TestMonitorReplanContinuity: SetProgram a second time (a replan)
+// keeps the same metric series — counters do not reset — and updates
+// predictions.
+func TestMonitorReplanContinuity(t *testing.T) {
+	p, db := testProgram(t)
+	m, reg, _, _ := newTestMonitor(t, Config{Items: db.Len()})
+	if err := m.SetProgram(p, db.Frequencies()); err != nil {
+		t.Fatal(err)
+	}
+	m.ObserveTuneIn(0, 0)
+
+	// Re-solve with skewed frequencies: prediction changes, counter
+	// survives.
+	skew := []float64{0.7, 0.1, 0.1, 0.1}
+	if err := m.SetProgram(p, skew); err != nil {
+		t.Fatal(err)
+	}
+	m.ObserveTuneIn(0, 0)
+	snap := reg.Snapshot()
+	if got := snap.Counter(`costmon_tune_ins_total{channel="0"}`); got != 2 {
+		t.Fatalf("counter reset across SetProgram: %d", got)
+	}
+	want := p.Channels[0].ExpectedWait(skew)
+	if got := snap.Gauge(`costmon_predicted_wait_us{channel="0"}`); got != int64(want*1e6) {
+		t.Fatalf("predicted gauge %d, want %d", got, int64(want*1e6))
+	}
+}

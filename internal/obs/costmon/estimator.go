@@ -1,0 +1,210 @@
+// Package costmon is the cost-attribution telemetry layer: it senses
+// what the broadcast program's objective function — expected access
+// time, the grouping cost F·Z of Eq. (4) — actually looks like at
+// runtime, and how far the live workload has drifted from the access
+// profile the program was solved for.
+//
+// Three sensors, one Monitor:
+//
+//   - an online per-item tune-in frequency estimator f̂ (Estimator),
+//     exponentially decayed with the same halflife semantics as
+//     adapt.Tracker but restructured for 10⁶-item scale: the per-event
+//     update is a single lock-free atomic add, and decay is folded in
+//     shard-sized batches on the sampling path;
+//   - per-channel realized-wait histograms (tune-in → first complete
+//     delivery in netcast wall time, request → download-end in airsim
+//     virtual time) recorded next to the analytic expectation computed
+//     from the live allocation, with the difference exposed as a
+//     cost-regret gauge;
+//   - a drift score (total-variation distance between f̂ and the
+//     solved-for frequencies) with an edge-triggered trace event and
+//     gauge when a configurable threshold is crossed.
+//
+// Everything registers on an obs.Registry and emits through an
+// obs/trace Tracer, so the report rides the existing /metrics and
+// trace surfaces; /debug/cost serves the same data as one JSON
+// document (Report).
+package costmon
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Estimator tracks exponentially-decayed per-item tune-in counts at
+// large item counts. It splits adapt.Tracker's per-observation decay
+// into two halves so the hot half stays lock-free:
+//
+//   - Observe(pos), the hot path, is one atomic increment into a flat
+//     pending array — no locks, no floating point, no allocation;
+//   - Tick(now), the cold path, folds the pending increments into the
+//     decayed accumulators shard by shard, applying the decay factor
+//     2^(-Δt/halflife) for the time since the shard's last fold.
+//
+// The fold is tick-granular: an observation receives full weight as
+// of the tick that folds it, not the instant it occurred. With ticks
+// at the sampling cadence (seconds) and halflives of minutes, the
+// error is a sub-percent weight bias — the price of a hot path that
+// is a single uncontended atomic at 10⁶ items.
+//
+// Sharding bounds the fold's lock hold: each shard covers a
+// contiguous item range with its own mutex, so folding a million
+// items never stalls a concurrent Frequencies call behind one global
+// critical section. Because shards are contiguous and the per-item
+// arithmetic depends only on tick times (identical across shards),
+// the estimate is bit-for-bit independent of the shard count.
+type Estimator struct {
+	halfLife float64
+	pending  []atomic.Int64
+	observed atomic.Int64
+	shards   []estShard
+}
+
+// estShard owns the decayed accumulators for items [lo, hi).
+type estShard struct {
+	mu       sync.Mutex
+	lo, hi   int
+	decayed  []float64
+	lastTick float64
+}
+
+// NewEstimator returns an estimator over n items with the given decay
+// halflife in seconds (how long an observation takes to lose half its
+// weight) split across the given number of shards. Non-positive
+// halflife or shard counts fall back to defaults; shards is clamped
+// to n.
+//
+//diverselint:coldpath one-time construction: the per-shard arrays are allocated once and live for the estimator's lifetime
+func NewEstimator(n int, halfLife float64, shards int) *Estimator {
+	if n < 1 {
+		n = 1
+	}
+	if halfLife <= 0 {
+		halfLife = DefaultHalfLife
+	}
+	if shards < 1 {
+		shards = DefaultShards
+	}
+	if shards > n {
+		shards = n
+	}
+	e := &Estimator{
+		halfLife: halfLife,
+		pending:  make([]atomic.Int64, n),
+		shards:   make([]estShard, shards),
+	}
+	per := (n + shards - 1) / shards
+	for s := range e.shards {
+		lo := s * per
+		if lo > n {
+			lo = n // trailing shards can be empty when n is not a multiple of per
+		}
+		hi := lo + per
+		if hi > n {
+			hi = n
+		}
+		e.shards[s] = estShard{lo: lo, hi: hi, decayed: make([]float64, hi-lo)}
+	}
+	return e
+}
+
+// Len returns the number of items tracked.
+func (e *Estimator) Len() int { return len(e.pending) }
+
+// HalfLife returns the decay halflife in seconds.
+func (e *Estimator) HalfLife() float64 { return e.halfLife }
+
+// Observe records one tune-in for the item at database position pos.
+// Out-of-range positions (including the netcast "no item declared"
+// sentinel -1) are ignored. Safe for any number of concurrent
+// callers.
+//
+//diverselint:hotpath per-tune-in estimator update: bounds check plus two uncontended atomic adds, no locks or floats
+func (e *Estimator) Observe(pos int) {
+	if pos < 0 || pos >= len(e.pending) {
+		return
+	}
+	e.pending[pos].Add(1)
+	e.observed.Add(1)
+}
+
+// Observations returns the total number of in-range observations ever
+// recorded, decay-free. It is the "enough signal to trust the
+// estimate" gate for drift scoring.
+func (e *Estimator) Observations() int64 {
+	return e.observed.Load()
+}
+
+// Tick folds pending observations into the decayed accumulators as of
+// the given time (seconds, same clock as Frequencies). Ticks with
+// non-increasing time fold pending mass without applying decay, so a
+// wall-clock step backwards never inflates weights.
+func (e *Estimator) Tick(now float64) {
+	for s := range e.shards {
+		e.shards[s].fold(e.pending, e.halfLife, now)
+	}
+}
+
+func (sh *estShard) fold(pending []atomic.Int64, halfLife, now float64) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	factor := 1.0
+	if now > sh.lastTick {
+		factor = exp2(-(now - sh.lastTick) / halfLife)
+		sh.lastTick = now
+	}
+	for i := sh.lo; i < sh.hi; i++ {
+		d := pending[i].Swap(0)
+		sh.decayed[i-sh.lo] = sh.decayed[i-sh.lo]*factor + float64(d)
+	}
+}
+
+// Frequencies folds pending observations as of now and returns the
+// normalized frequency estimate f̂, one entry per item, summing to 1.
+// The floor semantics mirror adapt.Tracker.Frequencies exactly: every
+// item gains a tiny positive floor (one millionth of the mean weight)
+// so never-observed items stay representable in a Database, and a
+// fully cold estimator degrades to uniform.
+func (e *Estimator) Frequencies(now float64) []float64 {
+	out := make([]float64, len(e.pending))
+	for s := range e.shards {
+		sh := &e.shards[s]
+		sh.mu.Lock()
+		factor := 1.0
+		if now > sh.lastTick {
+			factor = exp2(-(now - sh.lastTick) / e.halfLife)
+			sh.lastTick = now
+		}
+		for i := sh.lo; i < sh.hi; i++ {
+			d := e.pending[i].Swap(0)
+			sh.decayed[i-sh.lo] = sh.decayed[i-sh.lo]*factor + float64(d)
+			out[i] = sh.decayed[i-sh.lo]
+		}
+		sh.mu.Unlock()
+	}
+	// Floor and normalize with adapt.Tracker.Frequencies' exact
+	// semantics (floor added to every item, one decayed pseudo-count
+	// split across a fully cold estimator). Contiguous shards make the
+	// summation order plain index order, so the result is bit-identical
+	// across shard counts.
+	total := 0.0
+	for _, w := range out {
+		total += w
+	}
+	floor := total / float64(len(out)) * 1e-6
+	if total == 0 {
+		floor = 1
+	}
+	total = 0
+	for i := range out {
+		out[i] += floor
+		total += out[i]
+	}
+	for i := range out {
+		out[i] /= total
+	}
+	return out
+}
+
+func exp2(x float64) float64 { return math.Exp2(x) }

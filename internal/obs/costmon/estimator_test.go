@@ -1,0 +1,140 @@
+package costmon
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"diversecast/internal/adapt"
+)
+
+// TestEstimatorDecayHalfLife pins the decay semantics: one halflife
+// after an observation was folded, its weight is exactly half.
+func TestEstimatorDecayHalfLife(t *testing.T) {
+	const h = 10.0
+	e := NewEstimator(2, h, 1)
+
+	// Item 0 observed and folded at t=0; item 1 observed and folded at
+	// t=h. At t=h item 0 carries weight 0.5 and item 1 weight 1, so
+	// before flooring the ratio is exactly 1:2.
+	e.Observe(0)
+	e.Tick(0)
+	e.Observe(1)
+	f := e.Frequencies(h)
+
+	if got := f[0] + f[1]; math.Abs(got-1) > 1e-12 {
+		t.Fatalf("frequencies sum to %v, want 1", got)
+	}
+	// The floor adds total/n·1e-6 to each side; undo its effect by
+	// checking the ratio with a loose tolerance instead.
+	if ratio := f[0] / f[1]; math.Abs(ratio-0.5) > 1e-4 {
+		t.Fatalf("weight ratio after one half-life = %v, want 0.5", ratio)
+	}
+}
+
+// TestEstimatorShardInvariance pins the determinism contract: the
+// same observation/tick sequence produces bit-identical frequencies
+// regardless of the shard count, because shards are contiguous and
+// per-item arithmetic depends only on tick times.
+func TestEstimatorShardInvariance(t *testing.T) {
+	const n, h = 257, 30.0 // prime n: uneven last shard
+	counts := []int{1, 2, 3, 8, 64, 257}
+	ests := make([]*Estimator, len(counts))
+	for i, s := range counts {
+		ests[i] = NewEstimator(n, h, s)
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	now := 0.0
+	for step := 0; step < 2000; step++ {
+		pos := rng.Intn(n)
+		for _, e := range ests {
+			e.Observe(pos)
+		}
+		if step%97 == 0 {
+			now += rng.Float64() * 5
+			for _, e := range ests {
+				e.Tick(now)
+			}
+		}
+	}
+	now += 3
+	base := ests[0].Frequencies(now)
+	for i, e := range ests[1:] {
+		got := e.Frequencies(now)
+		for j := range base {
+			if got[j] != base[j] {
+				t.Fatalf("shards=%d: frequency[%d] = %v, differs bit-for-bit from shards=1's %v",
+					counts[i+1], j, got[j], base[j])
+			}
+		}
+	}
+}
+
+// TestEstimatorMatchesTracker bridges to adapt.Tracker: when the
+// estimator is ticked at every observation instant, its tick-granular
+// decay coincides with the tracker's per-observation decay, so the
+// two frequency estimates agree to floating-point accuracy. This is
+// the "building on adapt.Tracker" contract — same estimate, hot path
+// restructured.
+func TestEstimatorMatchesTracker(t *testing.T) {
+	const n, h = 40, 12.0
+	e := NewEstimator(n, h, 4)
+	tr, err := adapt.NewTracker(n, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	now := 0.0
+	for i := 0; i < 5000; i++ {
+		now += rng.Float64() / 10
+		pos := rng.Intn(n)
+		e.Observe(pos)
+		e.Tick(now)
+		if err := tr.Observe(pos, now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	now += 1
+	got, want := e.Frequencies(now), tr.Frequencies(now)
+	for i := range want {
+		if diff := math.Abs(got[i] - want[i]); diff > 1e-12 {
+			t.Fatalf("frequency[%d]: estimator %v vs tracker %v (diff %v)", i, got[i], want[i], diff)
+		}
+	}
+}
+
+// TestEstimatorColdAndOutOfRange: a cold estimator degrades to
+// uniform (Tracker's total==0 floor), and out-of-range positions —
+// including the -1 "no item declared" sentinel — are dropped without
+// effect.
+func TestEstimatorColdAndOutOfRange(t *testing.T) {
+	e := NewEstimator(5, 10, 2)
+	e.Observe(-1)
+	e.Observe(5)
+	e.Observe(1 << 30)
+	if got := e.Observations(); got != 0 {
+		t.Fatalf("out-of-range observations counted: %d", got)
+	}
+	f := e.Frequencies(100)
+	for i, v := range f {
+		if math.Abs(v-0.2) > 1e-12 {
+			t.Fatalf("cold frequency[%d] = %v, want uniform 0.2", i, v)
+		}
+	}
+}
+
+// TestEstimatorBackwardsClock: a tick that moves backwards folds
+// pending mass without applying (inverse) decay, so weights never
+// inflate.
+func TestEstimatorBackwardsClock(t *testing.T) {
+	e := NewEstimator(2, 10, 1)
+	e.Observe(0)
+	e.Tick(100)
+	e.Observe(1)
+	f := e.Frequencies(50) // clock stepped back
+	if ratio := f[0] / f[1]; math.Abs(ratio-1) > 1e-4 {
+		t.Fatalf("backwards tick changed weights: ratio %v, want 1", ratio)
+	}
+}

@@ -1,0 +1,65 @@
+package costmon_test
+
+import (
+	"testing"
+
+	"diversecast/internal/alloctest"
+	"diversecast/internal/broadcast"
+	"diversecast/internal/core"
+	"diversecast/internal/obs"
+	"diversecast/internal/obs/costmon"
+	"diversecast/internal/obs/trace"
+)
+
+// TestCostmonObservationsAllocFree gates the //diverselint:hotpath
+// contracts on the observation paths: once the monitor exists,
+// Estimator.Observe, Monitor.ObserveTuneIn and Monitor.RecordWait are
+// atomics only — no locks, no allocation — at any item count.
+func TestCostmonObservationsAllocFree(t *testing.T) {
+	const items = 1 << 20 // the 10⁶-item scale the estimator is built for
+	m, err := costmon.New(costmon.Config{
+		Items:    items,
+		Registry: obs.NewRegistry(),
+		Tracer:   trace.New(trace.Config{Capacity: 64}),
+		Clock:    &trace.ManualClock{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := core.NewDatabase([]core.Item{
+		{ID: 1, Freq: 0.5, Size: 1},
+		{ID: 2, Freq: 0.5, Size: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.NewAllocation(db, 1, []int{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := broadcast.Build(a, 1, broadcast.ByPosition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The solved-for profile must cover the monitor's item count.
+	solved := make([]float64, items)
+	for i := range solved {
+		solved[i] = 1
+	}
+	if err := m.SetProgram(p, solved); err != nil {
+		t.Fatal(err)
+	}
+
+	est := m.Estimator()
+	pos := 0
+	alloctest.MustZeroAllocs(t, "Estimator.Observe Monitor.ObserveTuneIn Monitor.RecordWait", 2, func() {
+		est.Observe(pos)
+		est.Observe(items - 1 - pos)
+		est.Observe(-1) // netcast "no item declared" sentinel
+		m.ObserveTuneIn(0, pos)
+		m.ObserveTuneIn(0, -1)
+		m.RecordWait(0, 0.25)
+		m.RecordWait(99, 1) // out-of-range channel drop
+		pos = (pos + 7919) % items
+	})
+}

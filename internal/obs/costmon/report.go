@@ -1,0 +1,167 @@
+package costmon
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+)
+
+// Report is the /debug/cost document: one JSON object answering "what
+// are users actually waiting, what did the model promise, and has the
+// workload drifted from what we solved for?".
+type Report struct {
+	// GeneratedAtNS is the monitor clock at report time.
+	GeneratedAtNS int64 `json:"generated_at_ns"`
+	// WaitKind is "request" (airsim access time) or "first_delivery"
+	// (netcast tune-in → first complete transmission).
+	WaitKind string `json:"wait_kind"`
+	// Items, Shards, HalfLifeS describe the estimator.
+	Items     int     `json:"items"`
+	Shards    int     `json:"shards"`
+	HalfLifeS float64 `json:"half_life_s"`
+	// Observations is the estimator's lifetime tune-in count.
+	Observations int64 `json:"observations"`
+	// DriftScore is the total-variation distance ½Σ|f̂−f| between the
+	// live estimate and the solved-for profile; DriftScored is false
+	// while under MinObservations (DriftScore is then zero, not
+	// meaningful).
+	DriftScore     float64 `json:"drift_score"`
+	DriftThreshold float64 `json:"drift_threshold"`
+	DriftScored    bool    `json:"drift_scored"`
+	DriftExceeded  bool    `json:"drift_exceeded"`
+	// TopDrift lists the items contributing the most drift mass,
+	// largest first (at most 10).
+	TopDrift []ItemDrift `json:"top_drift,omitempty"`
+	// Channels is the per-channel realized-vs-predicted breakdown.
+	Channels []ChannelReport `json:"channels"`
+}
+
+// ItemDrift is one item's contribution to the drift score.
+type ItemDrift struct {
+	Pos int `json:"pos"`
+	// Solved is the frequency the program was solved for, Live the
+	// current estimate; both normalized.
+	Solved float64 `json:"solved"`
+	Live   float64 `json:"live"`
+}
+
+// ChannelReport is the realized-vs-predicted wait picture for one
+// channel, in virtual seconds.
+type ChannelReport struct {
+	Channel int `json:"channel"`
+	// TuneIns is the attributed subscribe count; Waits the number of
+	// realized-wait samples.
+	TuneIns int64 `json:"tune_ins"`
+	Waits   int64 `json:"waits"`
+	// RealizedMeanS is exact (Sum/Count, no binning error); the
+	// quantiles interpolate within histogram bins.
+	RealizedMeanS float64 `json:"realized_mean_s"`
+	RealizedP50S  float64 `json:"realized_p50_s"`
+	RealizedP95S  float64 `json:"realized_p95_s"`
+	// PredictedS is the analytic expectation for the live program;
+	// RegretS = realized mean − predicted (positive: users wait
+	// longer than the model promises), RegretPct the same relative to
+	// the prediction.
+	PredictedS float64 `json:"predicted_s"`
+	RegretS    float64 `json:"regret_s"`
+	RegretPct  float64 `json:"regret_pct"`
+	// GroupCost is the channel's F·Z term of the Eq. (4) objective;
+	// CycleS its cycle length.
+	GroupCost float64 `json:"group_cost"`
+	CycleS    float64 `json:"cycle_s"`
+}
+
+// Report assembles the current cost-attribution picture. Pre-program
+// it reports only the estimator section.
+func (m *Monitor) Report() Report {
+	nowNS := m.clock.Now()
+	rep := Report{
+		GeneratedAtNS:  nowNS,
+		WaitKind:       m.kind.String(),
+		Items:          m.est.Len(),
+		Shards:         len(m.est.shards),
+		HalfLifeS:      m.est.HalfLife(),
+		Observations:   m.est.Observations(),
+		DriftThreshold: m.threshold,
+		Channels:       []ChannelReport{},
+	}
+	st := m.state.Load()
+	if st == nil {
+		return rep
+	}
+	live := m.est.Frequencies(float64(nowNS) / 1e9)
+	if rep.Observations >= m.minObs {
+		rep.DriftScored = true
+		rep.DriftScore = tvDistance(live, st.solved)
+		rep.DriftExceeded = rep.DriftScore >= m.threshold
+		rep.TopDrift = topDrift(live, st.solved, 10)
+	}
+	rep.Channels = make([]ChannelReport, 0, len(st.chans))
+	for i, cm := range st.chans {
+		cr := ChannelReport{
+			Channel:    i,
+			TuneIns:    cm.tuneIns.Value(),
+			PredictedS: cm.predicted,
+			GroupCost:  cm.groupCost,
+			CycleS:     cm.cycle,
+		}
+		hs := cm.waits.Snapshot()
+		cr.Waits = hs.Count
+		if hs.Count > 0 {
+			cr.RealizedMeanS = hs.Sum / float64(hs.Count)
+			cr.RealizedP50S = cm.waits.Quantile(0.5)
+			cr.RealizedP95S = cm.waits.Quantile(0.95)
+			cr.RegretS = cr.RealizedMeanS - cr.PredictedS
+			if cr.PredictedS > 0 {
+				cr.RegretPct = cr.RegretS / cr.PredictedS * 100
+			}
+		}
+		//diverselint:ignore loopalloc rep.Channels is constructed above with capacity len(st.chans), the loop's exact trip count; Report serves /debug/cost and the sampler, not a hot loop
+		rep.Channels = append(rep.Channels, cr)
+	}
+	return rep
+}
+
+// topDrift returns the k items with the largest |live−solved| gap,
+// largest first, ties broken by position for determinism.
+func topDrift(live, solved []float64, k int) []ItemDrift {
+	idx := make([]int, len(live))
+	for i := range idx {
+		idx[i] = i
+	}
+	gap := func(i int) float64 {
+		d := live[i] - solved[i]
+		if d < 0 {
+			d = -d
+		}
+		return d
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ga, gb := gap(idx[a]), gap(idx[b])
+		if ga > gb {
+			return true
+		}
+		if gb > ga {
+			return false
+		}
+		return idx[a] < idx[b]
+	})
+	if k > len(idx) {
+		k = len(idx)
+	}
+	out := make([]ItemDrift, 0, k)
+	for _, i := range idx[:k] {
+		out = append(out, ItemDrift{Pos: i, Solved: solved[i], Live: live[i]})
+	}
+	return out
+}
+
+// Handler serves Report as indented JSON — the /debug/cost endpoint.
+func (m *Monitor) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(m.Report())
+	})
+}

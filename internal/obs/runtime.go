@@ -42,6 +42,15 @@ func (g runtimeGauges) sample() {
 	g.gcCycles.Set(int64(ms.NumGC))
 }
 
+// SampleRuntime takes one immediate runtime-health sample into r's
+// gauges (the same set StartRuntimeSampler maintains). Batch tools
+// (bcastsim, bcastexp) call it right before dumping a registry so the
+// final report reflects end-of-run memory pressure rather than the
+// last ticker sample.
+func SampleRuntime(r *Registry) {
+	newRuntimeGauges(r).sample()
+}
+
 // StartRuntimeSampler samples Go runtime health — goroutine count,
 // heap size and object count, cumulative GC pause and cycle count —
 // into gauges on r every interval (minimum 1s, default 5s when

@@ -81,6 +81,14 @@ type Hello struct {
 // Subscribe tunes the client to one broadcast channel.
 type Subscribe struct {
 	Channel int `json:"channel"`
+	// Item optionally declares the item ID the client is tuning in
+	// for, with HasItem marking presence (ID 0 is a valid item, so
+	// the zero value cannot double as "unset"). Servers with cost
+	// telemetry feed it to the per-item tune-in frequency estimator;
+	// servers without it, and servers talking to older clients that
+	// omit both fields, behave identically either way.
+	Item    int  `json:"item,omitempty"`
+	HasItem bool `json:"has_item,omitempty"`
 }
 
 // ItemBegin announces the start of an item transmission on the
